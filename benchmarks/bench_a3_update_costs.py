@@ -1,0 +1,56 @@
+"""A3 (extension) — update-cost constraints (§3.4).
+
+The ILP "contains ... other user-supplied constraints, such as
+constraints on the total size of the design features, and their update
+costs". This bench sweeps the update rate of the write-hot fact table
+and shows the advisor shedding indexes as maintenance eats their
+benefit — the behaviour that distinguishes a constraint-aware ILP from
+benefit-only selection.
+"""
+
+from __future__ import annotations
+
+from repro.advisor.ilp_advisor import IlpIndexAdvisor
+from repro.bench.reporting import ResultTable
+
+RATES = (0.0, 1.0, 5.0, 25.0, 125.0, 625.0)
+
+
+def test_a3_update_rate_sweep(sdss_db, workload, benchmark):
+    db = sdss_db
+    budget = 600
+    rows = []
+
+    def run_all():
+        for rate in RATES:
+            result = IlpIndexAdvisor(db.catalog).recommend(
+                workload,
+                budget_pages=budget,
+                update_rates={"photoobj": rate},
+            )
+            photo = sum(1 for i in result.indexes if i.table_name == "photoobj")
+            other = len(result.indexes) - photo
+            rows.append(
+                (rate, photo, other, result.maintenance_cost, result.cost_after)
+            )
+        return rows
+
+    benchmark.pedantic(run_all, iterations=1, rounds=1)
+
+    table = ResultTable(
+        f"A3: indexes chosen vs photoobj update rate (budget={budget} pages)",
+        ["update rate", "photoobj indexes", "other indexes",
+         "maintenance cost", "total cost after"],
+    )
+    for rate, photo, other, maint, after in rows:
+        table.add_row(rate, photo, other, maint, after)
+    table.emit()
+
+    photo_counts = [r[1] for r in rows]
+    assert photo_counts[0] > 0, "read-only baseline should index photoobj"
+    assert photo_counts[-1] == 0, "extreme write rate must drop them all"
+    assert all(a >= b for a, b in zip(photo_counts, photo_counts[1:])), (
+        "photoobj index count must fall monotonically with the update rate"
+    )
+    others = [r[2] for r in rows]
+    assert others[-1] >= others[0], "read-only tables keep their indexes"

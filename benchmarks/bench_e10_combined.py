@@ -1,0 +1,65 @@
+"""E10 — the full PARINDA pipeline: PARtitions + INDexes together.
+
+The tool's name promises both advisors; this bench runs them in the
+intended composition (AutoPart first, then the ILP index advisor over
+the rewritten, partitioned workload) and shows the combination beating
+either advisor alone — the overall value proposition the demo's three
+scenarios build up to.
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import ResultTable
+from repro.core.parinda import Parinda
+
+
+def test_e10_combined_pipeline(sdss_db, workload, benchmark):
+    db = sdss_db
+    parinda = Parinda(db)
+    data_pages = sum(
+        db.catalog.statistics(t).table.page_count for t in db.catalog.table_names
+    )
+    budget = data_pages  # 1x data size of extra storage
+
+    results = {}
+
+    def run_all():
+        results["indexes"] = parinda.suggest_indexes(workload, budget_pages=budget)
+        results["combined"] = parinda.suggest_combined(
+            workload, budget_pages=budget, replication_limit=0.3
+        )
+        return results
+
+    benchmark.pedantic(run_all, iterations=1, rounds=1)
+
+    indexes = results["indexes"]
+    combined = results["combined"]
+    table = ResultTable(
+        f"E10: advisors alone vs the full pipeline (budget={budget} pages)",
+        ["design", "cost before", "cost after", "speedup"],
+    )
+    table.add_row(
+        "indexes only", indexes.cost_before, indexes.cost_after,
+        f"{indexes.speedup:.2f}x",
+    )
+    table.add_row(
+        "partitions only",
+        combined.partitions.cost_before,
+        combined.partitions.cost_after,
+        f"{combined.partitions.speedup:.2f}x",
+    )
+    table.add_row(
+        "partitions + indexes",
+        combined.cost_before,
+        combined.cost_after,
+        f"{combined.speedup:.2f}x",
+    )
+    table.emit()
+
+    assert combined.cost_after <= indexes.cost_after * 1.001, (
+        "the combination must not lose to indexes alone"
+    )
+    assert combined.cost_after <= combined.partitions.cost_after, (
+        "the combination must not lose to partitions alone"
+    )
+    assert combined.speedup > 1.2

@@ -1,0 +1,72 @@
+"""E2 — Automatic Partition Suggestion scenario (§4, Figure 2).
+
+The GUI of scenario 2 shows: the suggested table partitions, the
+average workload benefit, and the individual query benefits. This bench
+regenerates those outputs, swept over the replication constraint the
+DBA supplies.
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import ResultTable
+from repro.partitioning.autopart import AutoPartAdvisor
+
+
+def test_e2_autopart_suggestion(sdss_db, workload, benchmark):
+    db = sdss_db
+
+    results = {}
+
+    def run_all():
+        for limit in (0.0, 0.25, 0.5):
+            advisor = AutoPartAdvisor(
+                db.catalog,
+                replication_limit=limit,
+                max_iterations=6,
+                candidates_per_iteration=16,
+            )
+            results[limit] = advisor.recommend(workload)
+        return results
+
+    benchmark.pedantic(run_all, iterations=1, rounds=1)
+
+    sweep = ResultTable(
+        "E2a: AutoPart speedup vs. replication constraint",
+        ["replication limit", "fragments", "iterations", "what-if evals",
+         "cost before", "cost after", "speedup"],
+    )
+    for limit, result in sorted(results.items()):
+        fragment_count = sum(len(s.fragments) for s in result.schemes.values())
+        sweep.add_row(
+            f"{limit:.2f}",
+            fragment_count,
+            result.iterations,
+            result.evaluations,
+            result.cost_before,
+            result.cost_after,
+            f"{result.speedup:.2f}x",
+        )
+    sweep.emit()
+
+    best = results[0.5]
+    per_query = ResultTable(
+        "E2b: per-query benefit of the suggested partitions (top 10)",
+        ["query", "cost before", "cost after", "benefit %", "fragments used"],
+    )
+    ranked = sorted(best.per_query, key=lambda q: -q.benefit)[:10]
+    for entry in ranked:
+        pct = 0.0 if entry.cost_before == 0 else entry.benefit / entry.cost_before * 100
+        per_query.add_row(
+            entry.name,
+            entry.cost_before,
+            entry.cost_after,
+            f"{pct:.1f}",
+            len(entry.indexes_used),
+        )
+    per_query.emit()
+
+    assert best.speedup >= 1.0
+    assert best.cost_after <= best.cost_before
+    assert any(q.benefit > 0 for q in best.per_query), (
+        "partitioning should benefit at least some queries"
+    )

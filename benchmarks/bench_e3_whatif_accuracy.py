@@ -1,0 +1,73 @@
+"""E3 — Interactive scenario: what-if simulation accuracy (§4, Figure 3).
+
+"She also has the option to compare the execution plan of the what-if
+design with the execution plan of the same materialized physical
+design. This way the accuracy of the physical design simulation is
+verified." This bench performs that verification for a set of manual
+designs: every what-if plan must match the materialized plan's shape,
+and the costs must agree.
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import ResultTable
+from repro.core.parinda import Parinda
+
+# Manual designs a DBA might try: (name, [(table, columns), ...]).
+DESIGNS = [
+    ("sky position", [("photoobj", ("ra", "dec"))]),
+    ("magnitude", [("photoobj", ("psfmag_r",))]),
+    ("spec class+z", [("specobj", ("specclass", "z"))]),
+    ("join keys", [("specobj", ("bestobjid",)), ("neighbors", ("objid",))]),
+    ("covering", [("photoobj", ("obj_type", "psfmag_r", "run"))]),
+]
+
+PROBE_QUERIES = [
+    "q01_box_search",
+    "q03_bright_in_region",
+    "q08_brightest",
+    "q17_qso_spectra",
+    "q23_pair_photometry",
+    "q04_galaxy_count_by_run",
+]
+
+
+def test_e3_whatif_vs_materialized(fresh_sdss_db, workload, benchmark):
+    db = fresh_sdss_db
+    rows = []
+
+    def run_all():
+        for design_name, indexes in DESIGNS:
+            parinda = Parinda(db)
+            designer = parinda.interactive()
+            for table, columns in indexes:
+                designer.add_whatif_index(table, columns)
+            for query_name in PROBE_QUERIES:
+                comparison = designer.compare_with_materialized(query_name, workload)
+                rows.append((design_name, comparison))
+        return rows
+
+    benchmark.pedantic(run_all, iterations=1, rounds=1)
+
+    table = ResultTable(
+        "E3: what-if vs. materialized (plan shape + cost agreement)",
+        ["design", "query", "what-if cost", "materialized cost",
+         "cost error %", "plans match"],
+    )
+    matches = 0
+    for design_name, comparison in rows:
+        table.add_row(
+            design_name,
+            comparison.query_name,
+            comparison.whatif_cost,
+            comparison.materialized_cost,
+            f"{comparison.cost_error * 100:.3f}",
+            "yes" if comparison.plans_match else "NO",
+        )
+        matches += comparison.plans_match
+    table.emit()
+
+    assert matches == len(rows), "every simulated plan must match materialized"
+    assert all(c.cost_error < 1e-6 for _d, c in rows), (
+        "what-if and materialized costs must agree exactly"
+    )

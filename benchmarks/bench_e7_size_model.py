@@ -1,0 +1,65 @@
+"""E7 — Equation 1: what-if index size model accuracy (§3.2).
+
+The paper's what-if indexes are sized by Equation 1 (per-column width +
+alignment, row overhead o=24, page size B=8192, leaf pages only). The
+related-work section faults Monteiro et al. for assuming zero index
+size, so the size model's accuracy matters. This bench builds real
+B-Trees for 1- to 4-column indexes over the survey tables and compares
+actual leaf page counts against the Equation 1 estimate.
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import ResultTable
+from repro.catalog.schema import Index
+from repro.catalog.sizing import estimate_index_pages
+
+INDEXES = [
+    ("photoobj", ("objid",)),
+    ("photoobj", ("ra",)),
+    ("photoobj", ("ra", "dec")),
+    ("photoobj", ("run", "camcol", "field_id")),
+    ("photoobj", ("obj_type", "psfmag_r", "ra", "dec")),
+    ("specobj", ("specclass",)),          # varlena key: measured avg width
+    ("specobj", ("specclass", "z")),
+    ("specobj", ("plate", "mjd", "fiberid")),
+    ("neighbors", ("objid", "neighborobjid")),
+    ("field", ("quality", "seeing")),
+]
+
+
+def test_e7_equation1_accuracy(fresh_sdss_db, benchmark):
+    db = fresh_sdss_db
+    rows = []
+
+    def run_all():
+        for counter, (table_name, columns) in enumerate(INDEXES):
+            table = db.catalog.table(table_name)
+            stats = db.catalog.statistics(table_name)
+            estimated = estimate_index_pages(
+                table,
+                Index(f"e7_h{counter}", table_name, columns, hypothetical=True),
+                stats.table.row_count,
+                stats.columns,
+            )
+            btree = db.create_index(Index(f"e7_r{counter}", table_name, columns))
+            rows.append((table_name, columns, estimated, btree.leaf_page_count))
+            db.drop_index(f"e7_r{counter}")
+        return rows
+
+    benchmark.pedantic(run_all, iterations=1, rounds=1)
+
+    table = ResultTable(
+        "E7: Equation 1 estimate vs. real B-Tree leaf pages",
+        ["table", "key columns", "estimated pages", "actual pages", "error %"],
+    )
+    for table_name, columns, estimated, actual in rows:
+        error = abs(estimated - actual) / actual * 100 if actual else 0.0
+        table.add_row(table_name, ", ".join(columns), estimated, actual, f"{error:.1f}")
+    table.emit()
+
+    for table_name, columns, estimated, actual in rows:
+        error = abs(estimated - actual) / max(1, actual)
+        assert error <= 0.05, (
+            f"Equation 1 off by {error:.1%} on {table_name}({columns})"
+        )

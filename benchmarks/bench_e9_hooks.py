@@ -1,0 +1,78 @@
+"""E9 — Optimizer hooks (§3.1, Figure 1).
+
+PARINDA works by replacing PostgreSQL's optimizer hooks at runtime.
+Two properties make that viable and are measured here: (a) correctness —
+an installed hook that injects nothing leaves every plan and cost
+bit-identical to the stock optimizer; (b) overhead — planning through
+the hook chain (including a WhatIfSession with no hypothetical objects)
+costs almost nothing.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.reporting import ResultTable
+from repro.optimizer.config import PlannerConfig, default_relation_info
+from repro.optimizer.planner import Planner
+from repro.optimizer.plans import plan_signature
+from repro.whatif.session import WhatIfSession
+
+
+def test_e9_hook_transparency_and_overhead(sdss_db, workload, benchmark):
+    db = sdss_db
+
+    stock = Planner(db.catalog)
+
+    def passthrough_hook(config, catalog, table_name):
+        return default_relation_info(config, catalog, table_name)
+
+    hooked = Planner(db.catalog, PlannerConfig(relation_info_hook=passthrough_hook))
+    session = WhatIfSession(db.catalog)  # installed what-if hook, empty
+
+    measurements = {}
+
+    def run_all():
+        bound = [q.bind(db.catalog) for q in workload]
+        for name, planner in (
+            ("stock", stock),
+            ("passthrough hook", hooked),
+            ("empty what-if session", session.planner()),
+        ):
+            start = time.perf_counter()
+            plans = [planner.plan(b) for b in bound]
+            elapsed = time.perf_counter() - start
+            measurements[name] = (elapsed, plans)
+        return measurements
+
+    benchmark.pedantic(run_all, iterations=1, rounds=1)
+
+    base_elapsed, base_plans = measurements["stock"]
+    table = ResultTable(
+        "E9: hook overhead and transparency (30-query workload)",
+        ["planner", "plan time (ms)", "overhead %", "identical plans",
+         "identical costs"],
+    )
+    for name, (elapsed, plans) in measurements.items():
+        same_shape = sum(
+            plan_signature(a) == plan_signature(b)
+            for a, b in zip(plans, base_plans)
+        )
+        same_cost = sum(
+            abs(a.total_cost - b.total_cost) < 1e-9
+            for a, b in zip(plans, base_plans)
+        )
+        overhead = (elapsed - base_elapsed) / base_elapsed * 100
+        table.add_row(
+            name,
+            elapsed * 1000,
+            f"{overhead:+.1f}",
+            f"{same_shape}/{len(plans)}",
+            f"{same_cost}/{len(plans)}",
+        )
+    table.emit()
+
+    for name, (_elapsed, plans) in measurements.items():
+        for a, b in zip(plans, base_plans):
+            assert plan_signature(a) == plan_signature(b), name
+            assert abs(a.total_cost - b.total_cost) < 1e-9, name

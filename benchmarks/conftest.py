@@ -1,0 +1,33 @@
+"""Shared fixtures for the experiment benchmarks.
+
+The SDSS database is expensive to build, so it is session-scoped; each
+experiment module receives the same instance plus the 30-query
+workload. Scale is kept laptop-friendly (see DESIGN.md's substitution
+table) — shapes, not absolute numbers, are what these benches reproduce.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.sdss import build_sdss_database, sdss_workload
+
+BENCH_PHOTO_ROWS = 12000
+
+
+@pytest.fixture(scope="session")
+def sdss_db():
+    """Shared read-only database. Benches that create real indexes or
+    fragments must use ``fresh_sdss_db`` instead."""
+    return build_sdss_database(photo_rows=BENCH_PHOTO_ROWS, seed=42)
+
+
+@pytest.fixture()
+def fresh_sdss_db():
+    """A private database for benches that mutate the physical design."""
+    return build_sdss_database(photo_rows=BENCH_PHOTO_ROWS, seed=42)
+
+
+@pytest.fixture(scope="session")
+def workload():
+    return sdss_workload()

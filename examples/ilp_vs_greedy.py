@@ -1,0 +1,66 @@
+"""ILP vs. greedy index selection — why PARINDA avoids greedy pruning.
+
+Reproduces the paper's §3.4 claim interactively: at tight storage
+budgets and growing workloads, exact ILP selection beats the greedy
+heuristics the commercial tools use, with both advisors pricing
+candidates through the same INUM models.
+
+    python examples/ilp_vs_greedy.py
+"""
+
+from repro import (
+    GreedyIndexAdvisor,
+    IlpIndexAdvisor,
+    Workload,
+    build_sdss_database,
+    sdss_workload,
+)
+from repro.workloads.generator import random_workload
+
+
+def main() -> None:
+    db = build_sdss_database(photo_rows=10_000)
+    base = sdss_workload()
+    data_pages = sum(
+        db.catalog.statistics(t).table.page_count for t in db.catalog.table_names
+    )
+    budget = int(data_pages * 0.3)
+    print(f"Storage budget: {budget} pages ({budget * 8192 / 1048576:.1f} MB)\n")
+
+    header = (
+        f"{'queries':>8} {'ILP benefit':>12} {'greedy benefit':>15} "
+        f"{'winner':>8} {'ILP nodes':>10}"
+    )
+    print(header)
+    print("-" * len(header))
+    for size in (5, 10, 20, 30, 45):
+        if size <= len(base):
+            workload = base.subset(size)
+        else:
+            extra = random_workload(db.catalog, size - len(base), seed=size)
+            workload = Workload(
+                queries=list(base.queries) + list(extra.queries),
+                name=f"sdss+{size}",
+            )
+        ilp = IlpIndexAdvisor(db.catalog).recommend(workload, budget)
+        greedy = GreedyIndexAdvisor(db.catalog).recommend(workload, budget)
+        if ilp.benefit > greedy.benefit * 1.001:
+            winner = "ILP"
+        elif greedy.benefit > ilp.benefit * 1.001:
+            winner = "greedy"
+        else:
+            winner = "tie"
+        print(
+            f"{size:>8} {ilp.benefit:>12.0f} {greedy.benefit:>15.0f} "
+            f"{winner:>8} {ilp.solver_nodes:>10}"
+        )
+
+    print(
+        "\nILP never loses (it solves the same selection model exactly), "
+        "and pulls ahead as the workload grows — the paper's argument "
+        "against greedy heuristic pruning."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The pyproject.toml metadata is authoritative; this file exists so that
+``pip install -e .`` works on environments whose setuptools lacks PEP 660
+editable-wheel support (no ``wheel`` package installed).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,80 @@
+"""repro — a full reproduction of PARINDA (EDBT 2010).
+
+PARINDA is an interactive physical designer: what-if indexes and
+partitions simulated through optimizer statistics, automatic index
+suggestion via INUM + integer linear programming, and automatic
+partition suggestion via AutoPart — all demonstrated here on a
+PostgreSQL-style relational substrate built from scratch (catalog,
+ANALYZE statistics, SQL frontend, cost-based optimizer with hooks, page
+-accounted storage, and a validating executor).
+
+Quickstart::
+
+    from repro import Parinda, build_sdss_database, sdss_workload
+
+    db = build_sdss_database(photo_rows=20000)
+    parinda = Parinda(db)
+    result = parinda.suggest_indexes(sdss_workload(), budget_bytes=64 << 20)
+    for index in result.indexes:
+        print(index, f"speedup so far: {result.speedup:.2f}x")
+"""
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import Column, Index, PartitionScheme, Table, make_table
+from repro.core.interactive import DesignEvaluation, InteractiveDesigner
+from repro.core.parinda import CombinedResult, Parinda
+from repro.advisor.ilp_advisor import AdvisorResult, IlpIndexAdvisor, QueryBenefit
+from repro.baselines.greedy import GreedyIndexAdvisor
+from repro.errors import ReproError
+from repro.executor.executor import ExecutionResult, execute
+from repro.inum.model import InumModel
+from repro.optimizer.config import PlannerConfig
+from repro.optimizer.explain import explain
+from repro.optimizer.planner import Planner
+from repro.partitioning.autopart import AutoPartAdvisor, PartitionAdvisorResult
+from repro.sql.binder import bind
+from repro.sql.parser import parse_select
+from repro.storage.database import Database
+from repro.whatif.session import WhatIfSession
+from repro.workloads.sdss import build_sdss_database, sdss_workload
+from repro.workloads.star import build_star_database, star_workload
+from repro.workloads.workload import Query, Workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdvisorResult",
+    "AutoPartAdvisor",
+    "Catalog",
+    "Column",
+    "CombinedResult",
+    "Database",
+    "DesignEvaluation",
+    "ExecutionResult",
+    "GreedyIndexAdvisor",
+    "IlpIndexAdvisor",
+    "Index",
+    "InteractiveDesigner",
+    "InumModel",
+    "Parinda",
+    "PartitionAdvisorResult",
+    "PartitionScheme",
+    "Planner",
+    "PlannerConfig",
+    "Query",
+    "QueryBenefit",
+    "ReproError",
+    "Table",
+    "WhatIfSession",
+    "Workload",
+    "bind",
+    "build_sdss_database",
+    "build_star_database",
+    "execute",
+    "explain",
+    "make_table",
+    "parse_select",
+    "sdss_workload",
+    "star_workload",
+    "__version__",
+]

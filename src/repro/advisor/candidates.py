@@ -1,0 +1,191 @@
+"""Candidate index generation from workload analysis.
+
+"First, the component determines a large set of candidate indexes by
+analyzing the workload" (§3.4). For every query and table we collect the
+indexable columns by role — equality, range, join, grouping/ordering,
+and plain output — and emit single- and multicolumn candidates:
+equality prefixes, equality+range composites, join+filter composites,
+and covering (index-only) candidates. Candidates are deduplicated
+across the workload by (table, column-sequence) and sized with
+Equation 1.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import Index
+from repro.catalog.sizing import estimate_index_pages
+from repro.errors import AdvisorError
+from repro.optimizer.clauses import classify_all
+from repro.sql.ast_nodes import ColumnRef
+from repro.sql.binder import BoundQuery
+from repro.workloads.workload import Workload
+
+
+@dataclass(frozen=True)
+class CandidateIndex:
+    """One candidate with its Equation-1 size."""
+
+    index: Index
+    size_pages: int
+
+    @property
+    def name(self) -> str:
+        return self.index.name
+
+    @property
+    def signature(self) -> tuple[str, tuple[str, ...]]:
+        return (self.index.table_name, self.index.columns)
+
+
+@dataclass
+class _TableRoles:
+    """Column roles for one table within one query."""
+
+    eq: list[str]
+    range_: list[str]
+    join: list[str]
+    order: list[str]
+    referenced: list[str]
+
+
+def _roles_for_query(query: BoundQuery) -> dict[str, _TableRoles]:
+    """Collect per-table column roles (merging aliases of one table)."""
+    classified = classify_all(query.quals)
+    roles: dict[str, _TableRoles] = {}
+    alias_to_table = {entry.alias: entry.table.name for entry in query.rels}
+
+    def table_roles(table: str) -> _TableRoles:
+        if table not in roles:
+            roles[table] = _TableRoles([], [], [], [], [])
+        return roles[table]
+
+    def note(bucket: list[str], column: str) -> None:
+        if column not in bucket:
+            bucket.append(column)
+
+    for clause in classified:
+        if clause.index_clause is not None:
+            table = alias_to_table[clause.index_clause.alias]
+            ic = clause.index_clause
+            if ic.op in ("=", "in"):
+                note(table_roles(table).eq, ic.column)
+            else:
+                note(table_roles(table).range_, ic.column)
+        elif clause.equi_join is not None:
+            for alias, column in clause.equi_join:
+                note(table_roles(alias_to_table[alias]).join, column)
+
+    stmt = query.statement
+    for key in stmt.group_by:
+        if isinstance(key, ColumnRef) and key.table in alias_to_table:
+            note(table_roles(alias_to_table[key.table]).order, key.column)
+    for item in stmt.order_by:
+        expr = item.expr
+        if isinstance(expr, ColumnRef) and expr.table in alias_to_table:
+            note(table_roles(alias_to_table[expr.table]).order, expr.column)
+
+    for alias, columns in query.required_columns.items():
+        table = alias_to_table[alias]
+        for column in sorted(columns):
+            note(table_roles(table).referenced, column)
+    return roles
+
+
+def _candidates_for_roles(
+    roles: _TableRoles, max_width: int, max_covering_width: int
+) -> list[tuple[str, ...]]:
+    """Column sequences worth considering for one query/table."""
+    out: list[tuple[str, ...]] = []
+
+    def add(columns: tuple[str, ...]) -> None:
+        if columns and len(set(columns)) == len(columns) and columns not in out:
+            out.append(columns)
+
+    selective = roles.eq + roles.range_ + roles.join + roles.order
+    for column in selective:
+        add((column,))
+
+    # Equality prefixes (any order of up to two equality columns) with an
+    # optional trailing range column — the canonical B-Tree composite.
+    for r in (1, 2):
+        for eq_combo in itertools.permutations(roles.eq, r):
+            add(tuple(eq_combo)[:max_width])
+            for range_col in roles.range_:
+                add((tuple(eq_combo) + (range_col,))[:max_width])
+    for eq_col in roles.eq:
+        for join_col in roles.join:
+            add((eq_col, join_col)[:max_width])
+    for join_col in roles.join:
+        for range_col in roles.range_:
+            add((join_col, range_col)[:max_width])
+        for order_col in roles.order:
+            add((join_col, order_col)[:max_width])
+    for range_col in roles.range_:
+        for order_col in roles.order:
+            add((range_col, order_col)[:max_width])
+
+    # Covering candidate: selective columns first, remaining referenced
+    # columns appended — enables index-only scans.
+    if roles.referenced and len(roles.referenced) <= max_covering_width:
+        lead = [c for c in selective if c in roles.referenced]
+        rest = [c for c in roles.referenced if c not in lead]
+        covering = tuple(lead + rest)
+        if len(covering) >= 1:
+            add(covering)
+    return out
+
+
+def generate_candidates(
+    catalog: Catalog,
+    workload: Workload,
+    max_width: int = 3,
+    max_covering_width: int = 4,
+    max_per_table: int = 40,
+    single_column_only: bool = False,
+) -> list[CandidateIndex]:
+    """All deduplicated candidates for ``workload``.
+
+    Args:
+        max_width: Maximum key columns for non-covering candidates.
+        max_covering_width: Maximum columns of covering candidates.
+        max_per_table: Cap per table (kept in generation order, which
+            puts single-column and equality-led candidates first).
+        single_column_only: Restrict to one key column (the COLT-style
+            baseline of experiment E8).
+    """
+    if not len(workload):
+        raise AdvisorError("cannot generate candidates for an empty workload")
+
+    sequences: dict[str, list[tuple[str, ...]]] = {}
+    for query in workload:
+        bound = query.bind(catalog)
+        for table, roles in _roles_for_query(bound).items():
+            per_table = sequences.setdefault(table, [])
+            for columns in _candidates_for_roles(roles, max_width, max_covering_width):
+                if single_column_only:
+                    columns = columns[:1]
+                if columns not in per_table:
+                    per_table.append(columns)
+
+    candidates: list[CandidateIndex] = []
+    counter = 0
+    for table_name in sorted(sequences):
+        table = catalog.table(table_name)
+        stats = catalog.statistics(table_name)
+        for columns in sequences[table_name][:max_per_table]:
+            counter += 1
+            index = Index(
+                name=f"cand_{counter}_{table_name}_{'_'.join(columns)}",
+                table_name=table_name,
+                columns=columns,
+                hypothetical=True,
+            )
+            size = estimate_index_pages(
+                table, index, stats.table.row_count, stats.columns
+            )
+            candidates.append(CandidateIndex(index=index, size_pages=size))
+    return candidates

@@ -1,0 +1,429 @@
+"""ILP-based index selection (Papadomanolakis & Ailamaki, SMDB 2007).
+
+Formulation (binary variables):
+
+* ``x_i`` — candidate index ``i`` is built.
+* ``y_{q,i}`` — query ``q`` uses index ``i`` on its table.
+
+maximize   Σ_q w_q Σ_i benefit(q, i) · y_{q,i}  −  Σ_i maint_i · x_i
+subject to y_{q,i} ≤ x_i                         (use only built indexes)
+           Σ_{i on table t} y_{q,i} ≤ 1  ∀ q, t  (one access path per
+                                                  table per query — the
+                                                  paper's accuracy
+                                                  constraint)
+           Σ_i size_i · x_i ≤ budget             (storage constraint)
+           Σ_i maint_i · x_i ≤ update budget     (optional update-cost
+                                                  constraint, §3.4)
+
+``maint_i`` models index maintenance: every row update on a table must
+descend each of its indexes and dirty a leaf, so
+``maint_i = update_rate(table_i) × (random_page_cost + descent CPU)``.
+Pass ``update_rates`` (weighted row updates per table, in the same
+units as query weights) to activate it; maintenance then also enters
+the objective so the advisor naturally declines indexes whose upkeep
+exceeds their benefit — the behaviour DBAs expect on write-hot tables.
+
+``benefit(q, i)`` is the INUM-estimated saving of running ``q`` with
+index ``i`` alone (atomic configuration) — the decomposition INUM makes
+additive per table. The final recommendation is re-priced with full
+INUM estimates over the chosen configuration, so the reported speedup
+never relies on the additivity assumption.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.advisor.candidates import CandidateIndex, generate_candidates
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import Index
+from repro.errors import AdvisorError
+from repro.ilp.branch_bound import BranchAndBoundSolver
+from repro.ilp.model import LinearProgram, Sense
+from repro.inum.model import InumModel
+from repro.optimizer.config import PlannerConfig
+from repro.workloads.workload import Workload
+
+_MIN_BENEFIT = 1e-6
+
+
+@dataclass
+class QueryBenefit:
+    """Per-query before/after costs in the final recommendation."""
+
+    name: str
+    cost_before: float
+    cost_after: float
+    indexes_used: list[str] = field(default_factory=list)
+
+    @property
+    def speedup(self) -> float:
+        if self.cost_after <= 0:
+            return float("inf")
+        return self.cost_before / self.cost_after
+
+    @property
+    def benefit(self) -> float:
+        return self.cost_before - self.cost_after
+
+
+@dataclass
+class AdvisorResult:
+    """A physical-design recommendation."""
+
+    indexes: list[Index]
+    size_pages: int
+    budget_pages: int
+    cost_before: float
+    cost_after: float
+    per_query: list[QueryBenefit]
+    candidates_considered: int
+    solver_nodes: int
+    solver_status: str
+    elapsed_seconds: float
+    inum_estimates: int = 0
+    optimizer_calls: int = 0
+    # Total index-maintenance cost under the update model (0 when no
+    # update_rates were supplied); already included in cost_after.
+    maintenance_cost: float = 0.0
+
+    @property
+    def speedup(self) -> float:
+        if self.cost_after <= 0:
+            return float("inf")
+        return self.cost_before / self.cost_after
+
+    @property
+    def benefit(self) -> float:
+        return self.cost_before - self.cost_after
+
+
+class IlpIndexAdvisor:
+    """The automatic index suggestion component."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        config: PlannerConfig | None = None,
+        backend: str = "builtin",
+        max_candidates_per_table: int = 40,
+        max_index_width: int = 3,
+        single_column_only: bool = False,
+        max_nodes: int = 20000,
+    ) -> None:
+        self._catalog = catalog
+        self._config = config or PlannerConfig()
+        self._backend = backend
+        self._max_per_table = max_candidates_per_table
+        self._max_width = max_index_width
+        self._single_column_only = single_column_only
+        self._max_nodes = max_nodes
+
+    # ------------------------------------------------------------------
+
+    def recommend(
+        self,
+        workload: Workload,
+        budget_pages: int,
+        update_rates: dict[str, float] | None = None,
+        max_update_cost: float | None = None,
+        refine: bool = True,
+    ) -> AdvisorResult:
+        """Suggest the optimal index set within ``budget_pages``.
+
+        Args:
+            update_rates: Weighted row updates per table name. When
+                given, index maintenance cost enters the objective (and
+                the reported cost_after), so write-hot tables get fewer
+                indexes.
+            max_update_cost: Optional cap on total maintenance cost —
+                the paper's user-supplied update-cost constraint.
+            refine: Run a local-search polish over the ILP solution
+                using *full* INUM configuration estimates. The ILP's
+                benefit matrix is additive per index (INUM makes it so
+                per relation), but cross-index interactions within one
+                query can still leave slack; drop/add/swap moves priced
+                with full estimates close it. Never worsens the result.
+        """
+        if budget_pages <= 0:
+            raise AdvisorError("storage budget must be positive")
+        started = time.perf_counter()
+
+        candidates = generate_candidates(
+            self._catalog,
+            workload,
+            max_width=self._max_width,
+            max_per_table=self._max_per_table,
+            single_column_only=self._single_column_only,
+        )
+        models = self.build_models(workload)
+        benefits = self._benefit_matrix(workload, models, candidates)
+        maintenance = self._maintenance_costs(candidates, update_rates)
+
+        chosen = self._solve(
+            workload, candidates, benefits, budget_pages, maintenance,
+            max_update_cost,
+        )
+        if refine:
+            chosen = self._refine(
+                workload, models, candidates, chosen, budget_pages,
+                maintenance, max_update_cost,
+            )
+        result = self._price_recommendation(
+            workload, models, candidates, chosen, budget_pages, maintenance
+        )
+        result.elapsed_seconds = time.perf_counter() - started
+        result.candidates_considered = len(candidates)
+        result.inum_estimates = sum(m.stats.estimates_served for m in models.values())
+        result.optimizer_calls = sum(m.stats.optimizer_calls for m in models.values())
+        return result
+
+    # ------------------------------------------------------------------
+
+    def build_models(self, workload: Workload) -> dict[str, InumModel]:
+        """One INUM model per workload query (exposed for baselines)."""
+        models: dict[str, InumModel] = {}
+        for query in workload:
+            bound = query.bind(self._catalog)
+            models[query.name] = InumModel(self._catalog, bound, self._config)
+        return models
+
+    def _benefit_matrix(
+        self,
+        workload: Workload,
+        models: dict[str, InumModel],
+        candidates: list[CandidateIndex],
+    ) -> dict[tuple[str, int], float]:
+        """Weighted single-index benefits benefit[(query, cand_idx)]."""
+        benefits: dict[tuple[str, int], float] = {}
+        for query in workload:
+            model = models[query.name]
+            base = model.base_cost
+            for position, candidate in enumerate(candidates):
+                with_index = model.estimate((candidate.index,))
+                saving = (base - with_index) * query.weight
+                if saving > _MIN_BENEFIT:
+                    benefits[(query.name, position)] = saving
+        return benefits
+
+    def _maintenance_costs(
+        self,
+        candidates: list[CandidateIndex],
+        update_rates: dict[str, float] | None,
+    ) -> dict[int, float]:
+        """Per-candidate maintenance cost under the update model.
+
+        One row update against a table descends each of its B-Trees and
+        dirties a leaf page: charge ``rate × (random_page_cost +
+        50 × cpu_operator_cost)`` per index, in optimizer cost units.
+        """
+        if not update_rates:
+            return {}
+        config = self._config
+        per_update = config.random_page_cost + 50 * config.cpu_operator_cost
+        costs: dict[int, float] = {}
+        for position, candidate in enumerate(candidates):
+            rate = update_rates.get(candidate.index.table_name, 0.0)
+            if rate > 0:
+                costs[position] = rate * per_update
+        return costs
+
+    def _solve(
+        self,
+        workload: Workload,
+        candidates: list[CandidateIndex],
+        benefits: dict[tuple[str, int], float],
+        budget_pages: int,
+        maintenance: dict[int, float],
+        max_update_cost: float | None,
+    ) -> list[int]:
+        """Build and solve the ILP; returns chosen candidate positions."""
+        if not benefits:
+            return []
+
+        useful = sorted({position for (_q, position) in benefits})
+        program = LinearProgram(name="index-selection")
+        x_vars = {
+            position: program.add_binary(f"x_{position}") for position in useful
+        }
+        y_vars: dict[tuple[str, int], object] = {}
+        objective: dict[object, float] = {}
+        for (query_name, position), saving in benefits.items():
+            y = program.add_binary(f"y_{query_name}_{position}")
+            y_vars[(query_name, position)] = y
+            objective[y] = saving
+            program.add_constraint(
+                {y: 1.0, x_vars[position]: -1.0}, Sense.LE, 0.0
+            )
+        for position, cost in maintenance.items():
+            if position in x_vars:
+                objective[x_vars[position]] = -cost
+        program.set_objective(objective)
+
+        if max_update_cost is not None and maintenance:
+            program.add_constraint(
+                {
+                    x_vars[p]: maintenance[p]
+                    for p in useful
+                    if p in maintenance
+                },
+                Sense.LE,
+                max_update_cost,
+            )
+
+        # One access path per table per query.
+        for query in workload:
+            by_table: dict[str, list[object]] = {}
+            for position in useful:
+                if (query.name, position) in y_vars:
+                    table = candidates[position].index.table_name
+                    by_table.setdefault(table, []).append(
+                        y_vars[(query.name, position)]
+                    )
+            for table, ys in by_table.items():
+                if len(ys) > 1:
+                    program.add_constraint(
+                        {y: 1.0 for y in ys}, Sense.LE, 1.0
+                    )
+
+        # Storage budget over Equation-1 sizes.
+        program.add_constraint(
+            {x_vars[p]: float(candidates[p].size_pages) for p in useful},
+            Sense.LE,
+            float(budget_pages),
+        )
+
+        solver = BranchAndBoundSolver(max_nodes=self._max_nodes, backend=self._backend)
+        solution = solver.solve(program)
+        self._last_solution = solution
+        if not solution.has_solution:
+            return []
+        return [
+            position
+            for position in useful
+            if solution.value(f"x_{position}") > 0.5
+        ]
+
+    def _refine(
+        self,
+        workload: Workload,
+        models: dict[str, InumModel],
+        candidates: list[CandidateIndex],
+        chosen: list[int],
+        budget_pages: int,
+        maintenance: dict[int, float],
+        max_update_cost: float | None,
+        max_rounds: int = 6,
+    ) -> list[int]:
+        """Hill-climb over full INUM estimates: drop, add, swap.
+
+        Moves are accepted only when the full-estimate workload cost
+        (plus maintenance) strictly improves and the storage/update
+        budgets stay satisfied, so the result dominates the ILP seed.
+        """
+
+        def total_cost(positions: list[int]) -> float:
+            config = tuple(candidates[p].index for p in positions)
+            cost = sum(
+                models[q.name].estimate(config) * q.weight for q in workload
+            )
+            return cost + sum(maintenance.get(p, 0.0) for p in positions)
+
+        def fits(positions: list[int]) -> bool:
+            if sum(candidates[p].size_pages for p in positions) > budget_pages:
+                return False
+            if max_update_cost is not None:
+                upkeep = sum(maintenance.get(p, 0.0) for p in positions)
+                if upkeep > max_update_cost + 1e-9:
+                    return False
+            return True
+
+        current = list(chosen)
+        current_cost = total_cost(current)
+        for _ in range(max_rounds):
+            improved = False
+            # Drops: an index whose interactions made it redundant.
+            for position in list(current):
+                trial = [p for p in current if p != position]
+                cost = total_cost(trial)
+                if cost < current_cost - 1e-9:
+                    current, current_cost = trial, cost
+                    improved = True
+            # Adds and same-table swaps.
+            for position in range(len(candidates)):
+                if position in current:
+                    continue
+                addition = current + [position]
+                if fits(addition):
+                    cost = total_cost(addition)
+                    if cost < current_cost - 1e-9:
+                        current, current_cost = addition, cost
+                        improved = True
+                        continue
+                table = candidates[position].index.table_name
+                for existing in list(current):
+                    if candidates[existing].index.table_name != table:
+                        continue
+                    swap = [p for p in current if p != existing] + [position]
+                    if not fits(swap):
+                        continue
+                    cost = total_cost(swap)
+                    if cost < current_cost - 1e-9:
+                        current, current_cost = swap, cost
+                        improved = True
+                        break
+            if not improved:
+                break
+        return sorted(current)
+
+    def _price_recommendation(
+        self,
+        workload: Workload,
+        models: dict[str, InumModel],
+        candidates: list[CandidateIndex],
+        chosen: list[int],
+        budget_pages: int,
+        maintenance: dict[int, float] | None = None,
+    ) -> AdvisorResult:
+        chosen_candidates = [candidates[p] for p in chosen]
+        config = tuple(c.index for c in chosen_candidates)
+        maintenance_total = sum(
+            (maintenance or {}).get(p, 0.0) for p in chosen
+        )
+
+        per_query: list[QueryBenefit] = []
+        cost_before = 0.0
+        cost_after = 0.0
+        for query in workload:
+            model = models[query.name]
+            before = model.base_cost * query.weight
+            after_cost, detail = model.estimate_detail(config)
+            after = after_cost * query.weight
+            cost_before += before
+            cost_after += after
+            per_query.append(
+                QueryBenefit(
+                    name=query.name,
+                    cost_before=before,
+                    cost_after=after,
+                    indexes_used=sorted(
+                        {name for name in detail.values() if name is not None}
+                    ),
+                )
+            )
+
+        solution = getattr(self, "_last_solution", None)
+        return AdvisorResult(
+            indexes=[c.index for c in chosen_candidates],
+            size_pages=sum(c.size_pages for c in chosen_candidates),
+            budget_pages=budget_pages,
+            cost_before=cost_before,
+            cost_after=cost_after + maintenance_total,
+            per_query=per_query,
+            candidates_considered=0,  # filled by recommend()
+            solver_nodes=solution.nodes_explored if solution else 0,
+            solver_status=solution.status if solution else "no-benefit",
+            elapsed_seconds=0.0,
+            maintenance_cost=maintenance_total,
+        )

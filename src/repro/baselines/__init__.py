@@ -1,0 +1,13 @@
+"""Baseline physical-design algorithms the paper compares against.
+
+* :class:`GreedyIndexAdvisor` — the greedy-heuristic style of the
+  commercial tools (DTA/Design Advisor/SQL Access Advisor) the paper
+  criticizes: iteratively add the candidate with the best marginal
+  benefit until the budget is exhausted.
+* Single-column selection (COLT-style) is available on both advisors via
+  ``single_column_only=True``.
+"""
+
+from repro.baselines.greedy import GreedyIndexAdvisor
+
+__all__ = ["GreedyIndexAdvisor"]

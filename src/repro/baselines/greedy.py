@@ -1,0 +1,153 @@
+"""Greedy index advisor: the commercial-tool baseline.
+
+Classic greedy heuristic pruning: start from the empty configuration
+and repeatedly add the candidate index with the largest marginal
+workload benefit (optionally per storage page) that still fits the
+budget; stop when nothing improves. Uses the *same* candidate set and
+INUM pricing as the ILP advisor, so experiment E6 isolates the search
+strategy — which is exactly the paper's argument: "these tools are,
+however, based on greedy heuristic pruning, which reduces their
+usefulness".
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.advisor.candidates import CandidateIndex, generate_candidates
+from repro.advisor.ilp_advisor import AdvisorResult, QueryBenefit
+from repro.catalog.catalog import Catalog
+from repro.errors import AdvisorError
+from repro.inum.model import InumModel
+from repro.optimizer.config import PlannerConfig
+from repro.workloads.workload import Workload
+
+_MIN_BENEFIT = 1e-6
+
+
+class GreedyIndexAdvisor:
+    """Greedy marginal-benefit index selection under a storage budget."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        config: PlannerConfig | None = None,
+        per_page: bool = False,
+        max_candidates_per_table: int = 40,
+        max_index_width: int = 3,
+        single_column_only: bool = False,
+    ) -> None:
+        self._catalog = catalog
+        self._config = config or PlannerConfig()
+        self._per_page = per_page
+        self._max_per_table = max_candidates_per_table
+        self._max_width = max_index_width
+        self._single_column_only = single_column_only
+
+    def recommend(self, workload: Workload, budget_pages: int) -> AdvisorResult:
+        if budget_pages <= 0:
+            raise AdvisorError("storage budget must be positive")
+        started = time.perf_counter()
+
+        candidates = generate_candidates(
+            self._catalog,
+            workload,
+            max_width=self._max_width,
+            max_per_table=self._max_per_table,
+            single_column_only=self._single_column_only,
+        )
+        models: dict[str, InumModel] = {}
+        for query in workload:
+            bound = query.bind(self._catalog)
+            models[query.name] = InumModel(self._catalog, bound, self._config)
+
+        chosen: list[CandidateIndex] = []
+        remaining = list(candidates)
+        used_pages = 0
+        current_cost = self._workload_cost(workload, models, chosen)
+
+        while True:
+            best_candidate = None
+            best_score = 0.0
+            best_cost = current_cost
+            for candidate in remaining:
+                if used_pages + candidate.size_pages > budget_pages:
+                    continue
+                trial_cost = self._workload_cost(
+                    workload, models, chosen + [candidate]
+                )
+                saving = current_cost - trial_cost
+                if saving <= _MIN_BENEFIT:
+                    continue
+                score = saving / candidate.size_pages if self._per_page else saving
+                if score > best_score:
+                    best_score = score
+                    best_candidate = candidate
+                    best_cost = trial_cost
+            if best_candidate is None:
+                break
+            chosen.append(best_candidate)
+            remaining.remove(best_candidate)
+            used_pages += best_candidate.size_pages
+            current_cost = best_cost
+
+        result = self._price(workload, models, chosen, budget_pages)
+        result.elapsed_seconds = time.perf_counter() - started
+        result.candidates_considered = len(candidates)
+        result.inum_estimates = sum(m.stats.estimates_served for m in models.values())
+        result.optimizer_calls = sum(m.stats.optimizer_calls for m in models.values())
+        return result
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _workload_cost(
+        workload: Workload,
+        models: dict[str, InumModel],
+        chosen: list[CandidateIndex],
+    ) -> float:
+        config = tuple(c.index for c in chosen)
+        return sum(
+            models[q.name].estimate(config) * q.weight for q in workload
+        )
+
+    @staticmethod
+    def _price(
+        workload: Workload,
+        models: dict[str, InumModel],
+        chosen: list[CandidateIndex],
+        budget_pages: int,
+    ) -> AdvisorResult:
+        config = tuple(c.index for c in chosen)
+        per_query: list[QueryBenefit] = []
+        cost_before = 0.0
+        cost_after = 0.0
+        for query in workload:
+            model = models[query.name]
+            before = model.base_cost * query.weight
+            after_cost, detail = model.estimate_detail(config)
+            after = after_cost * query.weight
+            cost_before += before
+            cost_after += after
+            per_query.append(
+                QueryBenefit(
+                    name=query.name,
+                    cost_before=before,
+                    cost_after=after,
+                    indexes_used=sorted(
+                        {name for name in detail.values() if name is not None}
+                    ),
+                )
+            )
+        return AdvisorResult(
+            indexes=[c.index for c in chosen],
+            size_pages=sum(c.size_pages for c in chosen),
+            budget_pages=budget_pages,
+            cost_before=cost_before,
+            cost_after=cost_after,
+            per_query=per_query,
+            candidates_considered=0,
+            solver_nodes=0,
+            solver_status="greedy",
+            elapsed_seconds=0.0,
+        )

@@ -1,0 +1,5 @@
+"""Shared benchmark-harness utilities (table formatting, fixtures)."""
+
+from repro.bench.reporting import ResultTable, format_speedup
+
+__all__ = ["ResultTable", "format_speedup"]

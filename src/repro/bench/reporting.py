@@ -1,0 +1,63 @@
+"""Plain-text result tables for the experiment harness.
+
+Every benchmark regenerates a table or series in the shape the paper
+reports; this module renders them uniformly and EXPERIMENTS.md quotes
+the output verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+class ResultTable:
+    """An aligned text table built row by row."""
+
+    def __init__(self, title: str, columns: Sequence[str]) -> None:
+        self.title = title
+        self.columns = list(columns)
+        self.rows: list[list[str]] = []
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values, table has {len(self.columns)} columns"
+            )
+        self.rows.append([_render(v) for v in values])
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "-+-".join("-" * w for w in widths)
+        lines = [
+            f"== {self.title} ==",
+            " | ".join(c.ljust(w) for c, w in zip(self.columns, widths)),
+            sep,
+        ]
+        for row in self.rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def emit(self) -> None:
+        print()
+        print(self.render())
+
+
+def _render(value: Any) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000:
+            return f"{value:.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_speedup(before: float, after: float) -> str:
+    if after <= 0:
+        return "inf"
+    return f"{before / after:.2f}x"

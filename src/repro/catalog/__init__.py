@@ -1,0 +1,69 @@
+"""PostgreSQL-style catalog substrate: types, schema, statistics, sizing.
+
+This package models the parts of PostgreSQL the PARINDA what-if machinery
+relies on: a type system with on-disk widths and alignment rules, schema
+objects (tables, columns, indexes), ANALYZE-style per-column statistics
+(null fraction, average width, n_distinct, most-common values, equi-depth
+histograms, physical correlation), and size estimation including the
+paper's Equation 1 for hypothetical index leaf pages.
+"""
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.datatypes import (
+    BIGINT,
+    BOOLEAN,
+    DATE,
+    DOUBLE,
+    INTEGER,
+    REAL,
+    SMALLINT,
+    TEXT,
+    TIMESTAMP,
+    DataType,
+    char,
+    varchar,
+)
+from repro.catalog.schema import Column, Index, Table
+from repro.catalog.sizing import (
+    BLOCK_SIZE,
+    INDEX_ROW_OVERHEAD,
+    estimate_heap_pages,
+    estimate_index_pages,
+    index_row_width,
+    tuple_width,
+)
+from repro.catalog.statistics import (
+    ColumnStats,
+    TableStats,
+    analyze_column,
+    analyze_table,
+)
+
+__all__ = [
+    "BIGINT",
+    "BLOCK_SIZE",
+    "BOOLEAN",
+    "Catalog",
+    "Column",
+    "ColumnStats",
+    "DATE",
+    "DOUBLE",
+    "DataType",
+    "INDEX_ROW_OVERHEAD",
+    "INTEGER",
+    "Index",
+    "REAL",
+    "SMALLINT",
+    "TEXT",
+    "TIMESTAMP",
+    "Table",
+    "TableStats",
+    "analyze_column",
+    "analyze_table",
+    "char",
+    "estimate_heap_pages",
+    "estimate_index_pages",
+    "index_row_width",
+    "tuple_width",
+    "varchar",
+]

@@ -1,0 +1,146 @@
+"""The system catalog: tables, indexes, and their statistics.
+
+The catalog is the single source of truth the SQL binder and the
+optimizer consult. What-if design features work by *layering* extra
+entries on top of a base catalog (hypothetical indexes through optimizer
+hooks, hypothetical partition tables as empty "shell" tables with
+injected statistics) — see :mod:`repro.whatif`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.catalog.schema import Index, Table, index_signature
+from repro.catalog.statistics import RelationStatistics
+from repro.errors import DuplicateObjectError, UnknownObjectError
+
+
+class Catalog:
+    """A mutable registry of tables, indexes, and statistics."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+        self._indexes: dict[str, Index] = {}
+        self._statistics: dict[str, RelationStatistics] = {}
+
+    # ------------------------------------------------------------------
+    # Tables
+
+    def add_table(self, table: Table) -> None:
+        if table.name in self._tables:
+            raise DuplicateObjectError(f"table {table.name!r} already exists")
+        self._tables[table.name] = table
+
+    def drop_table(self, name: str) -> None:
+        if name not in self._tables:
+            raise UnknownObjectError(f"no table named {name!r}")
+        del self._tables[name]
+        self._statistics.pop(name, None)
+        for index_name in [n for n, ix in self._indexes.items() if ix.table_name == name]:
+            del self._indexes[index_name]
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise UnknownObjectError(f"no table named {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def tables(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    @property
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    # ------------------------------------------------------------------
+    # Indexes
+
+    def add_index(self, index: Index) -> None:
+        if index.name in self._indexes:
+            raise DuplicateObjectError(f"index {index.name!r} already exists")
+        table = self.table(index.table_name)
+        for col in index.columns:
+            if not table.has_column(col):
+                raise UnknownObjectError(
+                    f"index {index.name!r} references unknown column {col!r} "
+                    f"of table {table.name!r}"
+                )
+        existing = {index_signature(ix) for ix in self.indexes_on(index.table_name)}
+        if index_signature(index) in existing:
+            raise DuplicateObjectError(
+                f"an index on {index.table_name}({', '.join(index.columns)}) "
+                "already exists"
+            )
+        self._indexes[index.name] = index
+
+    def drop_index(self, name: str) -> None:
+        if name not in self._indexes:
+            raise UnknownObjectError(f"no index named {name!r}")
+        del self._indexes[name]
+
+    def index(self, name: str) -> Index:
+        try:
+            return self._indexes[name]
+        except KeyError:
+            raise UnknownObjectError(f"no index named {name!r}") from None
+
+    def has_index(self, name: str) -> bool:
+        return name in self._indexes
+
+    def indexes_on(self, table_name: str) -> list[Index]:
+        return [ix for ix in self._indexes.values() if ix.table_name == table_name]
+
+    def indexes(self) -> Iterator[Index]:
+        return iter(self._indexes.values())
+
+    @property
+    def index_names(self) -> list[str]:
+        return sorted(self._indexes)
+
+    # ------------------------------------------------------------------
+    # Statistics
+
+    def set_statistics(self, table_name: str, stats: RelationStatistics) -> None:
+        self.table(table_name)  # validate existence
+        self._statistics[table_name] = stats
+
+    def statistics(self, table_name: str) -> RelationStatistics:
+        self.table(table_name)
+        try:
+            return self._statistics[table_name]
+        except KeyError:
+            raise UnknownObjectError(
+                f"table {table_name!r} has no statistics; run ANALYZE first"
+            ) from None
+
+    def has_statistics(self, table_name: str) -> bool:
+        return table_name in self._statistics
+
+    # ------------------------------------------------------------------
+    # Cloning (what-if layering)
+
+    def clone(self) -> "Catalog":
+        """A shallow copy sharing the immutable schema/stats objects.
+
+        Mutations on the clone (adding what-if tables/indexes) never leak
+        back into the original — this is how a :class:`~repro.whatif.WhatIfSession`
+        builds its private view of the database.
+        """
+        other = Catalog()
+        other._tables = dict(self._tables)
+        other._indexes = dict(self._indexes)
+        other._statistics = dict(self._statistics)
+        return other
+
+    def __contains__(self, table_name: str) -> bool:
+        return table_name in self._tables
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Catalog(tables={len(self._tables)}, indexes={len(self._indexes)}, "
+            f"analyzed={len(self._statistics)})"
+        )

@@ -1,0 +1,202 @@
+"""Schema objects: columns, tables, and indexes.
+
+These are plain metadata objects; data lives in :mod:`repro.storage` and
+statistics in :mod:`repro.catalog.statistics`. Index objects carry a
+``hypothetical`` flag — a hypothetical index exists only as statistics
+injected into the optimizer, exactly like PARINDA's what-if indexes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.catalog.datatypes import DataType
+from repro.errors import CatalogError, UnknownObjectError
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed table column."""
+
+    name: str
+    dtype: DataType
+    nullable: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise CatalogError("column name must be non-empty")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        null = "" if self.nullable else " NOT NULL"
+        return f"{self.name} {self.dtype}{null}"
+
+
+@dataclass(frozen=True)
+class Table:
+    """A base table: ordered columns plus an optional primary key.
+
+    The primary key matters to the partitioning advisor: AutoPart adds
+    the primary-key columns to every vertical fragment so the original
+    table can be reconstructed by joining fragments on the key.
+    """
+
+    name: str
+    columns: tuple[Column, ...]
+    primary_key: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise CatalogError("table name must be non-empty")
+        if not self.columns:
+            raise CatalogError(f"table {self.name!r} must have at least one column")
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise CatalogError(f"table {self.name!r} has duplicate column names")
+        for key_col in self.primary_key:
+            if key_col not in names:
+                raise CatalogError(
+                    f"primary key column {key_col!r} not in table {self.name!r}"
+                )
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self.columns)
+
+    def column(self, name: str) -> Column:
+        """Look up a column by name; raises :class:`UnknownObjectError`."""
+        for col in self.columns:
+            if col.name == name:
+                return col
+        raise UnknownObjectError(f"no column {name!r} in table {self.name!r}")
+
+    def has_column(self, name: str) -> bool:
+        return any(c.name == name for c in self.columns)
+
+    def project(self, names: tuple[str, ...], new_name: str) -> "Table":
+        """A new table containing only ``names``, in the given order.
+
+        Used by the partition advisor to derive vertical fragments.
+        """
+        cols = tuple(self.column(n) for n in names)
+        pk = tuple(k for k in self.primary_key if k in names)
+        return Table(name=new_name, columns=cols, primary_key=pk)
+
+
+def make_table(
+    name: str,
+    columns: list[tuple[str, DataType]] | list[Column],
+    primary_key: tuple[str, ...] | str = (),
+) -> Table:
+    """Convenience constructor accepting ``(name, type)`` pairs."""
+    cols: list[Column] = []
+    for item in columns:
+        if isinstance(item, Column):
+            cols.append(item)
+        else:
+            col_name, dtype = item
+            cols.append(Column(col_name, dtype))
+    if isinstance(primary_key, str):
+        primary_key = (primary_key,)
+    return Table(name=name, columns=tuple(cols), primary_key=tuple(primary_key))
+
+
+@dataclass(frozen=True)
+class Index:
+    """A (possibly hypothetical) B-Tree index over one or more columns.
+
+    Attributes:
+        name: Unique index name.
+        table_name: The indexed table.
+        columns: Key columns, leading column first. Multicolumn indexes
+            are first-class — the paper contrasts PARINDA with COLT,
+            which is limited to single-column indexes.
+        unique: Whether key values are unique.
+        hypothetical: True when the index exists only as what-if
+            statistics (never materialized on disk).
+    """
+
+    name: str
+    table_name: str
+    columns: tuple[str, ...]
+    unique: bool = False
+    hypothetical: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.columns:
+            raise CatalogError(f"index {self.name!r} must have at least one column")
+        if len(set(self.columns)) != len(self.columns):
+            raise CatalogError(f"index {self.name!r} repeats a key column")
+
+    @property
+    def leading_column(self) -> str:
+        return self.columns[0]
+
+    def covers(self, needed: set[str]) -> bool:
+        """True if every column in ``needed`` is a key column (index-only)."""
+        return needed <= set(self.columns)
+
+    def prefix(self, length: int) -> "Index":
+        """The index restricted to its first ``length`` key columns."""
+        if not 1 <= length <= len(self.columns):
+            raise CatalogError(f"invalid prefix length {length} for {self.name!r}")
+        return replace(self, columns=self.columns[:length])
+
+    def as_hypothetical(self, name: str | None = None) -> "Index":
+        return replace(self, name=name or self.name, hypothetical=True)
+
+    def as_real(self, name: str | None = None) -> "Index":
+        return replace(self, name=name or self.name, hypothetical=False)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "HYPOTHETICAL INDEX" if self.hypothetical else "INDEX"
+        return f"{kind} {self.name} ON {self.table_name}({', '.join(self.columns)})"
+
+
+def index_signature(index: Index) -> tuple[str, tuple[str, ...]]:
+    """Identity of an index for dedup purposes: table + ordered columns."""
+    return (index.table_name, index.columns)
+
+
+@dataclass(frozen=True)
+class PartitionScheme:
+    """A vertical partitioning of one table into fragments.
+
+    Each fragment is a tuple of column names; every fragment implicitly
+    also stores the table's primary-key columns so rows can be re-joined
+    (the paper's what-if tables "contain the primary keys of the original
+    table, so that the full table can be reconstructed").
+    """
+
+    table_name: str
+    fragments: tuple[tuple[str, ...], ...]
+
+    def __post_init__(self) -> None:
+        if not self.fragments:
+            raise CatalogError("a partition scheme needs at least one fragment")
+
+    def fragment_name(self, position: int) -> str:
+        return f"{self.table_name}__frag{position}"
+
+    def covering_fragments(self, needed: set[str]) -> list[int]:
+        """Indexes of a minimal set of fragments covering ``needed``.
+
+        Greedy set cover: fragments that cover the most still-needed
+        columns are chosen first. Assumes the union of fragments covers
+        all columns (guaranteed by the advisor).
+        """
+        remaining = set(needed)
+        chosen: list[int] = []
+        while remaining:
+            best, best_gain = -1, 0
+            for pos, frag in enumerate(self.fragments):
+                gain = len(remaining & set(frag))
+                if gain > best_gain:
+                    best, best_gain = pos, gain
+            if best < 0:
+                raise CatalogError(
+                    f"columns {sorted(remaining)} not covered by any fragment "
+                    f"of {self.table_name!r}"
+                )
+            chosen.append(best)
+            remaining -= set(self.fragments[best])
+        return sorted(chosen)

@@ -1,0 +1,168 @@
+"""Size estimation: heap pages, tuple widths, and the paper's Equation 1.
+
+Equation 1 of the PARINDA paper sizes a what-if index as::
+
+    Pages = ceil( (o + sum_{c in I} (size(c) + align(c))) * R / B )
+
+where ``o`` is the per-row overhead including the rowid pointer back to
+the heap (24 bytes in PostgreSQL 8.3), ``size(c)`` the average width of
+column ``c``, ``align(c)`` the padding required to align ``c`` given the
+columns before it, ``R`` the table row count, and ``B`` the page size
+(8192). Only leaf pages are counted; internal B-Tree pages are ignored,
+as the paper argues they matter only for very small indexes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+from repro.catalog.datatypes import DataType, align_up
+from repro.catalog.schema import Index, Table
+from repro.catalog.statistics import ColumnStats
+from repro.errors import StatisticsError
+
+# Page size B in Equation 1 (PostgreSQL's BLCKSZ).
+BLOCK_SIZE = 8192
+# Row overhead o in Equation 1: IndexTuple header + item pointer, aligned.
+INDEX_ROW_OVERHEAD = 24
+# Heap tuple header (23 bytes) MAXALIGN'd, plus the 4-byte line pointer.
+HEAP_TUPLE_OVERHEAD = 24 + 4
+# Per-page header and special space left unusable for tuples.
+PAGE_HEADER_SIZE = 24
+# Default fill factor for B-Tree leaf pages (PostgreSQL packs ~90%).
+BTREE_LEAF_FILLFACTOR = 0.90
+
+
+def column_width(dtype: DataType, stats: ColumnStats | None) -> int:
+    """Average stored width of one column value.
+
+    Fixed-length types use their ``typlen``; variable-length types use
+    the ANALYZE-measured average width, falling back to the type's
+    default when the column was never analyzed.
+    """
+    if dtype.typlen is not None:
+        return dtype.typlen
+    if stats is not None:
+        return max(1, stats.avg_width)
+    return dtype.default_width
+
+
+def aligned_row_width(
+    widths_and_aligns: list[tuple[int, int]], base_overhead: int
+) -> int:
+    """Total row width with per-column alignment padding.
+
+    Walks the columns in order, padding the running offset to each
+    column's alignment requirement — this is the ``align(c)`` term of
+    Equation 1, which "depends on the columns appearing before the
+    current column".
+    """
+    offset = base_overhead
+    for width, alignment in widths_and_aligns:
+        offset = align_up(offset, alignment)
+        offset += width
+    return align_up(offset, 8)
+
+
+def index_row_width(
+    table: Table,
+    index: Index,
+    column_stats: Mapping[str, ColumnStats] | None = None,
+) -> int:
+    """Width of one leaf entry of ``index``, including overhead ``o``."""
+    widths_and_aligns: list[tuple[int, int]] = []
+    for col_name in index.columns:
+        column = table.column(col_name)
+        stats = column_stats.get(col_name) if column_stats else None
+        widths_and_aligns.append(
+            (column_width(column.dtype, stats), column.dtype.typalign)
+        )
+    return aligned_row_width(widths_and_aligns, INDEX_ROW_OVERHEAD)
+
+
+def estimate_index_pages(
+    table: Table,
+    index: Index,
+    row_count: float,
+    column_stats: Mapping[str, ColumnStats] | None = None,
+    fillfactor: float = BTREE_LEAF_FILLFACTOR,
+) -> int:
+    """Equation 1: leaf pages of a (what-if) B-Tree index.
+
+    ``fillfactor`` models the slack B-Tree leaves keep for future
+    insertions; set it to 1.0 for the paper's literal formula.
+    """
+    if row_count <= 0:
+        return 1
+    row_width = index_row_width(table, index, column_stats)
+    usable = (BLOCK_SIZE - PAGE_HEADER_SIZE) * fillfactor
+    rows_per_page = max(1, int(usable // row_width))
+    return max(1, math.ceil(row_count / rows_per_page))
+
+
+def tuple_width(
+    table: Table,
+    column_stats: Mapping[str, ColumnStats] | None = None,
+    columns: tuple[str, ...] | None = None,
+) -> int:
+    """Average heap tuple width of ``table`` (or a projection of it)."""
+    names = columns if columns is not None else table.column_names
+    widths_and_aligns: list[tuple[int, int]] = []
+    for name in names:
+        column = table.column(name)
+        stats = column_stats.get(name) if column_stats else None
+        widths_and_aligns.append(
+            (column_width(column.dtype, stats), column.dtype.typalign)
+        )
+    return aligned_row_width(widths_and_aligns, HEAP_TUPLE_OVERHEAD)
+
+
+def estimate_heap_pages(
+    table: Table,
+    row_count: float,
+    column_stats: Mapping[str, ColumnStats] | None = None,
+    columns: tuple[str, ...] | None = None,
+) -> int:
+    """Heap pages for ``row_count`` rows of ``table`` (or a projection).
+
+    Used to size what-if partition tables: the fragment's page count is
+    derived from the original table's statistics, never from real data.
+    """
+    if row_count <= 0:
+        return 1
+    width = tuple_width(table, column_stats, columns)
+    usable = BLOCK_SIZE - PAGE_HEADER_SIZE
+    rows_per_page = max(1, usable // width)
+    return max(1, math.ceil(row_count / rows_per_page))
+
+
+def data_width(
+    table: Table,
+    column_stats: Mapping[str, ColumnStats] | None = None,
+    columns: tuple[str, ...] | None = None,
+) -> int:
+    """Payload width (no tuple overhead) — the optimizer's output width."""
+    names = columns if columns is not None else table.column_names
+    total = 0
+    for name in names:
+        column = table.column(name)
+        stats = column_stats.get(name) if column_stats else None
+        total += column_width(column.dtype, stats)
+    return total
+
+
+def index_size_bytes(
+    table: Table,
+    index: Index,
+    row_count: float,
+    column_stats: Mapping[str, ColumnStats] | None = None,
+) -> int:
+    """Index size in bytes (leaf pages times the block size)."""
+    return estimate_index_pages(table, index, row_count, column_stats) * BLOCK_SIZE
+
+
+def validate_fillfactor(fillfactor: float) -> None:
+    """Reject nonsense fill factors early, before they skew every estimate."""
+    if not 0.1 <= fillfactor <= 1.0:
+        raise StatisticsError(f"fillfactor {fillfactor} outside [0.1, 1.0]")

@@ -1,0 +1,269 @@
+"""Command-line interface: the demo GUI's three screens, as subcommands.
+
+The demo database is synthetic (the storage engine is in-process), so a
+``--db`` option selects and scales one of the built-in generators
+instead of connecting somewhere::
+
+    python -m repro suggest-indexes    --budget-mb 16
+    python -m repro suggest-partitions --replication 0.3
+    python -m repro evaluate --index photoobj:ra,dec --index specobj:z
+    python -m repro explain  --sql "SELECT ra FROM photoobj WHERE ra < 1" \
+                             --index photoobj:ra
+
+``--workload FILE`` accepts a semicolon-separated SQL file (the demo's
+"workload file" input); by default the built-in 30-query survey
+workload is used.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.reporting import ResultTable
+from repro.core.parinda import Parinda
+from repro.optimizer.explain import explain
+from repro.storage.database import Database
+from repro.workloads.sdss import build_sdss_database, sdss_workload
+from repro.workloads.star import build_star_database, star_workload
+from repro.workloads.workload import Workload
+
+
+def _load_database(spec: str) -> Database:
+    name, _, scale = spec.partition(":")
+    if name == "sdss":
+        return build_sdss_database(photo_rows=int(scale) if scale else 10_000)
+    if name == "star":
+        return build_star_database(fact_rows=int(scale) if scale else 8_000)
+    raise SystemExit(f"unknown --db {spec!r}; use sdss[:rows] or star[:rows]")
+
+
+def _load_workload(path: str | None, db_spec: str) -> Workload:
+    if path is not None:
+        return Workload.from_file(path)
+    return sdss_workload() if db_spec.startswith("sdss") else star_workload()
+
+
+def _parse_index_spec(spec: str) -> tuple[str, tuple[str, ...]]:
+    table, _, columns = spec.partition(":")
+    if not table or not columns:
+        raise SystemExit(
+            f"bad --index {spec!r}; expected table:col1,col2 (e.g. photoobj:ra,dec)"
+        )
+    return table, tuple(c.strip() for c in columns.split(","))
+
+
+def _per_query_table(title: str, entries) -> ResultTable:
+    table = ResultTable(title, ["query", "before", "after", "benefit %", "uses"])
+    for entry in entries:
+        pct = (
+            (entry.cost_before - entry.cost_after) / entry.cost_before * 100
+            if entry.cost_before
+            else 0.0
+        )
+        table.add_row(
+            entry.name,
+            entry.cost_before,
+            entry.cost_after,
+            f"{pct:.1f}",
+            ", ".join(entry.indexes_used) or "-",
+        )
+    return table
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+
+
+def cmd_suggest_indexes(args: argparse.Namespace) -> int:
+    db = _load_database(args.db)
+    workload = _load_workload(args.workload, args.db)
+    parinda = Parinda(db)
+    result = parinda.suggest_indexes(
+        workload,
+        budget_bytes=int(args.budget_mb * 1024 * 1024),
+        backend=args.backend,
+        single_column_only=args.single_column,
+    )
+    print(
+        f"Considered {result.candidates_considered} candidates; "
+        f"solver {result.solver_status} ({result.solver_nodes} nodes, "
+        f"{result.elapsed_seconds:.2f}s)."
+    )
+    print(
+        f"Suggested {len(result.indexes)} indexes, {result.size_pages} pages "
+        f"of {result.budget_pages} allowed; workload cost "
+        f"{result.cost_before:,.0f} -> {result.cost_after:,.0f} "
+        f"({result.speedup:.2f}x)."
+    )
+    for index in result.indexes:
+        print(f"  CREATE INDEX ON {index.table_name} "
+              f"({', '.join(index.columns)});")
+    if args.verbose:
+        _per_query_table("Per-query benefit", result.per_query).emit()
+    if args.create:
+        created = parinda.create_indexes(result)
+        print(f"Materialized {len(created)} indexes.")
+    return 0
+
+
+def cmd_suggest_partitions(args: argparse.Namespace) -> int:
+    db = _load_database(args.db)
+    workload = _load_workload(args.workload, args.db)
+    parinda = Parinda(db)
+    result = parinda.suggest_partitions(
+        workload, replication_limit=args.replication
+    )
+    print(
+        f"AutoPart: {result.iterations} iterations, {result.evaluations} "
+        f"what-if evaluations, {result.elapsed_seconds:.1f}s."
+    )
+    print(
+        f"Workload cost {result.cost_before:,.0f} -> {result.cost_after:,.0f} "
+        f"({result.speedup:.2f}x)."
+    )
+    for table_name, scheme in sorted(result.schemes.items()):
+        print(f"Partitions for {table_name}:")
+        for position, fragment in enumerate(scheme.fragments):
+            print(f"  {scheme.fragment_name(position)}: ({', '.join(fragment)})")
+    if args.verbose:
+        _per_query_table("Per-query benefit", result.per_query).emit()
+    if args.save_rewritten:
+        with open(args.save_rewritten, "w") as handle:
+            for name, sql in result.rewritten_sql.items():
+                handle.write(f"-- {name}\n{sql};\n\n")
+        print(f"Rewritten workload saved to {args.save_rewritten}.")
+    if args.create:
+        created = parinda.create_partitions(result)
+        print(f"Materialized {len(created)} fragment tables.")
+    return 0
+
+
+def cmd_suggest_combined(args: argparse.Namespace) -> int:
+    db = _load_database(args.db)
+    workload = _load_workload(args.workload, args.db)
+    parinda = Parinda(db)
+    budget_pages = max(1, int(args.budget_mb * 1024 * 1024) // 8192)
+    result = parinda.suggest_combined(
+        workload, budget_pages=budget_pages, replication_limit=args.replication
+    )
+    print(
+        f"Partitions: {sum(len(s.fragments) for s in result.partitions.schemes.values())} "
+        f"fragments ({result.partitions.speedup:.2f}x alone)."
+    )
+    print(
+        f"Indexes on the partitioned design: {len(result.indexes.indexes)} "
+        f"({result.indexes.size_pages}/{budget_pages} pages)."
+    )
+    for index in result.indexes.indexes:
+        print(f"  CREATE INDEX ON {index.table_name} "
+              f"({', '.join(index.columns)});")
+    print(
+        f"Combined workload cost {result.cost_before:,.0f} -> "
+        f"{result.cost_after:,.0f} ({result.speedup:.2f}x)."
+    )
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    db = _load_database(args.db)
+    workload = _load_workload(args.workload, args.db)
+    designer = Parinda(db).interactive()
+    for spec in args.index or []:
+        table, columns = _parse_index_spec(spec)
+        designer.add_whatif_index(table, columns)
+    evaluation = designer.evaluate(workload)
+    print(
+        f"Workload cost {evaluation.cost_before:,.0f} -> "
+        f"{evaluation.cost_after:,.0f}; average per-query benefit "
+        f"{evaluation.average_benefit * 100:.1f}%."
+    )
+    _per_query_table("Per-query benefit", evaluation.per_query).emit()
+    if args.compare:
+        comparison = designer.compare_with_materialized(args.compare, workload)
+        print(
+            f"\nSimulation check on {args.compare}: plans match = "
+            f"{comparison.plans_match}, cost error "
+            f"{comparison.cost_error * 100:.4f}%"
+        )
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    db = _load_database(args.db)
+    designer = Parinda(db).interactive()
+    for spec in args.index or []:
+        table, columns = _parse_index_spec(spec)
+        designer.add_whatif_index(table, columns)
+    plan = designer.session.plan(args.sql)
+    print(explain(plan))
+    return 0
+
+
+# ----------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PARINDA reproduction: interactive physical design",
+    )
+    parser.add_argument(
+        "--db",
+        default="sdss:10000",
+        help="built-in database to load: sdss[:rows] or star[:rows]",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("suggest-indexes", help="scenario 3: automatic indexes")
+    p.add_argument("--workload", help="semicolon-separated SQL file")
+    p.add_argument("--budget-mb", type=float, default=16.0)
+    p.add_argument("--backend", choices=["builtin", "scipy"], default="builtin")
+    p.add_argument("--single-column", action="store_true",
+                   help="COLT-style single-column candidates only")
+    p.add_argument("--create", action="store_true",
+                   help="materialize the suggestions")
+    p.add_argument("-v", "--verbose", action="store_true")
+    p.set_defaults(func=cmd_suggest_indexes)
+
+    p = sub.add_parser("suggest-partitions", help="scenario 2: AutoPart")
+    p.add_argument("--workload", help="semicolon-separated SQL file")
+    p.add_argument("--replication", type=float, default=0.25,
+                   help="replicated-column space limit (fraction of table)")
+    p.add_argument("--save-rewritten", metavar="FILE",
+                   help="write the rewritten workload to FILE")
+    p.add_argument("--create", action="store_true")
+    p.add_argument("-v", "--verbose", action="store_true")
+    p.set_defaults(func=cmd_suggest_partitions)
+
+    p = sub.add_parser(
+        "suggest-combined", help="full pipeline: partitions, then indexes"
+    )
+    p.add_argument("--workload", help="semicolon-separated SQL file")
+    p.add_argument("--budget-mb", type=float, default=16.0)
+    p.add_argument("--replication", type=float, default=0.25)
+    p.set_defaults(func=cmd_suggest_combined)
+
+    p = sub.add_parser("evaluate", help="scenario 1: interactive what-if")
+    p.add_argument("--workload", help="semicolon-separated SQL file")
+    p.add_argument("--index", action="append", metavar="TABLE:COL1,COL2",
+                   help="what-if index (repeatable)")
+    p.add_argument("--compare", metavar="QUERY",
+                   help="verify simulation of QUERY against a materialized twin")
+    p.set_defaults(func=cmd_evaluate)
+
+    p = sub.add_parser("explain", help="EXPLAIN a query under what-if indexes")
+    p.add_argument("--sql", required=True)
+    p.add_argument("--index", action="append", metavar="TABLE:COL1,COL2")
+    p.set_defaults(func=cmd_explain)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

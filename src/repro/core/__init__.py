@@ -1,0 +1,29 @@
+"""PARINDA core: the tool's three user-facing components (Figure 1).
+
+* :class:`InteractiveDesigner` — the interactive partitioning/indexing
+  component: the DBA supplies what-if indexes and partitions, and gets
+  the average workload benefit, per-query benefits, rewritten queries,
+  and simulated-vs-materialized plan comparisons.
+* Automatic index suggestion — :class:`~repro.advisor.IlpIndexAdvisor`,
+  re-exported here.
+* Automatic partition suggestion —
+  :class:`~repro.partitioning.AutoPartAdvisor`, re-exported here.
+* :class:`Parinda` — one object bundling all three over a database.
+"""
+
+from repro.advisor.ilp_advisor import AdvisorResult, IlpIndexAdvisor, QueryBenefit
+from repro.core.interactive import DesignEvaluation, InteractiveDesigner
+from repro.core.parinda import CombinedResult, Parinda
+from repro.partitioning.autopart import AutoPartAdvisor, PartitionAdvisorResult
+
+__all__ = [
+    "AdvisorResult",
+    "AutoPartAdvisor",
+    "CombinedResult",
+    "DesignEvaluation",
+    "IlpIndexAdvisor",
+    "InteractiveDesigner",
+    "Parinda",
+    "PartitionAdvisorResult",
+    "QueryBenefit",
+]

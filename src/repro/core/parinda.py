@@ -1,0 +1,189 @@
+"""The Parinda facade: one object, three components.
+
+Mirrors the system architecture of Figure 1: a database with a
+hook-modified optimizer underneath, and on top the interactive
+component, the automatic index advisor, and the automatic partition
+advisor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.advisor.ilp_advisor import AdvisorResult, IlpIndexAdvisor
+from repro.baselines.greedy import GreedyIndexAdvisor
+from repro.catalog.sizing import BLOCK_SIZE
+from repro.core.interactive import InteractiveDesigner
+from repro.optimizer.config import PlannerConfig
+from repro.partitioning.autopart import AutoPartAdvisor, PartitionAdvisorResult
+from repro.storage.database import Database
+from repro.workloads.workload import Query, Workload
+
+
+@dataclass
+class CombinedResult:
+    """Outcome of the partitions-then-indexes pipeline."""
+
+    partitions: PartitionAdvisorResult
+    indexes: AdvisorResult
+    cost_before: float
+    cost_after: float
+
+    @property
+    def speedup(self) -> float:
+        if self.cost_after <= 0:
+            return float("inf")
+        return self.cost_before / self.cost_after
+
+
+class Parinda:
+    """PARtition and INDex Advisor over one database."""
+
+    def __init__(self, database: Database, config: PlannerConfig | None = None) -> None:
+        self._db = database
+        self._config = config or PlannerConfig()
+
+    @property
+    def database(self) -> Database:
+        return self._db
+
+    # ------------------------------------------------------------------
+    # Scenario 1: interactive partition/index selection
+
+    def interactive(self) -> InteractiveDesigner:
+        """A fresh interactive what-if designer session."""
+        return InteractiveDesigner(self._db)
+
+    # ------------------------------------------------------------------
+    # Scenario 2: automatic partition suggestion
+
+    def suggest_partitions(
+        self,
+        workload: Workload,
+        replication_limit: float = 0.25,
+        tables: list[str] | None = None,
+    ) -> PartitionAdvisorResult:
+        """Optimal vertical partitions for ``workload`` (AutoPart)."""
+        advisor = AutoPartAdvisor(
+            self._db.catalog,
+            self._config,
+            replication_limit=replication_limit,
+            tables=tables,
+        )
+        return advisor.recommend(workload)
+
+    def create_partitions(self, result: PartitionAdvisorResult) -> list[str]:
+        """Physically create suggested partitions ("create on disk"
+        option of the demo GUI); returns the fragment table names."""
+        created = []
+        for scheme in result.schemes.values():
+            for relation in self._db.materialize_partitions(scheme):
+                created.append(relation.name)
+        return created
+
+    # ------------------------------------------------------------------
+    # Scenario 3: automatic index suggestion
+
+    def suggest_indexes(
+        self,
+        workload: Workload,
+        budget_bytes: int | None = None,
+        budget_pages: int | None = None,
+        backend: str = "builtin",
+        single_column_only: bool = False,
+    ) -> AdvisorResult:
+        """Optimal index set within a storage budget (INUM + ILP)."""
+        if budget_pages is None:
+            if budget_bytes is None:
+                raise ValueError("provide budget_bytes or budget_pages")
+            budget_pages = max(1, budget_bytes // BLOCK_SIZE)
+        advisor = IlpIndexAdvisor(
+            self._db.catalog,
+            self._config,
+            backend=backend,
+            single_column_only=single_column_only,
+        )
+        return advisor.recommend(workload, budget_pages)
+
+    def suggest_indexes_greedy(
+        self, workload: Workload, budget_pages: int, **kwargs
+    ) -> AdvisorResult:
+        """The greedy baseline, for comparisons (experiment E6)."""
+        advisor = GreedyIndexAdvisor(self._db.catalog, self._config, **kwargs)
+        return advisor.recommend(workload, budget_pages)
+
+    def create_indexes(self, result: AdvisorResult) -> list[str]:
+        """Physically build the suggested indexes; returns their names."""
+        created = []
+        for index in result.indexes:
+            real = index.as_real(name=index.name.replace("cand_", "idx_", 1))
+            self._db.create_index(real)
+            created.append(real.name)
+        return created
+
+    # ------------------------------------------------------------------
+    # Combined pipeline: PARtitions, then INDexes on the fragments
+
+    def suggest_combined(
+        self,
+        workload: Workload,
+        budget_pages: int,
+        replication_limit: float = 0.25,
+    ) -> "CombinedResult":
+        """Partitions first, then indexes over the partitioned design.
+
+        The tool's full pipeline: run AutoPart, rewrite the workload onto
+        the suggested fragments, and let the ILP index advisor work
+        against the partitioned what-if catalog — indexes then land on
+        the narrow fragment tables, compounding both benefits.
+        """
+        partitions = self.suggest_partitions(
+            workload, replication_limit=replication_limit
+        )
+        if not partitions.schemes:
+            indexes = self.suggest_indexes(workload, budget_pages=budget_pages)
+            return CombinedResult(
+                partitions=partitions,
+                indexes=indexes,
+                cost_before=partitions.cost_before,
+                cost_after=indexes.cost_after,
+            )
+
+        # Register fragment shells in a private what-if catalog and move
+        # the workload onto them.
+        from repro.whatif.session import WhatIfSession
+
+        session = WhatIfSession(self._db.catalog, self._config)
+        for scheme in partitions.schemes.values():
+            for position, fragment in enumerate(scheme.fragments):
+                session.add_partition_table(
+                    scheme.table_name, fragment, scheme.fragment_name(position)
+                )
+        rewritten = Workload(
+            queries=[
+                Query(name=name, sql=sql, weight=workload.query(name).weight)
+                for name, sql in partitions.rewritten_sql.items()
+            ],
+            name=f"{workload.name}-partitioned",
+        )
+        advisor = IlpIndexAdvisor(session.catalog, self._config)
+        indexes = advisor.recommend(rewritten, budget_pages=budget_pages)
+        return CombinedResult(
+            partitions=partitions,
+            indexes=indexes,
+            cost_before=partitions.cost_before,
+            cost_after=indexes.cost_after,
+        )
+
+    # ------------------------------------------------------------------
+
+    def workload_cost(self, workload: Workload) -> float:
+        """Optimizer cost of the workload under the current design."""
+        from repro.optimizer.planner import Planner
+
+        planner = Planner(self._db.catalog, self._config)
+        total = 0.0
+        for query in workload:
+            bound = query.bind(self._db.catalog)
+            total += planner.plan(bound).total_cost * query.weight
+        return total

@@ -1,0 +1,77 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised on purpose by this library derives from
+:class:`ReproError`, so callers can catch one type at the API boundary.
+The sub-hierarchy mirrors the subsystems: SQL frontend, catalog,
+optimizer, executor, advisor, and the ILP solver.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class CatalogError(ReproError):
+    """Schema or catalog inconsistency (unknown table, duplicate index, ...)."""
+
+
+class DuplicateObjectError(CatalogError):
+    """An object with the same name already exists in the catalog."""
+
+
+class UnknownObjectError(CatalogError):
+    """A referenced table, column, or index does not exist."""
+
+
+class SQLError(ReproError):
+    """Base class for SQL frontend errors."""
+
+
+class TokenizeError(SQLError):
+    """The SQL text contains a character sequence that cannot be tokenized."""
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} (at offset {position})")
+        self.position = position
+
+
+class ParseError(SQLError):
+    """The token stream does not form a statement in the supported grammar."""
+
+
+class BindError(SQLError):
+    """Name resolution failed (unknown column/table, ambiguous reference)."""
+
+
+class PlannerError(ReproError):
+    """The optimizer could not produce a plan for a bound query."""
+
+
+class ExecutorError(ReproError):
+    """Runtime failure while executing a physical plan."""
+
+
+class StatisticsError(ReproError):
+    """Statistics are missing or unusable for an estimation request."""
+
+
+class AdvisorError(ReproError):
+    """Physical-design advisor failure (no candidates, bad constraints, ...)."""
+
+
+class SolverError(ReproError):
+    """The LP/ILP solver failed (infeasible, unbounded, iteration limit)."""
+
+
+class InfeasibleError(SolverError):
+    """The optimization problem has no feasible solution."""
+
+
+class UnboundedError(SolverError):
+    """The optimization problem is unbounded."""
+
+
+class WhatIfError(ReproError):
+    """Invalid what-if operation (duplicate hypothetical object, ...)."""

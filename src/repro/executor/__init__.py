@@ -1,0 +1,12 @@
+"""Volcano-style executor running physical plans over stored data.
+
+The executor exists to *ground* the what-if machinery: materialized
+designs are executed for real (with page-level I/O accounting), so the
+simulated-vs-materialized comparisons of the demo's interactive scenario
+compare against actual behaviour, not another estimate.
+"""
+
+from repro.executor.executor import ExecutionResult, ExecutionStats, execute
+from repro.executor.aggregates import AggregateAccumulator
+
+__all__ = ["AggregateAccumulator", "ExecutionResult", "ExecutionStats", "execute"]

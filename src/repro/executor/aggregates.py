@@ -1,0 +1,63 @@
+"""Aggregate accumulators: count/sum/avg/min/max with DISTINCT support."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ExecutorError
+from repro.sql.ast_nodes import FuncCall, Star
+from repro.sql.expressions import RowContext, evaluate
+
+
+class AggregateAccumulator:
+    """Accumulates one aggregate function over a group's rows."""
+
+    def __init__(self, call: FuncCall) -> None:
+        if not call.is_aggregate:
+            raise ExecutorError(f"{call.name} is not an aggregate")
+        self._call = call
+        self._count = 0
+        self._sum: float | None = None
+        self._min: Any = None
+        self._max: Any = None
+        self._distinct_seen: set[Any] | None = set() if call.distinct else None
+        self._is_count_star = bool(call.args) and isinstance(call.args[0], Star)
+        if call.name == "count" and not call.args:
+            self._is_count_star = True
+
+    def add(self, row: RowContext) -> None:
+        if self._is_count_star:
+            self._count += 1
+            return
+        if not self._call.args:
+            raise ExecutorError(f"{self._call.name}() needs an argument")
+        value = evaluate(self._call.args[0], row)
+        if value is None:
+            return  # aggregates skip NULLs
+        if self._distinct_seen is not None:
+            if value in self._distinct_seen:
+                return
+            self._distinct_seen.add(value)
+        self._count += 1
+        if self._call.name in ("sum", "avg"):
+            self._sum = value if self._sum is None else self._sum + value
+        if self._call.name == "min":
+            self._min = value if self._min is None else min(self._min, value)
+        if self._call.name == "max":
+            self._max = value if self._max is None else max(self._max, value)
+
+    def result(self) -> Any:
+        name = self._call.name
+        if name == "count":
+            return self._count
+        if name == "sum":
+            return self._sum
+        if name == "avg":
+            if self._count == 0 or self._sum is None:
+                return None
+            return self._sum / self._count
+        if name == "min":
+            return self._min
+        if name == "max":
+            return self._max
+        raise ExecutorError(f"unknown aggregate {name!r}")

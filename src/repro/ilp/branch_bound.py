@@ -1,0 +1,240 @@
+"""Best-first branch-and-bound over the simplex LP relaxation.
+
+Nodes are subproblems with some integer variables fixed; the priority
+queue explores the best LP bound first, an LP-rounding heuristic seeds
+the incumbent, and subtrees whose bound cannot beat the incumbent are
+pruned. Exact for the binary programs the index advisor emits.
+An optional ``scipy`` backend (HiGHS via ``scipy.optimize.milp``) can be
+selected for cross-validation.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.ilp.model import CompiledProgram, LinearProgram
+from repro.ilp.simplex import SimplexSolver, check_feasible, fix_variables
+from repro.ilp.solution import MilpSolution
+
+_INT_TOL = 1e-6
+
+
+@dataclass(order=True)
+class _Node:
+    priority: float  # negative LP bound (heapq pops smallest)
+    sequence: int
+    fixed: dict[int, float] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.fixed is None:
+            self.fixed = {}
+
+
+class BranchAndBoundSolver:
+    """Exact MILP solver for maximization programs with binary integers."""
+
+    def __init__(
+        self,
+        max_nodes: int = 50000,
+        gap_tolerance: float = 1e-6,
+        backend: str = "builtin",
+    ) -> None:
+        if backend not in ("builtin", "scipy"):
+            raise SolverError(f"unknown MILP backend {backend!r}")
+        self._max_nodes = max_nodes
+        self._gap_tolerance = gap_tolerance
+        self._backend = backend
+        self._simplex = SimplexSolver()
+
+    # ------------------------------------------------------------------
+
+    def solve(self, program: LinearProgram) -> MilpSolution:
+        compiled = program.compile()
+        if self._backend == "scipy":
+            return self._solve_scipy(program, compiled)
+        return self._solve_builtin(program, compiled)
+
+    # ------------------------------------------------------------------
+
+    def _solve_builtin(
+        self, program: LinearProgram, compiled: CompiledProgram
+    ) -> MilpSolution:
+        counter = itertools.count()
+        root = _Node(priority=-math.inf, sequence=next(counter), fixed={})
+        heap: list[_Node] = [root]
+
+        best_x: np.ndarray | None = None
+        best_objective = -math.inf
+        best_bound = math.inf
+        nodes = 0
+
+        while heap and nodes < self._max_nodes:
+            node = heapq.heappop(heap)
+            node_bound = -node.priority
+            if node_bound <= best_objective + self._gap_tolerance:
+                continue  # cannot improve
+            nodes += 1
+
+            reduced, offset, keep = fix_variables(compiled, node.fixed)
+            result = self._simplex.solve(reduced)
+            if result.status == "infeasible":
+                continue
+            if result.status == "unbounded":
+                return MilpSolution(
+                    status="infeasible" if node.fixed else "node_limit",
+                    objective=None,
+                    nodes_explored=nodes,
+                )
+            if not result.is_optimal:
+                continue
+            bound = offset + (result.objective or 0.0)
+            if nodes == 1:
+                best_bound = bound
+            if bound <= best_objective + self._gap_tolerance:
+                continue
+
+            x_full = self._expand(compiled, node.fixed, keep, result.x)
+            fractional = self._most_fractional(compiled, x_full, node.fixed)
+            if fractional is None:
+                # Integral: new incumbent.
+                if bound > best_objective:
+                    best_objective = bound
+                    best_x = x_full
+                continue
+
+            # Rounding heuristic to tighten the incumbent early.
+            rounded = self._round_heuristic(compiled, x_full)
+            if rounded is not None:
+                value = float(compiled.objective @ rounded)
+                if value > best_objective:
+                    best_objective = value
+                    best_x = rounded
+
+            for branch_value in (1.0, 0.0):
+                child_fixed = dict(node.fixed)
+                child_fixed[fractional] = branch_value
+                heapq.heappush(
+                    heap,
+                    _Node(
+                        priority=-bound,
+                        sequence=next(counter),
+                        fixed=child_fixed,
+                    ),
+                )
+
+        if best_x is None:
+            status = "infeasible" if not heap else "node_limit"
+            return MilpSolution(status=status, objective=None, nodes_explored=nodes)
+        status = "optimal" if not heap or nodes < self._max_nodes else "feasible"
+        if heap and nodes >= self._max_nodes:
+            status = "feasible"
+        gap = max(0.0, best_bound - best_objective)
+        return MilpSolution(
+            status=status,
+            objective=best_objective,
+            values={
+                var.name: float(best_x[var.index]) for var in program.variables
+            },
+            nodes_explored=nodes,
+            gap=gap,
+        )
+
+    @staticmethod
+    def _expand(
+        compiled: CompiledProgram,
+        fixed: dict[int, float],
+        keep: list[int],
+        reduced_x: np.ndarray | None,
+    ) -> np.ndarray:
+        n = compiled.objective.shape[0]
+        x = np.zeros(n)
+        for idx, value in fixed.items():
+            x[idx] = value
+        if reduced_x is not None:
+            for position, idx in enumerate(keep):
+                x[idx] = reduced_x[position]
+        return x
+
+    @staticmethod
+    def _most_fractional(
+        compiled: CompiledProgram, x: np.ndarray, fixed: dict[int, float]
+    ) -> int | None:
+        best_idx: int | None = None
+        best_dist = _INT_TOL
+        for idx in np.where(compiled.integer_mask)[0]:
+            if int(idx) in fixed:
+                continue
+            frac = abs(x[idx] - round(x[idx]))
+            if frac > best_dist:
+                best_dist = frac
+                best_idx = int(idx)
+        return best_idx
+
+    @staticmethod
+    def _round_heuristic(
+        compiled: CompiledProgram, x: np.ndarray
+    ) -> np.ndarray | None:
+        rounded = x.copy()
+        mask = compiled.integer_mask
+        rounded[mask] = np.round(rounded[mask])
+        if check_feasible(compiled, rounded):
+            return rounded
+        # Try rounding fractionals down (safe for <=-dominated programs).
+        floored = x.copy()
+        floored[mask] = np.floor(floored[mask] + _INT_TOL)
+        if check_feasible(compiled, floored):
+            return floored
+        return None
+
+    # ------------------------------------------------------------------
+
+    def _solve_scipy(
+        self, program: LinearProgram, compiled: CompiledProgram
+    ) -> MilpSolution:
+        try:
+            from scipy.optimize import LinearConstraint, milp
+        except ImportError as exc:  # pragma: no cover - scipy is installed here
+            raise SolverError("scipy backend requested but scipy missing") from exc
+
+        n = compiled.objective.shape[0]
+        constraints = []
+        if compiled.a_ub.size:
+            constraints.append(
+                LinearConstraint(compiled.a_ub, -np.inf, compiled.b_ub)
+            )
+        if compiled.a_eq.size:
+            constraints.append(
+                LinearConstraint(compiled.a_eq, compiled.b_eq, compiled.b_eq)
+            )
+        from scipy.optimize import Bounds
+
+        ub = np.where(np.isfinite(compiled.upper_bounds), compiled.upper_bounds, np.inf)
+        result = milp(
+            c=-compiled.objective,  # scipy minimizes
+            constraints=constraints,
+            integrality=compiled.integer_mask.astype(int),
+            bounds=Bounds(np.zeros(n), ub),
+        )
+        if not result.success:
+            return MilpSolution(status="infeasible", objective=None)
+        return MilpSolution(
+            status="optimal",
+            objective=float(-result.fun),
+            values={
+                var.name: float(result.x[var.index]) for var in program.variables
+            },
+            nodes_explored=0,
+        )
+
+
+def solve_milp(
+    program: LinearProgram, backend: str = "builtin", max_nodes: int = 50000
+) -> MilpSolution:
+    """Convenience wrapper: solve ``program`` and return its solution."""
+    return BranchAndBoundSolver(max_nodes=max_nodes, backend=backend).solve(program)

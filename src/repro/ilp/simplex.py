@@ -1,0 +1,275 @@
+"""Dense two-phase tableau simplex.
+
+Solves ``maximize c @ x`` subject to ``A_ub x <= b_ub``, ``A_eq x = b_eq``,
+``0 <= x <= ub`` — the LP relaxations the branch-and-bound solver needs.
+Phase 1 drives artificial variables out of the basis; phase 2 optimizes
+the real objective with Dantzig pricing, switching to Bland's rule when
+degeneracy stalls progress (anti-cycling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ilp.model import CompiledProgram
+
+_TOL = 1e-9
+
+
+@dataclass
+class SimplexResult:
+    """Outcome of one LP solve."""
+
+    status: str  # "optimal" | "infeasible" | "unbounded" | "iteration_limit"
+    x: np.ndarray | None
+    objective: float | None
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status == "optimal"
+
+
+def fix_variables(
+    program: CompiledProgram, fixed: dict[int, float]
+) -> tuple[CompiledProgram, float, list[int]]:
+    """Substitute fixed variables out of ``program``.
+
+    Returns (reduced program, objective offset, kept-column indices).
+    Used by branch and bound: fixing a binary to 0/1 shrinks the LP.
+    """
+    n = program.objective.shape[0]
+    keep = [j for j in range(n) if j not in fixed]
+    fixed_vec = np.zeros(n)
+    for j, value in fixed.items():
+        fixed_vec[j] = value
+
+    offset = float(program.objective @ fixed_vec)
+    b_ub = program.b_ub - (program.a_ub @ fixed_vec if program.a_ub.size else 0.0)
+    b_eq = program.b_eq - (program.a_eq @ fixed_vec if program.a_eq.size else 0.0)
+
+    reduced = CompiledProgram(
+        objective=program.objective[keep],
+        a_ub=program.a_ub[:, keep] if program.a_ub.size else np.zeros((0, len(keep))),
+        b_ub=np.asarray(b_ub, dtype=float).reshape(-1),
+        a_eq=program.a_eq[:, keep] if program.a_eq.size else np.zeros((0, len(keep))),
+        b_eq=np.asarray(b_eq, dtype=float).reshape(-1),
+        upper_bounds=program.upper_bounds[keep],
+        integer_mask=program.integer_mask[keep],
+    )
+    return reduced, offset, keep
+
+
+class SimplexSolver:
+    """Two-phase dense simplex for maximization problems."""
+
+    def __init__(self, max_iterations: int = 50000, tol: float = _TOL) -> None:
+        self._max_iterations = max_iterations
+        self._tol = tol
+
+    def solve(self, program: CompiledProgram) -> SimplexResult:
+        a_rows, b_rhs, n = self._standardize(program)
+        m = len(b_rhs)
+        if m == 0:
+            # Unconstrained over a box: maximize by setting positive-cost
+            # vars to their upper bound.
+            x = np.where(
+                program.objective > 0,
+                np.minimum(program.upper_bounds, 1e18),
+                0.0,
+            )
+            if np.any((program.objective > self._tol) & np.isinf(program.upper_bounds)):
+                return SimplexResult(status="unbounded", x=None, objective=None)
+            return SimplexResult(
+                status="optimal", x=x, objective=float(program.objective @ x)
+            )
+
+        total_structural = a_rows.shape[1]
+        # Tableau columns: structural (incl. slacks) + artificials + rhs.
+        tableau = np.zeros((m + 1, total_structural + m + 1))
+        tableau[:m, :total_structural] = a_rows
+        tableau[:m, total_structural : total_structural + m] = np.eye(m)
+        tableau[:m, -1] = b_rhs
+        basis = list(range(total_structural, total_structural + m))
+
+        # Phase 1: minimize sum of artificials == maximize -(sum).
+        cost1 = np.zeros(total_structural + m + 1)
+        cost1[total_structural : total_structural + m] = -1.0
+        self._set_objective_row(tableau, basis, cost1)
+        status = self._iterate(tableau, basis, allow_columns=total_structural + m)
+        if status != "optimal":
+            return SimplexResult(status=status, x=None, objective=None)
+        if tableau[-1, -1] < -1e-7:
+            return SimplexResult(status="infeasible", x=None, objective=None)
+        self._pivot_artificials_out(tableau, basis, total_structural)
+
+        # Phase 2: real objective over structural columns only.
+        cost2 = np.zeros(total_structural + m + 1)
+        cost2[:total_structural] = self._structural_cost
+        self._set_objective_row(tableau, basis, cost2)
+        status = self._iterate(tableau, basis, allow_columns=total_structural)
+        if status != "optimal":
+            return SimplexResult(status=status, x=None, objective=None)
+
+        x = np.zeros(total_structural + m)
+        for row, var in enumerate(basis):
+            x[var] = tableau[row, -1]
+        solution = x[:n]
+        return SimplexResult(
+            status="optimal",
+            x=solution,
+            objective=float(self._structural_cost[:n] @ solution),
+        )
+
+    # ------------------------------------------------------------------
+
+    def _standardize(
+        self, program: CompiledProgram
+    ) -> tuple[np.ndarray, np.ndarray, int]:
+        """Equality rows with non-negative rhs; slacks appended as columns."""
+        n = program.objective.shape[0]
+        rows: list[np.ndarray] = []
+        rhs: list[float] = []
+        slack_signs: list[int] = []  # +1 for <=, 0 for =
+
+        a_ub, b_ub = program.a_ub, program.b_ub
+        for i in range(a_ub.shape[0]):
+            rows.append(a_ub[i].astype(float))
+            rhs.append(float(b_ub[i]))
+            slack_signs.append(1)
+        # Finite upper bounds become <= rows.
+        for j in range(n):
+            ub = program.upper_bounds[j]
+            if np.isfinite(ub):
+                row = np.zeros(n)
+                row[j] = 1.0
+                rows.append(row)
+                rhs.append(float(ub))
+                slack_signs.append(1)
+        a_eq, b_eq = program.a_eq, program.b_eq
+        for i in range(a_eq.shape[0]):
+            rows.append(a_eq[i].astype(float))
+            rhs.append(float(b_eq[i]))
+            slack_signs.append(0)
+
+        m = len(rows)
+        num_slacks = sum(1 for s in slack_signs if s != 0)
+        full = np.zeros((m, n + num_slacks))
+        slack_col = n
+        for i, (row, sign) in enumerate(zip(rows, slack_signs)):
+            full[i, :n] = row
+            if sign:
+                full[i, slack_col] = 1.0
+                slack_col += 1
+            if rhs[i] < 0:
+                full[i] = -full[i]
+                rhs[i] = -rhs[i]
+
+        self._structural_cost = np.zeros(n + num_slacks)
+        self._structural_cost[:n] = program.objective
+        return full, np.array(rhs, dtype=float), n
+
+    @staticmethod
+    def _set_objective_row(
+        tableau: np.ndarray, basis: list[int], cost: np.ndarray
+    ) -> None:
+        """Reduced-cost row for maximization: z_j - c_j in the last row."""
+        m = tableau.shape[0] - 1
+        tableau[-1, :] = -cost
+        for row in range(m):
+            coeff = cost[basis[row]]
+            if coeff != 0.0:
+                tableau[-1, :] += coeff * tableau[row, :]
+
+    def _iterate(
+        self, tableau: np.ndarray, basis: list[int], allow_columns: int
+    ) -> str:
+        m = tableau.shape[0] - 1
+        stall = 0
+        last_objective = tableau[-1, -1]
+        for _ in range(self._max_iterations):
+            reduced = tableau[-1, :allow_columns]
+            use_bland = stall > 2 * m + 10
+            if use_bland:
+                entering = -1
+                for j in range(allow_columns):
+                    if reduced[j] < -self._tol:
+                        entering = j
+                        break
+            else:
+                entering = int(np.argmin(reduced))
+                if reduced[entering] >= -self._tol:
+                    entering = -1
+            if entering < 0:
+                return "optimal"
+
+            column = tableau[:m, entering]
+            positive = column > self._tol
+            if not positive.any():
+                return "unbounded"
+            ratios = np.where(positive, tableau[:m, -1] / np.where(positive, column, 1.0), np.inf)
+            leaving = int(np.argmin(ratios))
+            if use_bland:
+                best = ratios[leaving]
+                candidates = [
+                    r for r in range(m) if positive[r] and ratios[r] <= best + self._tol
+                ]
+                leaving = min(candidates, key=lambda r: basis[r])
+
+            self._pivot(tableau, leaving, entering)
+            basis[leaving] = entering
+
+            objective = tableau[-1, -1]
+            if objective > last_objective + self._tol:
+                stall = 0
+                last_objective = objective
+            else:
+                stall += 1
+        return "iteration_limit"
+
+    @staticmethod
+    def _pivot(tableau: np.ndarray, row: int, col: int) -> None:
+        pivot_value = tableau[row, col]
+        tableau[row, :] /= pivot_value
+        for r in range(tableau.shape[0]):
+            if r != row and abs(tableau[r, col]) > 1e-13:
+                tableau[r, :] -= tableau[r, col] * tableau[row, :]
+
+    def _pivot_artificials_out(
+        self, tableau: np.ndarray, basis: list[int], total_structural: int
+    ) -> None:
+        """Replace basic artificials (at zero level) with structural vars."""
+        m = tableau.shape[0] - 1
+        for row in range(m):
+            if basis[row] >= total_structural:
+                candidates = np.where(
+                    np.abs(tableau[row, :total_structural]) > self._tol
+                )[0]
+                if candidates.size:
+                    col = int(candidates[0])
+                    self._pivot(tableau, row, col)
+                    basis[row] = col
+        # Remaining basic artificials correspond to redundant rows; their
+        # columns must never re-enter, which _iterate guarantees by
+        # limiting allow_columns.
+
+
+def solve_lp(program: CompiledProgram) -> SimplexResult:
+    """One-shot LP solve used by tests and the branch-and-bound driver."""
+    return SimplexSolver().solve(program)
+
+
+def check_feasible(
+    program: CompiledProgram, x: np.ndarray, tol: float = 1e-6
+) -> bool:
+    """Verify a point satisfies all constraints and bounds."""
+    if np.any(x < -tol):
+        return False
+    if np.any(x > program.upper_bounds + tol):
+        return False
+    if program.a_ub.size and np.any(program.a_ub @ x > program.b_ub + tol):
+        return False
+    if program.a_eq.size and np.any(np.abs(program.a_eq @ x - program.b_eq) > tol):
+        return False
+    return True

@@ -1,0 +1,46 @@
+"""MILP solution container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SolverError
+from repro.ilp.model import LinearProgram, Variable
+
+
+@dataclass
+class MilpSolution:
+    """Outcome of a mixed-integer solve."""
+
+    status: str  # "optimal" | "feasible" | "infeasible" | "node_limit"
+    objective: float | None
+    values: dict[str, float] = field(default_factory=dict)
+    nodes_explored: int = 0
+    gap: float = 0.0
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status == "optimal"
+
+    @property
+    def has_solution(self) -> bool:
+        return self.status in ("optimal", "feasible")
+
+    def value(self, var: Variable | str) -> float:
+        name = var.name if isinstance(var, Variable) else var
+        try:
+            return self.values[name]
+        except KeyError:
+            raise SolverError(f"solution has no value for {name!r}") from None
+
+    def selected(self, program: LinearProgram, prefix: str = "") -> list[str]:
+        """Names of binary variables set to 1 (optionally name-filtered)."""
+        chosen = []
+        for var in program.variables:
+            if not var.is_integer:
+                continue
+            if prefix and not var.name.startswith(prefix):
+                continue
+            if self.values.get(var.name, 0.0) > 0.5:
+                chosen.append(var.name)
+        return chosen

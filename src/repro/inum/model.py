@@ -1,0 +1,442 @@
+"""The INUM cost model for one query.
+
+Cache construction
+    For every combination of interesting orders (one per relation, or
+    none) and for nested-loop enabled/disabled — the paper's What-If
+    Join component — the query is optimized once against *synthetic*
+    hypothetical indexes that deliver exactly those orders, with real
+    indexes hidden and parameterized paths disabled so each scan runs
+    exactly once per loop. The plan cost then decomposes exactly::
+
+        total = internal + Σ_rel loops(rel) × access_cost(rel)
+
+    and ``internal`` (join/sort/aggregate work) is cached.
+
+Estimation
+    ``estimate(config)`` computes, per relation, the best access cost
+    achievable with the configuration's indexes (analytically, using the
+    same ``cost_index_scan`` the optimizer uses) and takes the minimum
+    over cache entries whose order requirements the configuration can
+    satisfy. No optimizer call is made.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import Index
+from repro.catalog.sizing import estimate_index_pages
+from repro.errors import PlannerError
+from repro.optimizer.config import IndexInfo, PlannerConfig, RelationInfo
+from repro.optimizer.cost import clamp_rows
+from repro.optimizer.paths import (
+    BaseRel,
+    index_paths,
+    match_index,
+    seqscan_path,
+)
+from repro.optimizer.planner import Planner, PreparedQuery
+from repro.optimizer.plans import NestLoop, Plan, Scan
+from repro.sql.ast_nodes import ColumnRef
+from repro.sql.binder import BoundQuery
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One cached optimizer plan, decomposed."""
+
+    order_vector: tuple[tuple[str, str | None], ...]  # (alias, order column)
+    nestloop_enabled: bool
+    internal_cost: float
+    loops: tuple[tuple[str, float], ...]  # (alias, scan executions)
+    plan: Plan
+
+    def order_of(self, alias: str) -> str | None:
+        for a, col in self.order_vector:
+            if a == alias:
+                return col
+        return None
+
+    def loops_of(self, alias: str) -> float:
+        for a, value in self.loops:
+            if a == alias:
+                return value
+        return 1.0
+
+
+@dataclass
+class InumStatistics:
+    """Bookkeeping: how much optimizer work INUM saved."""
+
+    optimizer_calls: int = 0
+    estimates_served: int = 0
+    cache_entries: int = 0
+
+
+@dataclass(frozen=True)
+class _AccessInfo:
+    """Precomputed access characteristics of one candidate index."""
+
+    cost: float
+    provides: frozenset[str]  # order columns this access delivers
+    rows: float
+
+
+class InumModel:
+    """INUM cost model for a single bound query."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        query: BoundQuery,
+        config: PlannerConfig | None = None,
+        max_combinations: int = 32,
+    ) -> None:
+        self._catalog = catalog
+        self._query = query
+        base = config or PlannerConfig()
+        # Hide real indexes during cache construction and at estimation
+        # time: the configuration under evaluation is the only physical
+        # design INUM should see.
+        self._config = base.with_flags(enable_parameterized_paths=False)
+        self._max_combinations = max_combinations
+        self.stats = InumStatistics()
+
+        planner = Planner(catalog, self._strip_indexes(self._config))
+        self._prepared: PreparedQuery = planner.prepare(query)
+        self._seq_costs: dict[str, float] = {}
+        for alias, rel in self._prepared.base_rels.items():
+            self._seq_costs[alias] = seqscan_path(self._config, rel).total_cost
+        self._orders = self._interesting_orders()
+        self._entries: list[CacheEntry] = []
+        self._access_cache: dict[tuple[str, tuple[str, ...]], _AccessInfo] = {}
+        self._build_cache()
+
+    # ------------------------------------------------------------------
+    # Cache construction
+
+    def _strip_indexes(self, config: PlannerConfig) -> PlannerConfig:
+        base_hook = config.relation_info_hook
+
+        def hook(cfg: PlannerConfig, catalog: Catalog, table_name: str) -> RelationInfo:
+            info = base_hook(cfg, catalog, table_name)
+            return RelationInfo(
+                table=info.table,
+                row_count=info.row_count,
+                page_count=info.page_count,
+                indexes=(),
+                column_stats=info.column_stats,
+            )
+
+        return config.with_hook(hook)
+
+    def _interesting_orders(self) -> dict[str, list[str]]:
+        """Per-alias order columns worth caching plans for."""
+        orders: dict[str, list[str]] = {a: [] for a in self._query.aliases}
+
+        def note(alias: str | None, column: str) -> None:
+            if alias in orders and column not in orders[alias]:
+                orders[alias].append(column)
+
+        for clause in self._prepared.join_clauses:
+            if clause.equi_join is not None:
+                (a1, c1), (a2, c2) = clause.equi_join
+                note(a1, c1)
+                note(a2, c2)
+        stmt = self._query.statement
+        for key in stmt.group_by:
+            if isinstance(key, ColumnRef):
+                note(key.table, key.column)
+        for item in stmt.order_by:
+            if isinstance(item.expr, ColumnRef):
+                note(item.expr.table, item.expr.column)
+        return orders
+
+    def _combinations(self) -> list[tuple[tuple[str, str | None], ...]]:
+        aliases = sorted(self._query.aliases)
+        per_alias: list[list[str | None]] = []
+        for alias in aliases:
+            per_alias.append([None] + self._orders[alias])
+        combos = []
+        for values in itertools.product(*per_alias):
+            combos.append(tuple(zip(aliases, values)))
+            if len(combos) >= self._max_combinations:
+                break
+        return combos
+
+    def _build_cache(self) -> None:
+        for order_vector in self._combinations():
+            for nestloop in (True, False):
+                entry = self._optimize_atomic(order_vector, nestloop)
+                if entry is not None:
+                    self._entries.append(entry)
+        self.stats.cache_entries = len(self._entries)
+
+    def _optimize_atomic(
+        self, order_vector: tuple[tuple[str, str | None], ...], nestloop: bool
+    ) -> CacheEntry | None:
+        synth: dict[str, list[Index]] = {}
+        for alias, column in order_vector:
+            if column is None:
+                continue
+            table_name = self._query.rel(alias).table.name
+            synth.setdefault(table_name, []).append(
+                Index(
+                    name=f"inum_{table_name}_{column}",
+                    table_name=table_name,
+                    columns=(column,),
+                    hypothetical=True,
+                )
+            )
+
+        stripped = self._strip_indexes(self._config)
+        base_hook = stripped.relation_info_hook
+
+        def hook(cfg: PlannerConfig, catalog: Catalog, table_name: str) -> RelationInfo:
+            info = base_hook(cfg, catalog, table_name)
+            extra = []
+            for index in synth.get(table_name, []):
+                leaf_pages = estimate_index_pages(
+                    info.table, index, info.row_count, info.column_stats
+                )
+                extra.append(
+                    IndexInfo(
+                        definition=index,
+                        leaf_pages=leaf_pages,
+                        height=1,
+                        index_tuples=info.row_count,
+                    )
+                )
+            return RelationInfo(
+                table=info.table,
+                row_count=info.row_count,
+                page_count=info.page_count,
+                indexes=tuple(extra),
+                column_stats=info.column_stats,
+            )
+
+        config = stripped.with_hook(hook).with_flags(enable_nestloop=nestloop)
+        try:
+            plan = Planner(self._catalog, config).plan(self._query)
+        except PlannerError:
+            return None
+        self.stats.optimizer_calls += 1
+
+        scan_costs, loops = _decompose(plan)
+        internal = plan.total_cost
+        for alias, (cost, loop) in scan_costs.items():
+            internal -= cost * loop
+        return CacheEntry(
+            order_vector=order_vector,
+            nestloop_enabled=nestloop,
+            internal_cost=internal,
+            loops=tuple(sorted((a, l) for a, (_c, l) in scan_costs.items())),
+            plan=plan,
+        )
+
+    # ------------------------------------------------------------------
+    # Access costs
+
+    def _access_info(self, alias: str, index: Index) -> _AccessInfo:
+        key = (alias, index.columns)
+        cached = self._access_cache.get(key)
+        if cached is not None:
+            return cached
+
+        rel: BaseRel = self._prepared.base_rels[alias]
+        info = rel.info
+        leaf_pages = estimate_index_pages(
+            info.table, index, info.row_count, info.column_stats
+        )
+        index_info = IndexInfo(
+            definition=index,
+            leaf_pages=leaf_pages,
+            height=1,
+            index_tuples=info.row_count,
+        )
+        shadow = RelationInfo(
+            table=info.table,
+            row_count=info.row_count,
+            page_count=info.page_count,
+            indexes=(index_info,),
+            column_stats=info.column_stats,
+        )
+        shadow_rel = BaseRel(
+            alias=rel.alias,
+            info=shadow,
+            restrictions=rel.restrictions,
+            required_columns=rel.required_columns,
+            rows=rel.rows,
+            width=rel.width,
+        )
+        paths = index_paths(self._config, shadow_rel)
+        if paths:
+            cost = min(p.total_cost for p in paths)
+        else:
+            cost = float("inf")
+
+        provides = self._orders_provided(rel, index_info)
+        result = _AccessInfo(cost=cost, provides=provides, rows=rel.rows)
+        self._access_cache[key] = result
+        return result
+
+    def _orders_provided(self, rel: BaseRel, index: IndexInfo) -> frozenset[str]:
+        """Order columns this index can deliver for this query: a column
+        is provided when every key column before it is pinned by an
+        equality restriction."""
+        eq_columns = {
+            c.index_clause.column
+            for c in rel.restrictions
+            if c.index_clause is not None and c.index_clause.is_equality
+        }
+        provided = set()
+        for column in index.columns:
+            provided.add(column)
+            if column not in eq_columns:
+                # Not pinned by an equality: deeper key columns are only
+                # sorted within runs, not globally.
+                break
+        return frozenset(provided)
+
+    # ------------------------------------------------------------------
+    # Estimation
+
+    def estimate(self, config_indexes: list[Index] | tuple[Index, ...] = ()) -> float:
+        """INUM cost of the query under ``config_indexes`` (no optimizer
+        call)."""
+        cost, _detail = self.estimate_detail(config_indexes)
+        return cost
+
+    def estimate_detail(
+        self, config_indexes: list[Index] | tuple[Index, ...] = ()
+    ) -> tuple[float, dict[str, str | None]]:
+        """INUM cost plus which configuration index serves each relation
+        (None = sequential scan) in the winning cache entry."""
+        self.stats.estimates_served += 1
+        per_alias_best, per_alias_ordered = self._best_access(config_indexes)
+
+        best = float("inf")
+        best_detail: dict[str, str | None] = {}
+        for entry in self._entries:
+            total = entry.internal_cost
+            usable = True
+            detail: dict[str, str | None] = {}
+            for alias, order in entry.order_vector:
+                loops = entry.loops_of(alias)
+                if order is None:
+                    access, chosen = per_alias_best.get(
+                        alias, (self._seq_costs[alias], None)
+                    )
+                else:
+                    access, chosen = per_alias_ordered.get(
+                        (alias, order), (float("inf"), None)
+                    )
+                    if access == float("inf"):
+                        usable = False
+                        break
+                detail[alias] = chosen
+                total += loops * access
+            if usable and total < best:
+                best = total
+                best_detail = detail
+        return best, best_detail
+
+    def _best_access(
+        self, config_indexes
+    ) -> tuple[
+        dict[str, tuple[float, str | None]],
+        dict[tuple[str, str], tuple[float, str | None]],
+    ]:
+        by_table: dict[str, list[Index]] = {}
+        for index in config_indexes:
+            by_table.setdefault(index.table_name, []).append(index)
+
+        best: dict[str, tuple[float, str | None]] = {}
+        ordered: dict[tuple[str, str], tuple[float, str | None]] = {}
+        for entry in self._query.rels:
+            alias = entry.alias
+            best[alias] = (self._seq_costs[alias], None)
+            for index in by_table.get(entry.table.name, []):
+                info = self._access_info(alias, index)
+                if info.cost < best[alias][0]:
+                    best[alias] = (info.cost, index.name)
+                for order_col in info.provides:
+                    key = (alias, order_col)
+                    if info.cost < ordered.get(key, (float("inf"), None))[0]:
+                        ordered[key] = (info.cost, index.name)
+        return best, ordered
+
+    def optimizer_cost(self, config_indexes=()) -> float:
+        """Ground truth: full optimizer call with the configuration
+        simulated as what-if indexes (used to validate INUM's accuracy)."""
+        stripped = self._strip_indexes(self._config)
+        base_hook = stripped.relation_info_hook
+        by_table: dict[str, list[Index]] = {}
+        for index in config_indexes:
+            by_table.setdefault(index.table_name, []).append(index)
+
+        def hook(cfg: PlannerConfig, catalog: Catalog, table_name: str) -> RelationInfo:
+            info = base_hook(cfg, catalog, table_name)
+            extra = []
+            for index in by_table.get(table_name, []):
+                leaf_pages = estimate_index_pages(
+                    info.table, index, info.row_count, info.column_stats
+                )
+                extra.append(
+                    IndexInfo(
+                        definition=index,
+                        leaf_pages=leaf_pages,
+                        height=1,
+                        index_tuples=info.row_count,
+                    )
+                )
+            return RelationInfo(
+                table=info.table,
+                row_count=info.row_count,
+                page_count=info.page_count,
+                indexes=tuple(extra),
+                column_stats=info.column_stats,
+            )
+
+        config = stripped.with_hook(hook)
+        plan = Planner(self._catalog, config).plan(self._query)
+        return plan.total_cost
+
+    @property
+    def entries(self) -> list[CacheEntry]:
+        return list(self._entries)
+
+    @property
+    def query(self) -> BoundQuery:
+        return self._query
+
+    @property
+    def base_cost(self) -> float:
+        """Cost with no indexes at all."""
+        return self.estimate(())
+
+
+def _decompose(plan: Plan) -> tuple[dict[str, tuple[float, float]], dict[str, float]]:
+    """Per-alias (scan cost, loop count) decomposition of a plan.
+
+    The inner side of a nested loop executes once per outer row; loop
+    multipliers compound down the tree.
+    """
+    scans: dict[str, tuple[float, float]] = {}
+
+    def walk(node: Plan, multiplier: float) -> None:
+        if isinstance(node, Scan):
+            scans[node.alias] = (node.total_cost, multiplier)
+            return
+        if isinstance(node, NestLoop):
+            walk(node.outer, multiplier)
+            walk(node.inner, multiplier * clamp_rows(node.outer.rows))
+            return
+        for child in node.children():
+            walk(child, multiplier)
+
+    walk(plan, 1.0)
+    loops = {alias: loop for alias, (_cost, loop) in scans.items()}
+    return scans, loops

@@ -1,0 +1,44 @@
+"""PostgreSQL-style cost-based optimizer.
+
+Mirrors the pieces of PostgreSQL 8.3's planner that PARINDA hooks into:
+statistics-driven selectivity estimation, access-path generation (seq
+scan, index scan, index-only scan, parameterized inner index scans),
+System-R dynamic-programming join ordering with nested-loop / hash /
+merge joins, sort and aggregate costing — and, crucially, *hooks* that
+let a what-if layer override the physical-design information the planner
+sees (``relation_info_hook``) plus ``enable_nestloop``-style flags (the
+paper's What-If Join component).
+"""
+
+from repro.optimizer.config import IndexInfo, PlannerConfig, RelationInfo
+from repro.optimizer.explain import explain
+from repro.optimizer.planner import Planner, plan_query
+from repro.optimizer.plans import (
+    Aggregate,
+    HashJoin,
+    IndexScan,
+    Limit,
+    MergeJoin,
+    NestLoop,
+    Plan,
+    SeqScan,
+    Sort,
+)
+
+__all__ = [
+    "Aggregate",
+    "HashJoin",
+    "IndexInfo",
+    "IndexScan",
+    "Limit",
+    "MergeJoin",
+    "NestLoop",
+    "Plan",
+    "Planner",
+    "PlannerConfig",
+    "RelationInfo",
+    "SeqScan",
+    "Sort",
+    "explain",
+    "plan_query",
+]

@@ -1,0 +1,321 @@
+"""Cost formulas following PostgreSQL's ``costsize.c``.
+
+Each function returns ``(startup_cost, total_cost)`` in the optimizer's
+abstract units (1.0 = one sequential page fetch). The index-scan model
+includes the Mackert–Lohman page-fetch estimate and PostgreSQL's
+correlation interpolation between the worst (random heap I/O per tuple)
+and best (sequential range of heap pages) cases — the parts that make
+what-if index benefits realistic.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.optimizer.config import IndexInfo, PlannerConfig, RelationInfo
+
+
+def clamp_rows(rows: float) -> float:
+    """Row estimates never drop below one (PG's clamp_row_est)."""
+    return max(1.0, rows)
+
+
+# ----------------------------------------------------------------------
+# Scans
+
+
+def cost_seqscan(
+    config: PlannerConfig,
+    rel: RelationInfo,
+    qual_count: int,
+) -> tuple[float, float]:
+    """Sequential scan: all pages once, CPU per tuple plus per qual."""
+    io = rel.page_count * config.seq_page_cost
+    cpu_per_tuple = config.cpu_tuple_cost + qual_count * config.cpu_operator_cost
+    total = io + rel.row_count * cpu_per_tuple
+    if not config.enable_seqscan:
+        total += config.disable_cost
+    return 0.0, total
+
+
+def index_pages_fetched(
+    tuples_fetched: float,
+    heap_pages: int,
+    effective_cache_size: int,
+    loop_count: float = 1.0,
+) -> float:
+    """Mackert–Lohman estimate of distinct heap pages fetched.
+
+    For repeated scans (``loop_count`` > 1) the total tuple count across
+    loops is used, then the result is divided per loop — caching across
+    iterations makes later loops cheaper, as in PG's
+    ``index_pages_fetched``.
+    """
+    T = max(1.0, float(heap_pages))
+    N = max(0.0, tuples_fetched * loop_count)
+    if N <= 0:
+        return 0.0
+    b = max(1.0, float(effective_cache_size))
+    if T <= b:
+        pages = (2.0 * T * N) / (2.0 * T + N)
+        pages = min(pages, T)
+    else:
+        lim = (2.0 * T * b) / (2.0 * T - b)
+        if N <= lim:
+            pages = (2.0 * T * N) / (2.0 * T + N)
+        else:
+            pages = b + (N - lim) * (T - b) / T
+        pages = min(pages, T)
+    return pages / loop_count
+
+
+def cost_index_scan(
+    config: PlannerConfig,
+    rel: RelationInfo,
+    index: IndexInfo,
+    index_selectivity: float,
+    heap_selectivity: float,
+    index_qual_ops: int,
+    filter_qual_ops: int,
+    index_only: bool,
+    correlation: float,
+    loop_count: float = 1.0,
+) -> tuple[float, float]:
+    """B-Tree index scan cost, optionally index-only or parameterized.
+
+    Args:
+        index_selectivity: Fraction of index entries the index quals
+            keep (drives leaf pages touched and index CPU).
+        heap_selectivity: Fraction of heap rows fetched (equals
+            index_selectivity for plain scans; may differ when extra
+            filter quals apply after the fetch).
+        index_only: All needed columns are in the key — skip heap I/O.
+        correlation: Physical correlation of the leading key column.
+        loop_count: Expected repetitions (inner of a nested loop).
+    """
+    # Descent: one comparison per tree level plus a page touch per level.
+    startup = (index.height + 1) * 50 * config.cpu_operator_cost
+
+    tuples_indexed = clamp_rows(index.index_tuples * index_selectivity)
+    leaf_pages = max(1.0, index.leaf_pages * index_selectivity)
+    # Leaf pages of one index range are physically adjacent: charge the
+    # first page random, the rest sequential (PG 8.3 charged all random;
+    # modern PG amortizes — we follow the modern model).
+    index_io = config.random_page_cost + (leaf_pages - 1.0) * config.seq_page_cost
+    index_cpu = tuples_indexed * (
+        config.cpu_index_tuple_cost + index_qual_ops * config.cpu_operator_cost
+    )
+
+    if index_only:
+        heap_io = 0.0
+        tuples_fetched = 0.0
+    else:
+        tuples_fetched = clamp_rows(rel.row_count * heap_selectivity)
+        max_pages = index_pages_fetched(
+            tuples_fetched, rel.page_count, config.effective_cache_size_pages, loop_count
+        )
+        max_io = max_pages * config.random_page_cost
+        min_pages = max(1.0, math.ceil(heap_selectivity * rel.page_count))
+        min_io = config.random_page_cost + (min_pages - 1.0) * config.seq_page_cost
+        if loop_count > 1:
+            min_io /= loop_count
+        csquared = correlation * correlation
+        heap_io = max_io + csquared * (min_io - max_io)
+
+    heap_cpu = tuples_fetched * config.cpu_tuple_cost
+    filter_cpu = (
+        clamp_rows(rel.row_count * heap_selectivity)
+        * filter_qual_ops
+        * config.cpu_operator_cost
+    )
+    if index_only:
+        # Returned tuples still cost CPU.
+        heap_cpu = tuples_indexed * config.cpu_tuple_cost
+        filter_cpu = tuples_indexed * filter_qual_ops * config.cpu_operator_cost
+
+    total = startup + index_io + index_cpu + heap_io + heap_cpu + filter_cpu
+    if not config.enable_indexscan:
+        total += config.disable_cost
+    if index_only and not config.enable_indexonlyscan:
+        total += config.disable_cost
+    return startup, total
+
+
+# ----------------------------------------------------------------------
+# Sort / aggregate
+
+
+def cost_sort(
+    config: PlannerConfig,
+    input_startup: float,
+    input_total: float,
+    input_rows: float,
+    input_width: int,
+) -> tuple[float, float]:
+    """Sort cost: comparison CPU, plus external-merge I/O when the
+    input exceeds work_mem (PG's cost_sort)."""
+    rows = clamp_rows(input_rows)
+    comparison = 2.0 * config.cpu_operator_cost
+    log_rows = math.log2(rows) if rows > 1 else 1.0
+    cpu = comparison * rows * log_rows
+
+    input_bytes = rows * max(1, input_width)
+    io = 0.0
+    if input_bytes > config.work_mem_bytes:
+        pages = input_bytes / 8192.0
+        # One write+read pass per merge level; assume a single level, as
+        # PG's approximation does for realistic work_mem.
+        io = 2.0 * pages * config.seq_page_cost
+
+    startup = input_total + cpu + io
+    total = startup + config.cpu_operator_cost * rows
+    if not config.enable_sort:
+        total += config.disable_cost
+    return startup, total
+
+
+def cost_agg_hash(
+    config: PlannerConfig,
+    input_startup: float,
+    input_total: float,
+    input_rows: float,
+    num_group_cols: int,
+    num_aggs: int,
+    output_groups: float,
+) -> tuple[float, float]:
+    rows = clamp_rows(input_rows)
+    cpu = rows * (num_group_cols + num_aggs) * config.cpu_operator_cost
+    startup = input_total + cpu
+    total = startup + clamp_rows(output_groups) * config.cpu_tuple_cost
+    if not config.enable_hashagg:
+        total += config.disable_cost
+    return startup, total
+
+
+def cost_agg_sorted(
+    config: PlannerConfig,
+    input_startup: float,
+    input_total: float,
+    input_rows: float,
+    num_group_cols: int,
+    num_aggs: int,
+    output_groups: float,
+) -> tuple[float, float]:
+    rows = clamp_rows(input_rows)
+    cpu = rows * (num_group_cols + num_aggs) * config.cpu_operator_cost
+    startup = input_startup
+    total = input_total + cpu + clamp_rows(output_groups) * config.cpu_tuple_cost
+    return startup, total
+
+
+def cost_plain_agg(
+    config: PlannerConfig,
+    input_startup: float,
+    input_total: float,
+    input_rows: float,
+    num_aggs: int,
+) -> tuple[float, float]:
+    rows = clamp_rows(input_rows)
+    total = input_total + rows * num_aggs * config.cpu_operator_cost
+    return total, total + config.cpu_tuple_cost
+
+
+# ----------------------------------------------------------------------
+# Joins
+
+
+def cost_nestloop(
+    config: PlannerConfig,
+    outer: tuple[float, float, float],
+    inner_total: float,
+    inner_rescan: float,
+    join_rows: float,
+    qual_ops: int,
+) -> tuple[float, float]:
+    """Nested loop: outer once, inner rescanned per outer row.
+
+    ``outer`` is (startup, total, rows); ``inner_rescan`` is the cost of
+    one repeat execution of the inner side.
+    """
+    outer_startup, outer_total, outer_rows = outer
+    outer_rows = clamp_rows(outer_rows)
+    run = (
+        outer_total
+        + inner_total
+        + (outer_rows - 1.0) * inner_rescan
+        + clamp_rows(join_rows) * config.cpu_tuple_cost
+        + outer_rows * qual_ops * config.cpu_operator_cost
+    )
+    startup = outer_startup
+    total = run
+    if not config.enable_nestloop:
+        total += config.disable_cost
+    return startup, total
+
+
+def cost_hashjoin(
+    config: PlannerConfig,
+    outer: tuple[float, float, float, int],
+    inner: tuple[float, float, float, int],
+    join_rows: float,
+    num_hash_keys: int,
+) -> tuple[float, float]:
+    """Hash join: build the inner side, probe with the outer.
+
+    ``outer``/``inner`` are (startup, total, rows, width).
+    """
+    outer_startup, outer_total, outer_rows, _outer_width = outer
+    inner_startup, inner_total, inner_rows, inner_width = inner
+    outer_rows = clamp_rows(outer_rows)
+    inner_rows = clamp_rows(inner_rows)
+
+    build = inner_total + inner_rows * (
+        config.cpu_operator_cost * num_hash_keys + config.cpu_tuple_cost * 0.5
+    )
+    probe = outer_rows * config.cpu_operator_cost * num_hash_keys
+
+    # Spill to disk when the build side exceeds work_mem: batch I/O.
+    io = 0.0
+    inner_bytes = inner_rows * max(1, inner_width)
+    if inner_bytes > config.work_mem_bytes:
+        pages = inner_bytes / 8192.0
+        io = 2.0 * pages * config.seq_page_cost
+
+    startup = build  # hash table must be complete before output
+    total = (
+        build
+        + outer_total
+        + probe
+        + io
+        + clamp_rows(join_rows) * config.cpu_tuple_cost
+    )
+    if not config.enable_hashjoin:
+        total += config.disable_cost
+    return startup, total
+
+
+def cost_mergejoin(
+    config: PlannerConfig,
+    outer_sorted: tuple[float, float, float],
+    inner_sorted: tuple[float, float, float],
+    join_rows: float,
+    num_merge_keys: int,
+) -> tuple[float, float]:
+    """Merge join over already-sorted inputs (sort cost added by caller)."""
+    outer_startup, outer_total, outer_rows = outer_sorted
+    inner_startup, inner_total, inner_rows = inner_sorted
+    scan_cpu = (
+        (clamp_rows(outer_rows) + clamp_rows(inner_rows))
+        * config.cpu_operator_cost
+        * num_merge_keys
+    )
+    startup = outer_startup + inner_startup
+    total = (
+        outer_total
+        + inner_total
+        + scan_cpu
+        + clamp_rows(join_rows) * config.cpu_tuple_cost
+    )
+    if not config.enable_mergejoin:
+        total += config.disable_cost
+    return startup, total

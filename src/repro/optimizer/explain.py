@@ -1,0 +1,110 @@
+"""EXPLAIN-style plan rendering.
+
+Produces text close to PostgreSQL's ``EXPLAIN`` output so humans can
+eyeball what-if plans — the demo's interactive scenario shows exactly
+this comparison between simulated and materialized designs.
+"""
+
+from __future__ import annotations
+
+from repro.optimizer.plans import (
+    Aggregate,
+    HashJoin,
+    IndexScan,
+    Limit,
+    MergeJoin,
+    NestLoop,
+    Plan,
+    Project,
+    SeqScan,
+    Sort,
+)
+from repro.sql.printer import expr_to_sql
+
+
+def explain(plan: Plan) -> str:
+    """Render ``plan`` as indented EXPLAIN text."""
+    lines: list[str] = []
+    _render(plan, 0, lines)
+    return "\n".join(lines)
+
+
+def _costs(plan: Plan) -> str:
+    return (
+        f"(cost={plan.startup_cost:.2f}..{plan.total_cost:.2f} "
+        f"rows={plan.rows:.0f} width={plan.width})"
+    )
+
+
+def _render(plan: Plan, depth: int, lines: list[str]) -> None:
+    pad = "  " * depth
+    arrow = "" if depth == 0 else "->  "
+    header = f"{pad}{arrow}{_describe(plan)}  {_costs(plan)}"
+    lines.append(header)
+    for detail in _details(plan):
+        lines.append(f"{pad}      {detail}")
+    for child in plan.children():
+        _render(child, depth + 1, lines)
+
+
+def _describe(plan: Plan) -> str:
+    if isinstance(plan, SeqScan):
+        return f"Seq Scan on {plan.table_name} {plan.alias}"
+    if isinstance(plan, IndexScan):
+        kind = "Index Only Scan" if plan.index_only else "Index Scan"
+        hypo = " (hypothetical)" if plan.hypothetical else ""
+        return (
+            f"{kind} using {plan.index_name}{hypo} on {plan.table_name} {plan.alias}"
+        )
+    if isinstance(plan, NestLoop):
+        return "Nested Loop"
+    if isinstance(plan, HashJoin):
+        return "Hash Join"
+    if isinstance(plan, MergeJoin):
+        return "Merge Join"
+    if isinstance(plan, Sort):
+        return "Sort"
+    if isinstance(plan, Aggregate):
+        names = {"hash": "HashAggregate", "sorted": "GroupAggregate", "plain": "Aggregate"}
+        return names.get(plan.strategy, "Aggregate")
+    if isinstance(plan, Project):
+        return "Result" if not plan.distinct else "Unique"
+    if isinstance(plan, Limit):
+        return f"Limit ({plan.count})"
+    return plan.node_name
+
+
+def _details(plan: Plan) -> list[str]:
+    details: list[str] = []
+    if isinstance(plan, IndexScan):
+        if plan.index_quals:
+            rendered = " AND ".join(expr_to_sql(q) for q in plan.index_quals)
+            details.append(f"Index Cond: {rendered}")
+        if plan.ref_quals:
+            rendered = " AND ".join(
+                f"{col} = {expr_to_sql(outer)}" for col, outer in plan.ref_quals
+            )
+            details.append(f"Index Cond (join): {rendered}")
+    if isinstance(plan, (SeqScan, IndexScan)) and plan.filter_quals:
+        rendered = " AND ".join(expr_to_sql(q) for q in plan.filter_quals)
+        details.append(f"Filter: {rendered}")
+    if isinstance(plan, HashJoin) and plan.hash_keys:
+        rendered = " AND ".join(
+            f"{expr_to_sql(a)} = {expr_to_sql(b)}" for a, b in plan.hash_keys
+        )
+        details.append(f"Hash Cond: {rendered}")
+    if isinstance(plan, MergeJoin) and plan.merge_keys:
+        rendered = " AND ".join(
+            f"{expr_to_sql(a)} = {expr_to_sql(b)}" for a, b in plan.merge_keys
+        )
+        details.append(f"Merge Cond: {rendered}")
+    if isinstance(plan, Sort) and plan.sort_keys:
+        rendered = ", ".join(
+            expr_to_sql(k.expr) + (" DESC" if k.descending else "")
+            for k in plan.sort_keys
+        )
+        details.append(f"Sort Key: {rendered}")
+    if isinstance(plan, Aggregate) and plan.group_keys:
+        rendered = ", ".join(expr_to_sql(k) for k in plan.group_keys)
+        details.append(f"Group Key: {rendered}")
+    return details

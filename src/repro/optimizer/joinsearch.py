@@ -1,0 +1,414 @@
+"""System-R dynamic-programming join enumeration.
+
+Enumerates join orders level-by-level over connected subsets of the join
+graph (falling back to cartesian products only when the graph is
+disconnected), considering nested-loop (including parameterized inner
+index scans), hash, and merge joins. The workloads here join a handful
+of relations, so exhaustive DP is cheap — this is the "no greedy
+pruning" spirit of the paper applied to join search.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.optimizer.clauses import ClassifiedClause
+from repro.optimizer.config import PlannerConfig, RelationInfo
+from repro.optimizer.cost import (
+    clamp_rows,
+    cost_hashjoin,
+    cost_mergejoin,
+    cost_nestloop,
+    cost_sort,
+)
+from repro.optimizer.paths import BaseRel
+from repro.optimizer.selectivity import (
+    equijoin_selectivity,
+    generic_join_selectivity,
+)
+from repro.optimizer.plans import (
+    HashJoin,
+    IndexScan,
+    MergeJoin,
+    NestLoop,
+    Plan,
+    Sort,
+)
+from repro.sql.ast_nodes import ColumnRef, SortItem
+from repro.errors import PlannerError
+
+
+def order_satisfies(out_order: tuple, required: tuple) -> bool:
+    """True when a plan ordered by ``out_order`` is sorted by ``required``
+    (the requirement must be a prefix of the delivered order)."""
+    return len(required) <= len(out_order) and out_order[: len(required)] == required
+
+
+@dataclass
+class RelSet:
+    """DP table entry: best plans for one subset of relations.
+
+    Keeps the cheapest plan overall plus the cheapest plan per distinct
+    output order — classic interesting-order bookkeeping, so an ordered
+    (slightly costlier) plan survives to enable sort-free merge joins,
+    sorted aggregation, or a sort-free ORDER BY higher up.
+    """
+
+    aliases: frozenset[str]
+    rows: float
+    width: int
+    cheapest: Plan | None = None
+    by_order: dict[tuple, Plan] = field(default_factory=dict)
+    # Parameterized plans (base rels only): plans requiring outer rels.
+    parameterized: list[IndexScan] = field(default_factory=list)
+
+    def consider(self, plan: Plan) -> None:
+        if self.cheapest is None or plan.total_cost < self.cheapest.total_cost:
+            self.cheapest = plan
+        if plan.out_order:
+            key = plan.out_order
+            existing = self.by_order.get(key)
+            if existing is None or plan.total_cost < existing.total_cost:
+                self.by_order[key] = plan
+
+    def candidates(self) -> list[Plan]:
+        """Distinct plans worth joining from (cheapest + per-order bests)."""
+        plans: list[Plan] = []
+        if self.cheapest is not None:
+            plans.append(self.cheapest)
+        for plan in self.by_order.values():
+            if plan is not self.cheapest:
+                plans.append(plan)
+        return plans
+
+
+class JoinSearch:
+    """Runs the DP over one query's base relations."""
+
+    def __init__(
+        self,
+        config: PlannerConfig,
+        base_rels: dict[str, BaseRel],
+        base_plans: dict[str, list[Plan]],
+        param_plans: dict[str, list[IndexScan]],
+        join_clauses: list[ClassifiedClause],
+    ) -> None:
+        self._config = config
+        self._base_rels = base_rels
+        self._join_clauses = join_clauses
+        self._table: dict[frozenset[str], RelSet] = {}
+
+        for alias, rel in base_rels.items():
+            key = frozenset([alias])
+            entry = RelSet(aliases=key, rows=rel.rows, width=rel.width)
+            for plan in base_plans[alias]:
+                entry.consider(plan)
+            entry.parameterized = list(param_plans.get(alias, []))
+            if entry.cheapest is None:
+                raise PlannerError(f"no access path for relation {alias!r}")
+            self._table[key] = entry
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> RelSet:
+        """Run the DP; returns the final RelSet (cheapest + ordered plans)."""
+        aliases = sorted(self._base_rels)
+        n = len(aliases)
+        if n == 1:
+            return self._table[frozenset(aliases)]
+
+        for level in range(2, n + 1):
+            for subset in itertools.combinations(aliases, level):
+                subset_key = frozenset(subset)
+                entry = self._make_relset(subset_key)
+                for left_key, right_key in self._splits(subset_key):
+                    self._consider_join(entry, left_key, right_key)
+                if entry.cheapest is not None:
+                    self._table[subset_key] = entry
+            # When the join graph is disconnected no subset at this level
+            # may have produced a plan through connected splits; retry
+            # allowing cartesian products.
+            missing = [
+                frozenset(s)
+                for s in itertools.combinations(aliases, level)
+                if frozenset(s) not in self._table
+            ]
+            for subset_key in missing:
+                entry = self._make_relset(subset_key)
+                for left_key, right_key in self._splits(subset_key, allow_cartesian=True):
+                    self._consider_join(entry, left_key, right_key)
+                if entry.cheapest is not None:
+                    self._table[subset_key] = entry
+
+        final = self._table.get(frozenset(aliases))
+        if final is None or final.cheapest is None:
+            raise PlannerError("join search failed to produce a complete plan")
+        return final
+
+    # ------------------------------------------------------------------
+
+    def _make_relset(self, key: frozenset[str]) -> RelSet:
+        rows = 1.0
+        width = 0
+        for alias in key:
+            rel = self._base_rels[alias]
+            rows *= rel.rows
+            width += rel.width
+        for clause in self._join_clauses:
+            if clause.rels <= key and len(clause.rels) > 1:
+                rows *= self._join_clause_selectivity(clause)
+        return RelSet(aliases=key, rows=clamp_rows(rows), width=width)
+
+    def _join_clause_selectivity(self, clause: ClassifiedClause) -> float:
+        if clause.equi_join is not None:
+            (alias_a, col_a), (alias_b, col_b) = clause.equi_join
+            return equijoin_selectivity(
+                self._base_rels[alias_a].info,
+                col_a,
+                self._base_rels[alias_b].info,
+                col_b,
+            )
+        return generic_join_selectivity(clause.expr)
+
+    def _splits(self, key: frozenset[str], allow_cartesian: bool = False):
+        """Yield (left, right) partitions of ``key`` present in the table."""
+        members = sorted(key)
+        for r in range(1, len(members)):
+            for left in itertools.combinations(members, r):
+                left_key = frozenset(left)
+                right_key = key - left_key
+                if left_key not in self._table or right_key not in self._table:
+                    continue
+                if not allow_cartesian and not self._connected(left_key, right_key):
+                    continue
+                yield left_key, right_key
+
+    def _connected(self, left: frozenset[str], right: frozenset[str]) -> bool:
+        for clause in self._join_clauses:
+            if len(clause.rels) > 1 and clause.rels & left and clause.rels & right:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+
+    def _consider_join(
+        self, entry: RelSet, left_key: frozenset[str], right_key: frozenset[str]
+    ) -> None:
+        left = self._table[left_key]
+        right = self._table[right_key]
+        connecting = [
+            c
+            for c in self._join_clauses
+            if len(c.rels) > 1
+            and c.rels <= entry.aliases
+            and c.rels & left_key
+            and c.rels & right_key
+        ]
+        quals = tuple(c.expr for c in connecting)
+        equi_pairs = self._equi_pairs(connecting, left_key, right_key)
+        join_rows = entry.rows
+
+        self._consider_nestloop(entry, left, right, quals, join_rows)
+        if equi_pairs:
+            self._consider_hashjoin(entry, left, right, quals, equi_pairs, join_rows)
+            self._consider_mergejoin(entry, left, right, quals, equi_pairs, join_rows)
+
+    @staticmethod
+    def _equi_pairs(
+        connecting: list[ClassifiedClause],
+        left_key: frozenset[str],
+        right_key: frozenset[str],
+    ) -> list[tuple[ColumnRef, ColumnRef]]:
+        pairs = []
+        for clause in connecting:
+            if clause.equi_join is None:
+                continue
+            (alias_a, col_a), (alias_b, col_b) = clause.equi_join
+            ref_a = ColumnRef(column=col_a, table=alias_a)
+            ref_b = ColumnRef(column=col_b, table=alias_b)
+            if alias_a in left_key:
+                pairs.append((ref_a, ref_b))
+            else:
+                pairs.append((ref_b, ref_a))
+        return pairs
+
+    def _consider_nestloop(
+        self,
+        entry: RelSet,
+        left: RelSet,
+        right: RelSet,
+        quals: tuple,
+        join_rows: float,
+    ) -> None:
+        config = self._config
+        for outer, inner in ((left, right), (right, left)):
+            for outer_plan in outer.candidates():
+                # Plain inner (rescanned materialization-free).
+                inner_plan = inner.cheapest
+                if inner_plan is not None:
+                    startup, total = cost_nestloop(
+                        config,
+                        (
+                            outer_plan.startup_cost,
+                            outer_plan.total_cost,
+                            outer_plan.rows,
+                        ),
+                        inner_total=inner_plan.total_cost,
+                        inner_rescan=inner_plan.total_cost,
+                        join_rows=join_rows,
+                        qual_ops=max(1, len(quals)) * 1,
+                    )
+                    entry.consider(
+                        NestLoop(
+                            startup_cost=startup,
+                            total_cost=total,
+                            rows=join_rows,
+                            width=entry.width,
+                            out_order=outer_plan.out_order,
+                            outer=outer_plan,
+                            inner=inner_plan,
+                            join_quals=quals,
+                        )
+                    )
+                # Parameterized inner index scans.
+                for param in inner.parameterized:
+                    if not param.param_rels <= outer.aliases:
+                        continue
+                    startup, total = cost_nestloop(
+                        config,
+                        (
+                            outer_plan.startup_cost,
+                            outer_plan.total_cost,
+                            outer_plan.rows,
+                        ),
+                        inner_total=param.total_cost,
+                        inner_rescan=param.rescan_cost,
+                        join_rows=join_rows,
+                        qual_ops=0,  # join clause enforced by the index itself
+                    )
+                    entry.consider(
+                        NestLoop(
+                            startup_cost=startup,
+                            total_cost=total,
+                            rows=join_rows,
+                            width=entry.width,
+                            out_order=outer_plan.out_order,
+                            outer=outer_plan,
+                            inner=param,
+                            join_quals=quals,
+                        )
+                    )
+
+    def _consider_hashjoin(
+        self,
+        entry: RelSet,
+        left: RelSet,
+        right: RelSet,
+        quals: tuple,
+        equi_pairs: list[tuple[ColumnRef, ColumnRef]],
+        join_rows: float,
+    ) -> None:
+        config = self._config
+        for outer, inner, pairs in (
+            (left, right, equi_pairs),
+            (right, left, [(b, a) for a, b in equi_pairs]),
+        ):
+            inner_plan = inner.cheapest
+            if inner_plan is None:
+                continue
+            for outer_plan in outer.candidates():
+                startup, total = cost_hashjoin(
+                    config,
+                    (
+                        outer_plan.startup_cost,
+                        outer_plan.total_cost,
+                        outer_plan.rows,
+                        outer_plan.width,
+                    ),
+                    (
+                        inner_plan.startup_cost,
+                        inner_plan.total_cost,
+                        inner_plan.rows,
+                        inner_plan.width,
+                    ),
+                    join_rows=join_rows,
+                    num_hash_keys=len(pairs),
+                )
+                entry.consider(
+                    HashJoin(
+                        startup_cost=startup,
+                        total_cost=total,
+                        rows=join_rows,
+                        width=entry.width,
+                        out_order=outer_plan.out_order,
+                        outer=outer_plan,
+                        inner=inner_plan,
+                        join_quals=quals,
+                        hash_keys=tuple(pairs),
+                    )
+                )
+
+    def _consider_mergejoin(
+        self,
+        entry: RelSet,
+        left: RelSet,
+        right: RelSet,
+        quals: tuple,
+        equi_pairs: list[tuple[ColumnRef, ColumnRef]],
+        join_rows: float,
+    ) -> None:
+        config = self._config
+        outer_keys = [a for a, _ in equi_pairs]
+        inner_keys = [b for _, b in equi_pairs]
+        for outer_plan in left.candidates():
+            for inner_plan in right.candidates():
+                sorted_outer = self._sorted_plan(outer_plan, outer_keys)
+                sorted_inner = self._sorted_plan(inner_plan, inner_keys)
+                startup, total = cost_mergejoin(
+                    config,
+                    (
+                        sorted_outer.startup_cost,
+                        sorted_outer.total_cost,
+                        sorted_outer.rows,
+                    ),
+                    (
+                        sorted_inner.startup_cost,
+                        sorted_inner.total_cost,
+                        sorted_inner.rows,
+                    ),
+                    join_rows=join_rows,
+                    num_merge_keys=len(equi_pairs),
+                )
+                entry.consider(
+                    MergeJoin(
+                        startup_cost=startup,
+                        total_cost=total,
+                        rows=join_rows,
+                        width=entry.width,
+                        out_order=sorted_outer.out_order,
+                        outer=sorted_outer,
+                        inner=sorted_inner,
+                        join_quals=quals,
+                        merge_keys=tuple(equi_pairs),
+                    )
+                )
+
+    def _sorted_plan(self, plan: Plan, keys: list[ColumnRef]) -> Plan:
+        """Sort ``plan`` by ``keys`` — or return it as-is when its output
+        order already satisfies them (the interesting-order payoff)."""
+        required = tuple((k.table, k.column) for k in keys)
+        if order_satisfies(plan.out_order, required):
+            return plan
+        startup, total = cost_sort(
+            self._config, plan.startup_cost, plan.total_cost, plan.rows, plan.width
+        )
+        return Sort(
+            startup_cost=startup,
+            total_cost=total,
+            rows=plan.rows,
+            width=plan.width,
+            out_order=required,
+            child=plan,
+            sort_keys=tuple(SortItem(expr=k) for k in keys),
+        )

@@ -1,0 +1,207 @@
+"""Physical plan nodes.
+
+Plan nodes double as paths during planning (this substrate skips
+PostgreSQL's separate Path representation): every node carries
+``startup_cost``, ``total_cost``, estimated ``rows`` and output
+``width``, plus enough structure for the executor to run it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Iterator
+
+from repro.sql.ast_nodes import Expr, SelectItem, SortItem
+
+
+@dataclass(frozen=True)
+class Plan:
+    """Base plan node.
+
+    ``out_order`` is the sort order the node's output is known to have:
+    a tuple of ``(alias, column)`` pairs, major key first (ascending).
+    Index scans deliver their key order, sorts deliver their sort keys,
+    nested-loop and merge joins preserve the outer side's order, hash
+    joins preserve the probe (outer) side's order in this executor.
+    Interesting-order reuse (skipping sorts) is what gives INUM's cached
+    plans their per-order identity.
+    """
+
+    startup_cost: float
+    total_cost: float
+    rows: float
+    width: int
+    out_order: tuple[tuple[str, str], ...] = ()
+
+    def children(self) -> tuple["Plan", ...]:
+        return ()
+
+    def walk(self) -> Iterator["Plan"]:
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    @property
+    def node_name(self) -> str:
+        return type(self).__name__
+
+    def with_costs(self, startup: float, total: float) -> "Plan":
+        return replace(self, startup_cost=startup, total_cost=total)
+
+
+@dataclass(frozen=True)
+class Scan(Plan):
+    """Base class of leaf scans over one relation."""
+
+    alias: str = ""
+    table_name: str = ""
+    filter_quals: tuple[Expr, ...] = ()
+
+
+@dataclass(frozen=True)
+class SeqScan(Scan):
+    """Full heap scan with optional filter."""
+
+
+@dataclass(frozen=True)
+class IndexScan(Scan):
+    """B-Tree index scan.
+
+    Attributes:
+        index_name: The chosen index.
+        index_columns: Its key columns.
+        index_quals: Restriction clauses matched to the index
+            (evaluated by descending/ranging the tree).
+        ref_quals: Join clauses bound to the index for parameterized
+            (inner-of-nested-loop) scans: ``(index_column, outer_expr)``
+            pairs; the outer expression is evaluated per outer row.
+        index_only: No heap fetches needed — all referenced columns are
+            in the index key.
+        param_rels: Aliases this scan's parameterization depends on
+            (empty for plain scans).
+        rescan_cost: Total cost of one repeat execution (used by the
+            nested-loop cost model and the executor accounting).
+    """
+
+    index_name: str = ""
+    index_columns: tuple[str, ...] = ()
+    index_quals: tuple[Expr, ...] = ()
+    ref_quals: tuple[tuple[str, Expr], ...] = ()
+    index_only: bool = False
+    param_rels: frozenset[str] = frozenset()
+    rescan_cost: float = 0.0
+    hypothetical: bool = False
+
+
+@dataclass(frozen=True)
+class Join(Plan):
+    """Base class of binary joins."""
+
+    outer: Plan = None  # type: ignore[assignment]
+    inner: Plan = None  # type: ignore[assignment]
+    join_quals: tuple[Expr, ...] = ()
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.outer, self.inner)
+
+
+@dataclass(frozen=True)
+class NestLoop(Join):
+    """Nested-loop join; the inner side may be a parameterized index scan."""
+
+
+@dataclass(frozen=True)
+class HashJoin(Join):
+    """Hash join; ``hash_keys`` holds (outer_expr, inner_expr) pairs."""
+
+    hash_keys: tuple[tuple[Expr, Expr], ...] = ()
+
+
+@dataclass(frozen=True)
+class MergeJoin(Join):
+    """Merge join over sorted inputs; ``merge_keys`` like ``hash_keys``."""
+
+    merge_keys: tuple[tuple[Expr, Expr], ...] = ()
+
+
+@dataclass(frozen=True)
+class Sort(Plan):
+    """Explicit sort on ``sort_keys``."""
+
+    child: Plan = None  # type: ignore[assignment]
+    sort_keys: tuple[SortItem, ...] = ()
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.child,)
+
+
+@dataclass(frozen=True)
+class Aggregate(Plan):
+    """Aggregation/grouping node.
+
+    ``strategy`` is ``"hash"``, ``"sorted"``, or ``"plain"`` (no GROUP
+    BY). Output columns are the query's select items.
+    """
+
+    child: Plan = None  # type: ignore[assignment]
+    strategy: str = "plain"
+    group_keys: tuple[Expr, ...] = ()
+    output: tuple[SelectItem, ...] = ()
+    having: Expr | None = None
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.child,)
+
+
+@dataclass(frozen=True)
+class Project(Plan):
+    """Compute the final select list for non-aggregate queries."""
+
+    child: Plan = None  # type: ignore[assignment]
+    output: tuple[SelectItem, ...] = ()
+    distinct: bool = False
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.child,)
+
+
+@dataclass(frozen=True)
+class Limit(Plan):
+    """Stop after ``count`` rows."""
+
+    child: Plan = None  # type: ignore[assignment]
+    count: int = 0
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.child,)
+
+
+def scan_nodes(plan: Plan) -> list[Scan]:
+    """All leaf scan nodes of a plan, in walk order."""
+    return [node for node in plan.walk() if isinstance(node, Scan)]
+
+
+def indexes_used(plan: Plan) -> dict[str, str]:
+    """Mapping alias -> index name for every index scan in the plan."""
+    return {
+        node.alias: node.index_name
+        for node in plan.walk()
+        if isinstance(node, IndexScan)
+    }
+
+
+def plan_signature(plan: Plan) -> tuple:
+    """A hashable structural signature (node types + scan choices).
+
+    Two plans with the same signature have identical shape — used when
+    verifying that a what-if design and its materialized twin produce
+    the same plan (experiment E3).
+    """
+    parts: list[Any] = [plan.node_name]
+    if isinstance(plan, IndexScan):
+        parts.extend([plan.alias, plan.index_columns, plan.index_only])
+    elif isinstance(plan, Scan):
+        parts.append(plan.alias)
+    for child in plan.children():
+        parts.append(plan_signature(child))
+    return tuple(parts)

@@ -1,0 +1,23 @@
+"""Automatic partition suggestion: the AutoPart technique (SSDBM 2004).
+
+Vertical partitioning driven by attribute usage: atomic fragments are
+the "thinnest possible fragments ... accessed atomically" (columns used
+by exactly the same queries), composite fragments are unions of
+fragments co-accessed by some query, and fragment selection iterates
+generation → what-if evaluation → selection under a replication
+constraint until no further improvement. An automatic query rewriter
+redirects the workload onto the chosen fragments, joining them back on
+the primary key where a query spans several.
+"""
+
+from repro.partitioning.autopart import AutoPartAdvisor, PartitionAdvisorResult
+from repro.partitioning.fragments import atomic_fragments, attribute_usage
+from repro.partitioning.rewrite import PartitionRewriter
+
+__all__ = [
+    "AutoPartAdvisor",
+    "PartitionAdvisorResult",
+    "PartitionRewriter",
+    "atomic_fragments",
+    "attribute_usage",
+]

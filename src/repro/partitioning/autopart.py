@@ -1,0 +1,404 @@
+"""The AutoPart algorithm: iterative composite-fragment selection.
+
+Faithful to Papadomanolakis & Ailamaki (SSDBM 2004) as summarized in
+PARINDA §3.3:
+
+1. **Atomic fragments** — per table, group columns by identical query
+   usage; this is the initial layout.
+2. **Fragment generation** — composite candidates are unions of a
+   selected fragment with an atomic fragment (or two atomics) that some
+   query co-accesses.
+3. **Fragment selection** — each candidate layout is priced through the
+   what-if machinery (shell tables + rewritten queries, no data moved);
+   the best-improving composite is adopted if the *replication
+   constraint* (total fragment size vs. original table size) allows.
+4. Iterate until no candidate improves the workload; suggest the final
+   layout with per-query benefits and the rewritten workload.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.advisor.ilp_advisor import QueryBenefit
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import PartitionScheme
+from repro.catalog.sizing import BLOCK_SIZE, column_width
+from repro.errors import AdvisorError
+from repro.optimizer.config import PlannerConfig
+from repro.optimizer.planner import Planner
+from repro.partitioning.fragments import (
+    atomic_fragments,
+    attribute_usage,
+    co_accessed,
+    fragment_with_pk,
+)
+from repro.partitioning.rewrite import PartitionRewriter
+from repro.sql.binder import bind
+from repro.sql.printer import to_sql
+from repro.whatif.session import WhatIfSession
+from repro.workloads.workload import Workload
+
+_MIN_IMPROVEMENT = 1e-6
+
+
+@dataclass
+class PartitionAdvisorResult:
+    """The suggested partitions plus benefit accounting."""
+
+    schemes: dict[str, PartitionScheme]
+    cost_before: float
+    cost_after: float
+    per_query: list[QueryBenefit]
+    rewritten_sql: dict[str, str]
+    iterations: int
+    evaluations: int
+    elapsed_seconds: float
+    replication_limit: float
+
+    @property
+    def speedup(self) -> float:
+        if self.cost_after <= 0:
+            return float("inf")
+        return self.cost_before / self.cost_after
+
+    @property
+    def benefit(self) -> float:
+        return self.cost_before - self.cost_after
+
+
+@dataclass
+class _Layout:
+    """One candidate layout: per-table fragment lists (logical columns,
+    no primary key)."""
+
+    fragments: dict[str, list[tuple[str, ...]]] = field(default_factory=dict)
+
+    def copy(self) -> "_Layout":
+        return _Layout(fragments={t: list(f) for t, f in self.fragments.items()})
+
+    def signature(self, tables: frozenset[str]) -> tuple:
+        return tuple(
+            (t, tuple(sorted(self.fragments.get(t, ()))))
+            for t in sorted(tables)
+        )
+
+
+class AutoPartAdvisor:
+    """Automatic partition suggestion component."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        config: PlannerConfig | None = None,
+        replication_limit: float = 0.25,
+        max_iterations: int = 10,
+        tables: list[str] | None = None,
+        candidates_per_iteration: int = 24,
+    ) -> None:
+        """Args:
+        replication_limit: Extra storage allowed for replicated
+            columns (primary keys and overlapping fragments), as a
+            fraction of the original table size — the paper's
+            "maximum space taken by replicated columns" constraint.
+        tables: Restrict partitioning to these tables (default: every
+            table the workload references).
+        """
+        if replication_limit < 0:
+            raise AdvisorError("replication limit must be non-negative")
+        self._catalog = catalog
+        self._config = config or PlannerConfig()
+        self._replication_limit = replication_limit
+        self._max_iterations = max_iterations
+        self._only_tables = set(tables) if tables is not None else None
+        self._candidates_per_iteration = candidates_per_iteration
+
+    # ------------------------------------------------------------------
+
+    def recommend(self, workload: Workload) -> PartitionAdvisorResult:
+        started = time.perf_counter()
+        usage = attribute_usage(self._catalog, workload)
+        tables = sorted(
+            t
+            for t in usage
+            if (self._only_tables is None or t in self._only_tables)
+            and self._catalog.table(t).primary_key
+        )
+        if not tables:
+            raise AdvisorError(
+                "no partitionable tables (workload references none with a "
+                "primary key)"
+            )
+
+        atomics: dict[str, list[tuple[str, ...]]] = {}
+        layout = _Layout()
+        for table_name in tables:
+            table = self._catalog.table(table_name)
+            frags = atomic_fragments(table, usage[table_name])
+            atomics[table_name] = frags
+            layout.fragments[table_name] = list(frags)
+
+        self._evaluations = 0
+        self._cost_cache: dict[tuple, float] = {}
+        self._query_tables = self._tables_per_query(workload)
+
+        cost_before = self._workload_cost(workload, _Layout())
+        # The paper's algorithm starts from the atomic layout and grows
+        # composite fragments; only at the end is the final layout
+        # compared against the unpartitioned design.
+        current_cost = self._workload_cost(workload, layout)
+
+        iterations = 0
+        for _ in range(self._max_iterations):
+            iterations += 1
+            candidate = self._best_composite_step(
+                workload, layout, atomics, usage, current_cost
+            )
+            if candidate is None:
+                break
+            layout, current_cost = candidate
+
+        if current_cost > cost_before:
+            # Partitioning never beat the original design: suggest none.
+            layout = _Layout()
+            layout.fragments = {t: [] for t in tables}
+            current_cost = cost_before
+
+        result = self._finalize(
+            workload, layout, cost_before, current_cost, iterations
+        )
+        result.elapsed_seconds = time.perf_counter() - started
+        result.evaluations = self._evaluations
+        return result
+
+    # ------------------------------------------------------------------
+    # Fragment generation / selection
+
+    def _best_composite_step(
+        self,
+        workload: Workload,
+        layout: _Layout,
+        atomics: dict[str, list[tuple[str, ...]]],
+        usage: dict[str, dict[str, frozenset[str]]],
+        current_cost: float,
+    ):
+        candidates = self._generate_candidates(layout, atomics, usage)
+        best: tuple[_Layout, float] | None = None
+        for _score, table_name, composite in candidates:
+            trial = layout.copy()
+            trial_frags = [
+                f
+                for f in trial.fragments[table_name]
+                if not (set(f) <= set(composite))
+            ]
+            trial_frags.append(composite)
+            # Columns dropped from all fragments must stay covered:
+            # re-add atomics not subsumed.
+            covered = set().union(*map(set, trial_frags))
+            for other in atomics[table_name]:
+                if not set(other) <= covered:
+                    trial_frags.append(other)
+                    covered |= set(other)
+            trial.fragments[table_name] = trial_frags
+            if not self._replication_ok(table_name, trial_frags):
+                continue
+            cost = self._workload_cost(workload, trial)
+            if cost < current_cost - _MIN_IMPROVEMENT and (
+                best is None or cost < best[1]
+            ):
+                best = (trial, cost)
+        return best
+
+    def _generate_candidates(
+        self,
+        layout: _Layout,
+        atomics: dict[str, list[tuple[str, ...]]],
+        usage: dict[str, dict[str, frozenset[str]]],
+    ) -> list[tuple[float, str, tuple[str, ...]]]:
+        """Composite candidates ranked by co-access strength.
+
+        A composite only helps queries that currently join its parts
+        back together, so candidates are scored by how many queries
+        touch columns from both sides; the top
+        ``candidates_per_iteration`` are evaluated with the what-if
+        optimizer.
+        """
+        scored: list[tuple[float, str, tuple[str, ...]]] = []
+        for table_name, selected in layout.fragments.items():
+            pool = selected if selected else list(atomics[table_name])
+            seen: set[tuple[str, ...]] = set(map(tuple, selected))
+            column_order = self._catalog.table(table_name).column_names
+            for base in pool:
+                queries_base: set[str] = set()
+                for column in base:
+                    queries_base |= usage[table_name].get(column, frozenset())
+                for atom in atomics[table_name]:
+                    if atom == base:
+                        continue
+                    if not co_accessed(base, atom, usage[table_name]):
+                        continue
+                    composite = tuple(
+                        c for c in column_order if c in set(base) | set(atom)
+                    )
+                    if composite in seen:
+                        continue
+                    seen.add(composite)
+                    queries_atom: set[str] = set()
+                    for column in atom:
+                        queries_atom |= usage[table_name].get(column, frozenset())
+                    score = float(len(queries_base & queries_atom))
+                    scored.append((score, table_name, composite))
+        scored.sort(key=lambda item: (-item[0], item[1], item[2]))
+        return scored[: self._candidates_per_iteration]
+
+    def _replication_ok(
+        self, table_name: str, fragments: list[tuple[str, ...]]
+    ) -> bool:
+        """The paper's constraint: "maximum space taken by replicated
+        columns in the partitions".
+
+        Only genuine replication counts — a non-key column stored in
+        more than one fragment. Primary-key copies and per-fragment
+        tuple overhead are inherent to AutoPart's design and are not
+        charged against the limit.
+        """
+        table = self._catalog.table(table_name)
+        stats = self._catalog.statistics(table_name)
+        rows = stats.table.row_count
+        pk = set(table.primary_key)
+
+        appearances: dict[str, int] = {}
+        for fragment in fragments:
+            for column in fragment:
+                if column not in pk:
+                    appearances[column] = appearances.get(column, 0) + 1
+
+        replicated_bytes = 0.0
+        for column, count in appearances.items():
+            if count <= 1:
+                continue
+            width = column_width(
+                table.column(column).dtype, stats.columns.get(column)
+            )
+            replicated_bytes += (count - 1) * width * rows
+        limit_bytes = (
+            stats.table.page_count * BLOCK_SIZE * self._replication_limit
+        )
+        return replicated_bytes <= limit_bytes
+
+    # ------------------------------------------------------------------
+    # Pricing
+
+    def _tables_per_query(self, workload: Workload) -> dict[str, frozenset[str]]:
+        out = {}
+        for query in workload:
+            bound = query.bind(self._catalog)
+            out[query.name] = frozenset(e.table.name for e in bound.rels)
+        return out
+
+    def _workload_cost(self, workload: Workload, layout: _Layout) -> float:
+        session, rewriter = self._session_for(layout)
+        total = 0.0
+        for query in workload:
+            signature = layout.signature(self._query_tables[query.name])
+            cached = self._cost_cache.get((query.name, signature))
+            if cached is not None:
+                total += cached * query.weight
+                continue
+            cost = self._query_cost(query, session, rewriter)
+            self._cost_cache[(query.name, signature)] = cost
+            self._evaluations += 1
+            total += cost * query.weight
+        return total
+
+    def _session_for(
+        self, layout: _Layout
+    ) -> tuple[WhatIfSession, PartitionRewriter | None]:
+        session = WhatIfSession(self._catalog, self._config)
+        schemes: dict[str, PartitionScheme] = {}
+        for table_name, fragments in layout.fragments.items():
+            if not fragments:
+                continue
+            table = self._catalog.table(table_name)
+            physical = tuple(fragment_with_pk(table, f) for f in fragments)
+            scheme = PartitionScheme(table_name=table_name, fragments=physical)
+            schemes[table_name] = scheme
+            for position in range(len(physical)):
+                session.add_partition_table(
+                    table_name,
+                    physical[position],
+                    scheme.fragment_name(position),
+                )
+        rewriter = PartitionRewriter(schemes) if schemes else None
+        return session, rewriter
+
+    def _query_cost(
+        self,
+        query,
+        session: WhatIfSession,
+        rewriter: PartitionRewriter | None,
+    ) -> float:
+        bound = query.bind(self._catalog)
+        if rewriter is None:
+            return Planner(self._catalog, self._config).plan(bound).total_cost
+        rewritten = rewriter.rewrite(bound)
+        rebound = bind(session.catalog, rewritten)
+        return session.planner().plan(rebound).total_cost
+
+    # ------------------------------------------------------------------
+
+    def _finalize(
+        self,
+        workload: Workload,
+        layout: _Layout,
+        cost_before: float,
+        cost_after: float,
+        iterations: int,
+    ) -> PartitionAdvisorResult:
+        session, rewriter = self._session_for(layout)
+        schemes: dict[str, PartitionScheme] = {}
+        for table_name, fragments in layout.fragments.items():
+            if not fragments:
+                continue
+            table = self._catalog.table(table_name)
+            schemes[table_name] = PartitionScheme(
+                table_name=table_name,
+                fragments=tuple(fragment_with_pk(table, f) for f in fragments),
+            )
+
+        per_query: list[QueryBenefit] = []
+        rewritten_sql: dict[str, str] = {}
+        baseline_planner = Planner(self._catalog, self._config)
+        for query in workload:
+            bound = query.bind(self._catalog)
+            before = baseline_planner.plan(bound).total_cost * query.weight
+            if rewriter is None:
+                after = before
+                rewritten_sql[query.name] = query.sql.strip()
+                used: list[str] = []
+            else:
+                rewritten = rewriter.rewrite(bound)
+                rewritten_sql[query.name] = to_sql(rewritten)
+                rebound = bind(session.catalog, rewritten)
+                after = session.planner().plan(rebound).total_cost * query.weight
+                used = sorted({t.name for t in rewritten.tables if "__frag" in t.name})
+            per_query.append(
+                QueryBenefit(
+                    name=query.name,
+                    cost_before=before,
+                    cost_after=after,
+                    indexes_used=used,  # fragments used, reusing the field
+                )
+            )
+        return PartitionAdvisorResult(
+            schemes=schemes,
+            cost_before=cost_before,
+            cost_after=cost_after,
+            per_query=per_query,
+            rewritten_sql=rewritten_sql,
+            iterations=iterations,
+            evaluations=0,
+            elapsed_seconds=0.0,
+            replication_limit=self._replication_limit,
+        )

@@ -1,0 +1,50 @@
+"""SQL frontend: tokenizer, parser, binder, deparser, and evaluation.
+
+Supports the analytic SELECT subset PARINDA's workloads exercise:
+multi-table joins (comma syntax and ``JOIN ... ON``), conjunctive and
+disjunctive WHERE clauses, BETWEEN / IN / LIKE / IS NULL predicates,
+aggregates with GROUP BY / HAVING, ORDER BY, DISTINCT, and LIMIT.
+"""
+
+from repro.sql.ast_nodes import (
+    BetweenExpr,
+    BinaryOp,
+    ColumnRef,
+    FuncCall,
+    InExpr,
+    IsNullExpr,
+    LikeExpr,
+    Literal,
+    SelectItem,
+    SelectStmt,
+    SortItem,
+    Star,
+    TableRef,
+    UnaryOp,
+)
+from repro.sql.binder import BoundQuery, Binder, RangeTableEntry, bind
+from repro.sql.parser import parse_select
+from repro.sql.printer import to_sql
+
+__all__ = [
+    "BetweenExpr",
+    "BinaryOp",
+    "Binder",
+    "BoundQuery",
+    "ColumnRef",
+    "FuncCall",
+    "InExpr",
+    "IsNullExpr",
+    "LikeExpr",
+    "Literal",
+    "RangeTableEntry",
+    "SelectItem",
+    "SelectStmt",
+    "SortItem",
+    "Star",
+    "TableRef",
+    "UnaryOp",
+    "bind",
+    "parse_select",
+    "to_sql",
+]

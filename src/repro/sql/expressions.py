@@ -1,0 +1,225 @@
+"""Runtime expression evaluation over row contexts.
+
+The executor evaluates bound expressions against a *row context*: a
+mapping from ``(table_alias, column_name)`` to a Python value. SQL
+three-valued logic is honored: any comparison with NULL yields NULL
+(represented as ``None``), AND/OR/NOT follow Kleene logic, and WHERE
+keeps only rows where the predicate is strictly true.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from functools import lru_cache
+from typing import Any, Mapping
+
+from repro.errors import ExecutorError
+from repro.sql.ast_nodes import (
+    BetweenExpr,
+    BinaryOp,
+    ColumnRef,
+    Expr,
+    FuncCall,
+    InExpr,
+    IsNullExpr,
+    LikeExpr,
+    Literal,
+    Star,
+    UnaryOp,
+)
+
+RowContext = Mapping[tuple[str, str], Any]
+
+_SCALAR_FUNCS = {
+    "abs": abs,
+    "sqrt": math.sqrt,
+    "floor": math.floor,
+    "ceil": math.ceil,
+    "ln": math.log,
+    "log": math.log10,
+    "power": pow,
+    "round": round,
+    "lower": lambda s: s.lower(),
+    "upper": lambda s: s.upper(),
+    "length": len,
+}
+
+
+def evaluate(expr: Expr, row: RowContext) -> Any:
+    """Evaluate ``expr`` against ``row``; returns ``None`` for SQL NULL."""
+    if isinstance(expr, Literal):
+        return expr.value
+    if isinstance(expr, ColumnRef):
+        if expr.table is None:
+            raise ExecutorError(f"unbound column reference {expr.column!r}")
+        try:
+            return row[(expr.table, expr.column)]
+        except KeyError:
+            raise ExecutorError(
+                f"row context missing {expr.table}.{expr.column}"
+            ) from None
+    if isinstance(expr, BinaryOp):
+        return _eval_binary(expr, row)
+    if isinstance(expr, UnaryOp):
+        return _eval_unary(expr, row)
+    if isinstance(expr, BetweenExpr):
+        value = evaluate(expr.expr, row)
+        low = evaluate(expr.low, row)
+        high = evaluate(expr.high, row)
+        if value is None or low is None or high is None:
+            return None
+        result = low <= value <= high
+        return (not result) if expr.negated else result
+    if isinstance(expr, InExpr):
+        return _eval_in(expr, row)
+    if isinstance(expr, LikeExpr):
+        value = evaluate(expr.expr, row)
+        pattern = evaluate(expr.pattern, row)
+        if value is None or pattern is None:
+            return None
+        result = like_match(str(value), str(pattern))
+        return (not result) if expr.negated else result
+    if isinstance(expr, IsNullExpr):
+        value = evaluate(expr.expr, row)
+        return (value is not None) if expr.negated else (value is None)
+    if isinstance(expr, FuncCall):
+        return _eval_func(expr, row)
+    if isinstance(expr, Star):
+        raise ExecutorError("'*' cannot be evaluated as a scalar")
+    raise ExecutorError(f"cannot evaluate node {type(expr).__name__}")
+
+
+def _eval_binary(expr: BinaryOp, row: RowContext) -> Any:
+    op = expr.op
+    if op == "and":
+        left = evaluate(expr.left, row)
+        if left is False:
+            return False
+        right = evaluate(expr.right, row)
+        if right is False:
+            return False
+        if left is None or right is None:
+            return None
+        return True
+    if op == "or":
+        left = evaluate(expr.left, row)
+        if left is True:
+            return True
+        right = evaluate(expr.right, row)
+        if right is True:
+            return True
+        if left is None or right is None:
+            return None
+        return False
+
+    left = evaluate(expr.left, row)
+    right = evaluate(expr.right, row)
+    if left is None or right is None:
+        return None
+    if op == "=":
+        return left == right
+    if op == "<>":
+        return left != right
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            raise ExecutorError("division by zero")
+        return left / right
+    if op == "%":
+        if right == 0:
+            raise ExecutorError("division by zero")
+        return left % right
+    if op == "||":
+        return str(left) + str(right)
+    raise ExecutorError(f"unknown binary operator {op!r}")
+
+
+def _eval_unary(expr: UnaryOp, row: RowContext) -> Any:
+    value = evaluate(expr.operand, row)
+    if expr.op == "not":
+        if value is None:
+            return None
+        return not value
+    if expr.op == "-":
+        if value is None:
+            return None
+        return -value
+    raise ExecutorError(f"unknown unary operator {expr.op!r}")
+
+
+def _eval_in(expr: InExpr, row: RowContext) -> Any:
+    value = evaluate(expr.expr, row)
+    if value is None:
+        return None
+    saw_null = False
+    for item in expr.items:
+        candidate = evaluate(item, row)
+        if candidate is None:
+            saw_null = True
+        elif candidate == value:
+            return not expr.negated
+    if saw_null:
+        return None
+    return expr.negated
+
+
+def _eval_func(expr: FuncCall, row: RowContext) -> Any:
+    if expr.is_aggregate:
+        raise ExecutorError(
+            f"aggregate {expr.name}() evaluated outside an aggregation node"
+        )
+    fn = _SCALAR_FUNCS.get(expr.name)
+    if fn is None:
+        raise ExecutorError(f"unknown function {expr.name!r}")
+    args = [evaluate(a, row) for a in expr.args]
+    if any(a is None for a in args):
+        return None
+    try:
+        return fn(*args)
+    except (ValueError, TypeError) as exc:
+        raise ExecutorError(f"error evaluating {expr.name}(): {exc}") from exc
+
+
+@lru_cache(maxsize=512)
+def _compile_like(pattern: str) -> "re.Pattern[str]":
+    """Translate a SQL LIKE pattern into an anchored regular expression."""
+    out: list[str] = []
+    i = 0
+    while i < len(pattern):
+        ch = pattern[i]
+        if ch == "\\" and i + 1 < len(pattern):
+            out.append(re.escape(pattern[i + 1]))
+            i += 2
+            continue
+        if ch == "%":
+            out.append(".*")
+        elif ch == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(ch))
+        i += 1
+    return re.compile("^" + "".join(out) + "$", re.DOTALL)
+
+
+def like_match(value: str, pattern: str) -> bool:
+    """SQL LIKE semantics (``%`` any run, ``_`` one char, ``\\`` escapes)."""
+    return _compile_like(pattern).match(value) is not None
+
+
+def is_true(value: Any) -> bool:
+    """WHERE-clause truth: NULL and False both reject the row."""
+    return value is True

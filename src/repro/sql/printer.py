@@ -1,0 +1,142 @@
+"""Deparser: AST back to SQL text.
+
+Used by the partition rewriter to emit the rewritten workload ("the user
+can save the rewritten queries for the new table partitions") and by
+EXPLAIN output for predicates.
+"""
+
+from __future__ import annotations
+
+from repro.sql.ast_nodes import (
+    BetweenExpr,
+    BinaryOp,
+    ColumnRef,
+    Expr,
+    FuncCall,
+    InExpr,
+    IsNullExpr,
+    LikeExpr,
+    Literal,
+    SelectStmt,
+    Star,
+    UnaryOp,
+)
+
+# Lower number binds looser; used to decide where parentheses are needed.
+_PRECEDENCE = {
+    "or": 1,
+    "and": 2,
+    "=": 4,
+    "<>": 4,
+    "<": 4,
+    "<=": 4,
+    ">": 4,
+    ">=": 4,
+    "+": 5,
+    "-": 5,
+    "||": 5,
+    "*": 6,
+    "/": 6,
+    "%": 6,
+}
+
+
+def expr_to_sql(expr: Expr) -> str:
+    """Render an expression as SQL text."""
+    return _render(expr, parent_precedence=0)
+
+
+def _render(expr: Expr, parent_precedence: int) -> str:
+    if isinstance(expr, Literal):
+        return _render_literal(expr)
+    if isinstance(expr, ColumnRef):
+        return f"{expr.table}.{expr.column}" if expr.table else expr.column
+    if isinstance(expr, Star):
+        return f"{expr.table}.*" if expr.table else "*"
+    if isinstance(expr, BinaryOp):
+        precedence = _PRECEDENCE.get(expr.op, 4)
+        op = expr.op.upper() if expr.op in ("and", "or") else expr.op
+        text = (
+            f"{_render(expr.left, precedence)} {op} "
+            f"{_render(expr.right, precedence + 1)}"
+        )
+        if precedence < parent_precedence:
+            return f"({text})"
+        return text
+    if isinstance(expr, UnaryOp):
+        if expr.op == "not":
+            text = f"NOT {_render(expr.operand, 3)}"
+            return f"({text})" if parent_precedence > 3 else text
+        return f"-{_render(expr.operand, 7)}"
+    if isinstance(expr, FuncCall):
+        args = ", ".join(_render(a, 0) for a in expr.args)
+        distinct = "DISTINCT " if expr.distinct else ""
+        return f"{expr.name}({distinct}{args})"
+    if isinstance(expr, BetweenExpr):
+        not_kw = "NOT " if expr.negated else ""
+        text = (
+            f"{_render(expr.expr, 4)} {not_kw}BETWEEN "
+            f"{_render(expr.low, 5)} AND {_render(expr.high, 5)}"
+        )
+        return f"({text})" if parent_precedence > 3 else text
+    if isinstance(expr, InExpr):
+        not_kw = "NOT " if expr.negated else ""
+        items = ", ".join(_render(i, 0) for i in expr.items)
+        return f"{_render(expr.expr, 4)} {not_kw}IN ({items})"
+    if isinstance(expr, LikeExpr):
+        not_kw = "NOT " if expr.negated else ""
+        return f"{_render(expr.expr, 4)} {not_kw}LIKE {_render(expr.pattern, 5)}"
+    if isinstance(expr, IsNullExpr):
+        not_kw = "NOT " if expr.negated else ""
+        return f"{_render(expr.expr, 4)} IS {not_kw}NULL"
+    raise TypeError(f"cannot render expression node {type(expr).__name__}")
+
+
+def _render_literal(lit: Literal) -> str:
+    value = lit.value
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    escaped = str(value).replace("'", "''")
+    return f"'{escaped}'"
+
+
+def to_sql(stmt: SelectStmt) -> str:
+    """Render a SELECT statement as SQL text."""
+    parts: list[str] = ["SELECT"]
+    if stmt.distinct:
+        parts.append("DISTINCT")
+    targets = []
+    for item in stmt.targets:
+        text = expr_to_sql(item.expr)
+        if item.alias:
+            text += f" AS {item.alias}"
+        targets.append(text)
+    parts.append(", ".join(targets))
+
+    tables = []
+    for ref in stmt.tables:
+        text = ref.name
+        if ref.alias and ref.alias != ref.name:
+            text += f" {ref.alias}"
+        tables.append(text)
+    parts.append("FROM " + ", ".join(tables))
+
+    if stmt.where is not None:
+        parts.append("WHERE " + expr_to_sql(stmt.where))
+    if stmt.group_by:
+        parts.append("GROUP BY " + ", ".join(expr_to_sql(g) for g in stmt.group_by))
+    if stmt.having is not None:
+        parts.append("HAVING " + expr_to_sql(stmt.having))
+    if stmt.order_by:
+        rendered = [
+            expr_to_sql(s.expr) + (" DESC" if s.descending else "")
+            for s in stmt.order_by
+        ]
+        parts.append("ORDER BY " + ", ".join(rendered))
+    if stmt.limit is not None:
+        parts.append(f"LIMIT {stmt.limit}")
+    return " ".join(parts)

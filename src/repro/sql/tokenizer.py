@@ -1,0 +1,187 @@
+"""Hand-written SQL tokenizer.
+
+Produces a flat list of :class:`Token` objects. Keywords are
+case-insensitive; identifiers are lower-cased unless double-quoted,
+matching PostgreSQL's folding rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+from repro.errors import TokenizeError
+
+KEYWORDS = frozenset(
+    {
+        "select",
+        "distinct",
+        "from",
+        "where",
+        "group",
+        "order",
+        "by",
+        "having",
+        "limit",
+        "offset",
+        "as",
+        "and",
+        "or",
+        "not",
+        "in",
+        "between",
+        "like",
+        "is",
+        "null",
+        "true",
+        "false",
+        "join",
+        "inner",
+        "left",
+        "right",
+        "full",
+        "outer",
+        "cross",
+        "on",
+        "asc",
+        "desc",
+        "count",
+        "sum",
+        "avg",
+        "min",
+        "max",
+    }
+)
+
+
+class TokenType(Enum):
+    KEYWORD = auto()
+    IDENT = auto()
+    NUMBER = auto()
+    STRING = auto()
+    OPERATOR = auto()
+    PUNCT = auto()
+    EOF = auto()
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    position: int
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value in names
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.type.name}, {self.value!r})"
+
+
+_OPERATORS = ("<>", "<=", ">=", "!=", "=", "<", ">", "+", "-", "*", "/", "%", "||")
+_PUNCT = "(),.;"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text`` into a list ending with an EOF token."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if text.startswith("--", i):
+            end = text.find("\n", i)
+            i = n if end < 0 else end + 1
+            continue
+        if text.startswith("/*", i):
+            end = text.find("*/", i + 2)
+            if end < 0:
+                raise TokenizeError("unterminated block comment", i)
+            i = end + 2
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            i = _lex_number(text, i, tokens)
+            continue
+        if ch == "'":
+            i = _lex_string(text, i, tokens)
+            continue
+        if ch == '"':
+            i = _lex_quoted_ident(text, i, tokens)
+            continue
+        if ch.isalpha() or ch == "_":
+            i = _lex_word(text, i, tokens)
+            continue
+        matched_op = next((op for op in _OPERATORS if text.startswith(op, i)), None)
+        if matched_op is not None:
+            tokens.append(Token(TokenType.OPERATOR, matched_op, i))
+            i += len(matched_op)
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token(TokenType.PUNCT, ch, i))
+            i += 1
+            continue
+        raise TokenizeError(f"unexpected character {ch!r}", i)
+    tokens.append(Token(TokenType.EOF, "", n))
+    return tokens
+
+
+def _lex_number(text: str, start: int, tokens: list[Token]) -> int:
+    i = start
+    n = len(text)
+    seen_dot = False
+    seen_exp = False
+    while i < n:
+        ch = text[i]
+        if ch.isdigit():
+            i += 1
+        elif ch == "." and not seen_dot and not seen_exp:
+            seen_dot = True
+            i += 1
+        elif ch in "eE" and not seen_exp and i > start:
+            seen_exp = True
+            i += 1
+            if i < n and text[i] in "+-":
+                i += 1
+        else:
+            break
+    tokens.append(Token(TokenType.NUMBER, text[start:i], start))
+    return i
+
+
+def _lex_string(text: str, start: int, tokens: list[Token]) -> int:
+    i = start + 1
+    n = len(text)
+    chunks: list[str] = []
+    while i < n:
+        ch = text[i]
+        if ch == "'":
+            if i + 1 < n and text[i + 1] == "'":
+                chunks.append("'")
+                i += 2
+                continue
+            tokens.append(Token(TokenType.STRING, "".join(chunks), start))
+            return i + 1
+        chunks.append(ch)
+        i += 1
+    raise TokenizeError("unterminated string literal", start)
+
+
+def _lex_quoted_ident(text: str, start: int, tokens: list[Token]) -> int:
+    end = text.find('"', start + 1)
+    if end < 0:
+        raise TokenizeError("unterminated quoted identifier", start)
+    tokens.append(Token(TokenType.IDENT, text[start + 1 : end], start))
+    return end + 1
+
+
+def _lex_word(text: str, start: int, tokens: list[Token]) -> int:
+    i = start
+    n = len(text)
+    while i < n and (text[i].isalnum() or text[i] == "_"):
+        i += 1
+    word = text[start:i].lower()
+    token_type = TokenType.KEYWORD if word in KEYWORDS else TokenType.IDENT
+    tokens.append(Token(token_type, word, start))
+    return i

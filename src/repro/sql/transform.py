@@ -1,0 +1,101 @@
+"""Generic bottom-up expression rewriting.
+
+Used by the binder (qualifying column references) and the partition
+rewriter (redirecting references to fragment tables). The transformer
+rebuilds frozen AST nodes only when a child actually changed, so
+untouched subtrees are shared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable
+
+from repro.sql.ast_nodes import (
+    BetweenExpr,
+    BinaryOp,
+    Expr,
+    FuncCall,
+    InExpr,
+    IsNullExpr,
+    LikeExpr,
+    SelectItem,
+    SelectStmt,
+    SortItem,
+    UnaryOp,
+)
+
+ExprTransform = Callable[[Expr], Expr]
+
+
+def transform_expr(expr: Expr, fn: ExprTransform) -> Expr:
+    """Rebuild ``expr`` bottom-up, applying ``fn`` to every node.
+
+    ``fn`` receives each node *after* its children were transformed and
+    returns a replacement (or the node unchanged).
+    """
+    rebuilt = _rebuild_children(expr, fn)
+    return fn(rebuilt)
+
+
+def _rebuild_children(expr: Expr, fn: ExprTransform) -> Expr:
+    if isinstance(expr, BinaryOp):
+        left = transform_expr(expr.left, fn)
+        right = transform_expr(expr.right, fn)
+        if left is expr.left and right is expr.right:
+            return expr
+        return replace(expr, left=left, right=right)
+    if isinstance(expr, UnaryOp):
+        operand = transform_expr(expr.operand, fn)
+        return expr if operand is expr.operand else replace(expr, operand=operand)
+    if isinstance(expr, FuncCall):
+        args = tuple(transform_expr(a, fn) for a in expr.args)
+        if all(new is old for new, old in zip(args, expr.args)):
+            return expr
+        return replace(expr, args=args)
+    if isinstance(expr, BetweenExpr):
+        inner = transform_expr(expr.expr, fn)
+        low = transform_expr(expr.low, fn)
+        high = transform_expr(expr.high, fn)
+        if inner is expr.expr and low is expr.low and high is expr.high:
+            return expr
+        return replace(expr, expr=inner, low=low, high=high)
+    if isinstance(expr, InExpr):
+        inner = transform_expr(expr.expr, fn)
+        items = tuple(transform_expr(i, fn) for i in expr.items)
+        if inner is expr.expr and all(n is o for n, o in zip(items, expr.items)):
+            return expr
+        return replace(expr, expr=inner, items=items)
+    if isinstance(expr, LikeExpr):
+        inner = transform_expr(expr.expr, fn)
+        pattern = transform_expr(expr.pattern, fn)
+        if inner is expr.expr and pattern is expr.pattern:
+            return expr
+        return replace(expr, expr=inner, pattern=pattern)
+    if isinstance(expr, IsNullExpr):
+        inner = transform_expr(expr.expr, fn)
+        return expr if inner is expr.expr else replace(expr, expr=inner)
+    return expr
+
+
+def transform_statement(stmt: SelectStmt, fn: ExprTransform) -> SelectStmt:
+    """Apply ``fn`` to every expression in a SELECT statement."""
+    targets = tuple(
+        SelectItem(expr=transform_expr(t.expr, fn), alias=t.alias)
+        for t in stmt.targets
+    )
+    where = transform_expr(stmt.where, fn) if stmt.where is not None else None
+    group_by = tuple(transform_expr(g, fn) for g in stmt.group_by)
+    having = transform_expr(stmt.having, fn) if stmt.having is not None else None
+    order_by = tuple(
+        SortItem(expr=transform_expr(s.expr, fn), descending=s.descending)
+        for s in stmt.order_by
+    )
+    return replace(
+        stmt,
+        targets=targets,
+        where=where,
+        group_by=group_by,
+        having=having,
+        order_by=order_by,
+    )

@@ -1,0 +1,14 @@
+"""Storage engine: heap files, real B-Tree indexes, and the Database facade.
+
+This substrate exists so that what-if estimates can be *validated*: the
+demo's first scenario lets the DBA "compare the execution plan of the
+what-if design with the execution plan of the same materialized physical
+design". Materializing here means building actual page-accounted heaps
+and B-Trees and running plans against them.
+"""
+
+from repro.storage.btree import BTreeIndex
+from repro.storage.database import Database
+from repro.storage.heap import HeapFile, Relation
+
+__all__ = ["BTreeIndex", "Database", "HeapFile", "Relation"]

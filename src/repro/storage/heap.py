@@ -1,0 +1,113 @@
+"""Heap files: row storage with faithful page accounting.
+
+Rows are kept column-major (plain Python lists) for compactness, but the
+heap tracks which *page* every row lives on, computed from real tuple
+widths (value widths + alignment + PostgreSQL's tuple overhead). Page
+residency is what the executor charges I/O against, so a narrow
+vertical fragment genuinely costs fewer page reads than its wide parent
+table — the effect AutoPart exploits.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping, Sequence
+
+from repro.catalog.datatypes import align_up
+from repro.catalog.schema import Table
+from repro.catalog.sizing import BLOCK_SIZE, HEAP_TUPLE_OVERHEAD, PAGE_HEADER_SIZE
+from repro.errors import ExecutorError
+
+
+class HeapFile:
+    """Column-major row storage with per-row page assignment."""
+
+    def __init__(self, table: Table, columns: Mapping[str, Sequence[Any]]) -> None:
+        lengths = {len(v) for v in columns.values()}
+        if len(lengths) > 1:
+            raise ExecutorError(f"ragged column data for table {table.name!r}")
+        self._table = table
+        self._columns: dict[str, list[Any]] = {}
+        for column in table.columns:
+            if column.name not in columns:
+                raise ExecutorError(
+                    f"missing data for column {column.name!r} of {table.name!r}"
+                )
+            self._columns[column.name] = list(columns[column.name])
+        self._row_count = lengths.pop() if lengths else 0
+        self._page_of_row = self._assign_pages()
+
+    def _assign_pages(self) -> list[int]:
+        """Pack rows into pages front-to-back using aligned tuple widths."""
+        pages: list[int] = []
+        page_id = 0
+        used = PAGE_HEADER_SIZE
+        dtypes = [(name, self._table.column(name).dtype) for name in self._columns]
+        for row_idx in range(self._row_count):
+            width = HEAP_TUPLE_OVERHEAD
+            for name, dtype in dtypes:
+                value = self._columns[name][row_idx]
+                width = align_up(width, dtype.typalign)
+                width += dtype.value_width(value)
+            width = align_up(width, 8)
+            if used + width > BLOCK_SIZE and used > PAGE_HEADER_SIZE:
+                page_id += 1
+                used = PAGE_HEADER_SIZE
+            used += width
+            pages.append(page_id)
+        return pages
+
+    @property
+    def table(self) -> Table:
+        return self._table
+
+    @property
+    def row_count(self) -> int:
+        return self._row_count
+
+    @property
+    def page_count(self) -> int:
+        if self._row_count == 0:
+            return 1
+        return self._page_of_row[-1] + 1
+
+    def page_of(self, row_idx: int) -> int:
+        return self._page_of_row[row_idx]
+
+    def column(self, name: str) -> list[Any]:
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise ExecutorError(
+                f"table {self._table.name!r} has no column {name!r}"
+            ) from None
+
+    def value(self, row_idx: int, column: str) -> Any:
+        return self.column(column)[row_idx]
+
+    def row(self, row_idx: int) -> dict[str, Any]:
+        return {name: values[row_idx] for name, values in self._columns.items()}
+
+    def scan(self) -> Iterator[int]:
+        """Yield row indexes in physical order."""
+        return iter(range(self._row_count))
+
+    def columns_dict(self) -> dict[str, list[Any]]:
+        """The raw column data (shared, do not mutate)."""
+        return self._columns
+
+
+class Relation:
+    """A heap file plus its schema — one stored table."""
+
+    def __init__(self, table: Table, data: Mapping[str, Sequence[Any]]) -> None:
+        self.table = table
+        self.heap = HeapFile(table, data)
+
+    @property
+    def name(self) -> str:
+        return self.table.name
+
+    def project_data(self, columns: tuple[str, ...]) -> dict[str, list[Any]]:
+        """Column data restricted to ``columns`` — used to materialize
+        vertical fragments."""
+        return {name: list(self.heap.column(name)) for name in columns}

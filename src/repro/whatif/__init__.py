@@ -1,0 +1,20 @@
+"""What-if physical design simulation (the paper's Section 3.2).
+
+A :class:`WhatIfSession` layers hypothetical design features over a real
+database without touching its data:
+
+* **What-if indexes** exist purely as statistics — leaf page counts from
+  the paper's Equation 1 — injected into the planner through the
+  relation-info hook. The planner "cannot differentiate between the real
+  design features and the what-if ones".
+* **What-if tables** simulate partitions: empty shell tables registered
+  in a cloned catalog (so the parser/binder recognize them) with
+  statistics derived from the original table.
+* **What-if joins** toggle the planner's ``enable_nestloop`` (and
+  friends) — used by INUM to cache plan variants.
+"""
+
+from repro.whatif.session import WhatIfSession
+from repro.whatif.tables import derive_partition_stats, make_partition_shell
+
+__all__ = ["WhatIfSession", "derive_partition_stats", "make_partition_shell"]

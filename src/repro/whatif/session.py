@@ -1,0 +1,242 @@
+"""The WhatIfSession: hypothetical indexes, tables, and join control.
+
+The session owns a *cloned* catalog (what-if tables are added there so
+the binder sees them) and installs a relation-info hook that appends
+hypothetical index metadata — leaf pages from Equation 1 — to whatever
+the base hook reports. Planning through the session is therefore
+byte-for-byte the same code path as planning against real structures.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import Index, Table, index_signature
+from repro.catalog.sizing import estimate_index_pages
+from repro.catalog.statistics import RelationStatistics
+from repro.errors import WhatIfError
+from repro.optimizer.config import IndexInfo, PlannerConfig, RelationInfo
+from repro.optimizer.planner import Planner
+from repro.optimizer.plans import Plan, indexes_used
+from repro.sql.binder import BoundQuery, bind
+from repro.sql.parser import parse_select
+from repro.whatif.tables import derive_partition_stats, make_partition_shell
+
+_name_counter = itertools.count(1)
+
+
+class WhatIfSession:
+    """A private what-if view over a base catalog.
+
+    Args:
+        catalog: The real catalog to layer on. Never mutated.
+        config: Base planner configuration; enable flags set through
+            :meth:`set_join_flags` are applied on top.
+    """
+
+    def __init__(self, catalog: Catalog, config: PlannerConfig | None = None) -> None:
+        self._base_catalog = catalog
+        self._catalog = catalog.clone()
+        self._hypothetical: dict[str, list[Index]] = {}
+        base_config = config or PlannerConfig()
+        base_hook = base_config.relation_info_hook
+        self._config = base_config.with_hook(self._make_hook(base_hook))
+        self._simulation_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # What-if indexes
+
+    def add_index(
+        self,
+        table_name: str,
+        columns: tuple[str, ...] | list[str],
+        name: str | None = None,
+        unique: bool = False,
+    ) -> Index:
+        """Simulate an index; returns the hypothetical Index object.
+
+        Only the statistics (Equation 1 leaf pages) are created — the
+        call is O(1) regardless of table size, which is what makes
+        interactive exploration feasible.
+        """
+        started = time.perf_counter()
+        table = self._catalog.table(table_name)
+        columns = tuple(columns)
+        for column in columns:
+            if not table.has_column(column):
+                raise WhatIfError(
+                    f"table {table_name!r} has no column {column!r}"
+                )
+        if name is None:
+            name = f"whatif_{table_name}_{'_'.join(columns)}_{next(_name_counter)}"
+        index = Index(
+            name=name,
+            table_name=table_name,
+            columns=columns,
+            unique=unique,
+            hypothetical=True,
+        )
+        existing = self._hypothetical.setdefault(table_name, [])
+        signatures = {index_signature(ix) for ix in existing}
+        signatures.update(
+            index_signature(ix) for ix in self._catalog.indexes_on(table_name)
+        )
+        if index_signature(index) in signatures:
+            raise WhatIfError(
+                f"an index on {table_name}({', '.join(columns)}) already exists "
+                "in this session"
+            )
+        existing.append(index)
+        self._simulation_seconds += time.perf_counter() - started
+        return index
+
+    def drop_index(self, name: str) -> None:
+        for table_name, indexes in self._hypothetical.items():
+            for index in indexes:
+                if index.name == name:
+                    indexes.remove(index)
+                    return
+        raise WhatIfError(f"no hypothetical index named {name!r}")
+
+    def clear_indexes(self) -> None:
+        self._hypothetical.clear()
+
+    @property
+    def hypothetical_indexes(self) -> list[Index]:
+        return [ix for indexes in self._hypothetical.values() for ix in indexes]
+
+    def index_size_pages(self, index: Index) -> int:
+        """Equation 1 size of a session index (leaf pages)."""
+        table = self._catalog.table(index.table_name)
+        stats = self._catalog.statistics(index.table_name)
+        return estimate_index_pages(
+            table, index, stats.table.row_count, stats.columns
+        )
+
+    # ------------------------------------------------------------------
+    # What-if tables (partitions)
+
+    def add_partition_table(
+        self, parent_name: str, columns: tuple[str, ...] | list[str], name: str
+    ) -> Table:
+        """Simulate a vertical fragment of ``parent_name`` as a new table.
+
+        The shell is registered in the session catalog (parser-visible,
+        per the paper) and derived statistics are injected so the planner
+        treats it as a populated table.
+        """
+        started = time.perf_counter()
+        parent = self._catalog.table(parent_name)
+        parent_stats = self._catalog.statistics(parent_name)
+        shell = make_partition_shell(parent, tuple(columns), name)
+        stats = derive_partition_stats(parent, parent_stats, shell)
+        self._catalog.add_table(shell)
+        self._catalog.set_statistics(shell.name, stats)
+        self._simulation_seconds += time.perf_counter() - started
+        return shell
+
+    def add_table(self, table: Table, stats: RelationStatistics) -> None:
+        """Register an arbitrary what-if table with explicit statistics."""
+        self._catalog.add_table(table)
+        self._catalog.set_statistics(table.name, stats)
+
+    def drop_table(self, name: str) -> None:
+        self._catalog.drop_table(name)
+
+    # ------------------------------------------------------------------
+    # What-if joins
+
+    def set_join_flags(self, **flags: bool) -> None:
+        """Toggle enable_* planner flags (e.g. ``enable_nestloop=False``)."""
+        valid = {
+            "enable_nestloop",
+            "enable_hashjoin",
+            "enable_mergejoin",
+            "enable_seqscan",
+            "enable_indexscan",
+            "enable_indexonlyscan",
+        }
+        unknown = set(flags) - valid
+        if unknown:
+            raise WhatIfError(f"unknown planner flags: {sorted(unknown)}")
+        self._config = self._config.with_flags(**flags)
+
+    # ------------------------------------------------------------------
+    # Planning
+
+    @property
+    def catalog(self) -> Catalog:
+        return self._catalog
+
+    @property
+    def config(self) -> PlannerConfig:
+        return self._config
+
+    @property
+    def simulation_seconds(self) -> float:
+        """Wall-clock time spent creating what-if structures (E4)."""
+        return self._simulation_seconds
+
+    def planner(self) -> Planner:
+        return Planner(self._catalog, self._config)
+
+    def bind_sql(self, sql: str) -> BoundQuery:
+        return bind(self._catalog, parse_select(sql))
+
+    def plan(self, query: BoundQuery | str) -> Plan:
+        if isinstance(query, str):
+            query = self.bind_sql(query)
+        return self.planner().plan(query)
+
+    def cost(self, query: BoundQuery | str) -> float:
+        return self.plan(query).total_cost
+
+    def hypothetical_indexes_used(self, query: BoundQuery | str) -> list[str]:
+        """Names of session indexes the optimizer picked for ``query``."""
+        plan = self.plan(query)
+        hypo_names = {ix.name for ix in self.hypothetical_indexes}
+        return sorted(
+            name for name in indexes_used(plan).values() if name in hypo_names
+        )
+
+    # ------------------------------------------------------------------
+
+    def _make_hook(self, base_hook):
+        def hook(config: PlannerConfig, catalog: Catalog, table_name: str) -> RelationInfo:
+            info = base_hook(config, catalog, table_name)
+            extra = self._hypothetical.get(table_name)
+            if not extra:
+                return info
+            added = []
+            for index in extra:
+                leaf_pages = estimate_index_pages(
+                    info.table, index, info.row_count, info.column_stats
+                )
+                added.append(
+                    IndexInfo(
+                        definition=index,
+                        leaf_pages=leaf_pages,
+                        height=_height_for(leaf_pages),
+                        index_tuples=info.row_count,
+                    )
+                )
+            return RelationInfo(
+                table=info.table,
+                row_count=info.row_count,
+                page_count=info.page_count,
+                indexes=info.indexes + tuple(added),
+                column_stats=info.column_stats,
+            )
+
+        return hook
+
+
+def _height_for(leaf_pages: int) -> int:
+    height = 0
+    pages = leaf_pages
+    while pages > 1:
+        pages = (pages + 255) // 256
+        height += 1
+    return height

@@ -1,0 +1,67 @@
+"""What-if table (partition) simulation.
+
+PostgreSQL has no native vertical partitions, so PARINDA simulates a
+partition as a *new table* holding a subset of columns plus the parent's
+primary key ("so that the full table can be reconstructed"). The shell
+table is created empty — the parser must recognize it — and its
+statistics are derived from the parent's at plan time, making the
+planner believe the fragment exists with data on disk.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.schema import Table
+from repro.catalog.sizing import estimate_heap_pages
+from repro.catalog.statistics import RelationStatistics, TableStats
+from repro.errors import WhatIfError
+
+
+def make_partition_shell(
+    parent: Table, columns: tuple[str, ...], name: str
+) -> Table:
+    """The shell table for a vertical fragment of ``parent``.
+
+    The parent's primary-key columns are always included (prepended when
+    absent from ``columns``), preserving reconstructability.
+    """
+    if not columns:
+        raise WhatIfError("a partition needs at least one column")
+    missing = [c for c in columns if not parent.has_column(c)]
+    if missing:
+        raise WhatIfError(
+            f"columns {missing} do not exist in table {parent.name!r}"
+        )
+    ordered = tuple(parent.primary_key) + tuple(
+        c for c in columns if c not in parent.primary_key
+    )
+    return parent.project(ordered, new_name=name)
+
+
+def derive_partition_stats(
+    parent: Table,
+    parent_stats: RelationStatistics,
+    shell: Table,
+) -> RelationStatistics:
+    """Statistics for a fragment, derived from the parent's statistics.
+
+    Row count carries over (vertical partitioning keeps every row); the
+    page count is re-estimated from the fragment's narrower tuple width
+    — this is where partitioning's I/O benefit comes from. Column
+    statistics are copied verbatim: the value distribution of a column
+    does not change when it moves into a fragment.
+    """
+    row_count = parent_stats.table.row_count
+    page_count = estimate_heap_pages(
+        parent,
+        row_count,
+        column_stats=parent_stats.columns,
+        columns=shell.column_names,
+    )
+    column_stats = {}
+    for column in shell.column_names:
+        if parent_stats.has_column(column):
+            column_stats[column] = parent_stats.column(column)
+    return RelationStatistics(
+        table=TableStats(row_count=row_count, page_count=page_count),
+        columns=column_stats,
+    )

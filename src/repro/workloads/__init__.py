@@ -1,0 +1,23 @@
+"""Workloads: the query sets physical design is tuned for.
+
+Contains the workload container, a synthetic SDSS-like sky-survey schema
+with 30 prototypical astronomy queries (the demo ran on a 5% SDSS DR4
+sample with 30 prototypical queries — see DESIGN.md for the
+substitution), a smaller star-schema workload for tests, and a random
+analytic-query generator for scaling experiments.
+"""
+
+from repro.workloads.workload import Query, Workload
+from repro.workloads.sdss import build_sdss_database, sdss_workload
+from repro.workloads.star import build_star_database, star_workload
+from repro.workloads.generator import random_workload
+
+__all__ = [
+    "Query",
+    "Workload",
+    "build_sdss_database",
+    "build_star_database",
+    "random_workload",
+    "sdss_workload",
+    "star_workload",
+]

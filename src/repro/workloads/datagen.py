@@ -1,0 +1,56 @@
+"""Deterministic synthetic data helpers (numpy-backed)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def rng_for(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def zipf_choice(
+    rng: np.random.Generator, values: list, size: int, skew: float = 1.3
+) -> list:
+    """Skewed categorical values (rank-frequency ~ Zipf)."""
+    ranks = np.arange(1, len(values) + 1, dtype=float)
+    weights = ranks ** (-skew)
+    weights /= weights.sum()
+    picks = rng.choice(len(values), size=size, p=weights)
+    return [values[int(i)] for i in picks]
+
+
+def clustered_floats(
+    rng: np.random.Generator,
+    size: int,
+    low: float,
+    high: float,
+    cluster_frac: float = 0.9,
+) -> list[float]:
+    """Floats mostly increasing with position (high physical correlation).
+
+    Models columns like right ascension in a sky survey loaded
+    stripe-by-stripe: ordered on disk with local jitter.
+    """
+    base = np.linspace(low, high, size)
+    jitter = rng.normal(0.0, (high - low) * (1.0 - cluster_frac) * 0.25, size)
+    values = np.clip(base + jitter, low, high)
+    return values.tolist()
+
+
+def gaussian(
+    rng: np.random.Generator, size: int, mean: float, std: float,
+    low: float | None = None, high: float | None = None,
+) -> list[float]:
+    values = rng.normal(mean, std, size)
+    if low is not None or high is not None:
+        values = np.clip(values, low, high)
+    return values.tolist()
+
+
+def uniform(rng: np.random.Generator, size: int, low: float, high: float) -> list[float]:
+    return rng.uniform(low, high, size).tolist()
+
+
+def integers(rng: np.random.Generator, size: int, low: int, high: int) -> list[int]:
+    return rng.integers(low, high, size).tolist()

@@ -1,0 +1,132 @@
+"""Random analytic-query generation for scaling experiments.
+
+Experiment E6 sweeps workload size; this generator produces arbitrary
+numbers of well-formed selection/join/aggregation queries over any
+analyzed database, with controllable selectivities, so ILP-vs-greedy
+comparisons are not limited to the 30 hand-written queries.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.statistics import ColumnStats
+from repro.workloads.workload import Query, Workload
+
+
+def random_workload(
+    catalog: Catalog,
+    num_queries: int,
+    seed: int = 0,
+    join_probability: float = 0.35,
+    aggregate_probability: float = 0.4,
+    name: str | None = None,
+) -> Workload:
+    """Generate ``num_queries`` random queries against ``catalog``.
+
+    Predicate constants are drawn from column statistics (histogram
+    bounds and MCVs), so selectivities land in plausible analytic
+    ranges instead of being uniformly empty or full.
+    """
+    rng = random.Random(seed)
+    tables = [t for t in catalog.table_names if catalog.has_statistics(t)]
+    if not tables:
+        raise ValueError("catalog has no analyzed tables")
+
+    queries = []
+    for i in range(num_queries):
+        sql = _random_query(catalog, tables, rng, join_probability, aggregate_probability)
+        queries.append(Query(name=f"g{i + 1:03d}", sql=sql))
+    return Workload(queries=queries, name=name or f"random{num_queries}")
+
+
+def _random_query(
+    catalog: Catalog,
+    tables: list[str],
+    rng: random.Random,
+    join_probability: float,
+    aggregate_probability: float,
+) -> str:
+    table_name = rng.choice(tables)
+    table = catalog.table(table_name)
+    stats = catalog.statistics(table_name)
+
+    numeric_columns = [
+        c.name
+        for c in table.columns
+        if c.dtype.is_numeric and stats.has_column(c.name)
+    ]
+    if not numeric_columns:
+        numeric_columns = [table.columns[0].name]
+
+    predicates = []
+    for column in rng.sample(numeric_columns, k=min(len(numeric_columns), rng.randint(1, 3))):
+        predicates.append(_random_predicate(column, stats.column(column), rng))
+
+    join_clause = ""
+    from_clause = f"{table_name} t0"
+    prefix = "t0."
+    if rng.random() < join_probability:
+        partner = _find_join_partner(catalog, table, tables, rng)
+        if partner is not None:
+            partner_table, local_col, remote_col = partner
+            from_clause += f", {partner_table} t1"
+            join_clause = f" AND t0.{local_col} = t1.{remote_col}"
+
+    select_cols = rng.sample(numeric_columns, k=min(len(numeric_columns), 2))
+    where = " AND ".join(f"{prefix}{p}" for p in predicates) + join_clause
+
+    if rng.random() < aggregate_probability:
+        group_col = rng.choice(numeric_columns)
+        return (
+            f"SELECT {prefix}{group_col}, count(*) AS n FROM {from_clause} "
+            f"WHERE {where} GROUP BY {prefix}{group_col}"
+        )
+    cols = ", ".join(f"{prefix}{c}" for c in select_cols)
+    return f"SELECT {cols} FROM {from_clause} WHERE {where}"
+
+
+def _random_predicate(column: str, stats: ColumnStats, rng: random.Random) -> str:
+    """A predicate with statistics-guided constants."""
+    anchors = list(stats.histogram) or list(stats.mcv_values)
+    anchors = [a for a in anchors if isinstance(a, (int, float))]
+    if not anchors:
+        return f"{column} > 0"
+    choice = rng.random()
+    if choice < 0.4 and len(anchors) >= 2:
+        low, high = sorted(rng.sample(anchors, 2))
+        if low == high:
+            return f"{column} = {low!r}"
+        return f"{column} BETWEEN {low!r} AND {high!r}"
+    anchor = rng.choice(anchors)
+    if choice < 0.6:
+        return f"{column} = {anchor!r}"
+    op = rng.choice(["<", ">", "<=", ">="])
+    return f"{column} {op} {anchor!r}"
+
+
+def _find_join_partner(
+    catalog: Catalog, table, tables: list[str], rng: random.Random
+) -> tuple[str, str, str] | None:
+    """A (partner_table, local_column, remote_column) equi-join pair.
+
+    Heuristic foreign-key discovery: a local column named like the
+    partner's primary key (id-suffix match), the standard convention in
+    both the SDSS and star schemas.
+    """
+    candidates = []
+    for other_name in tables:
+        if other_name == table.name:
+            continue
+        other = catalog.table(other_name)
+        if len(other.primary_key) != 1:
+            continue
+        pk = other.primary_key[0]
+        for column in table.column_names:
+            if column == pk or column == f"{other_name}_id" or column.endswith(pk):
+                if other.has_column(pk):
+                    candidates.append((other_name, column, pk))
+    if not candidates:
+        return None
+    return rng.choice(candidates)

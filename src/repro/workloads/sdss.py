@@ -1,0 +1,400 @@
+"""A synthetic SDSS-like sky-survey database and its 30-query workload.
+
+The demo used a 5% sample of SDSS DR4 (~150 GB) with 30 prototypical
+queries; this module is the laptop-scale substitution (see DESIGN.md):
+the same *shape* — a very wide photometric table (40+ columns, which is
+what makes vertical partitioning pay off), a spectroscopic table joined
+on object id, a neighbors self-relationship, and per-field metadata —
+with deterministic synthetic data whose distributions (clustered sky
+coordinates, Gaussian magnitudes, skewed class labels) drive the same
+optimizer decisions.
+
+The 30 queries are modeled on the published SDSS sample-query pages:
+cone/box searches, color cuts, star–galaxy counts, quasar redshift
+scans, photo–spec joins, neighbor searches, and per-field data-quality
+rollups.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.datatypes import DOUBLE, INTEGER, REAL, SMALLINT, varchar
+from repro.catalog.schema import make_table
+from repro.storage.database import Database
+from repro.workloads.datagen import (
+    clustered_floats,
+    gaussian,
+    integers,
+    rng_for,
+    uniform,
+    zipf_choice,
+)
+from repro.workloads.workload import Query, Workload
+
+SPEC_CLASSES = ["GALAXY", "STAR", "QSO", "UNKNOWN", "HIZ_QSO", "SKY"]
+
+# Default scale: large enough for realistic planner decisions, small
+# enough that the full benchmark suite runs on a laptop.
+DEFAULT_PHOTO_ROWS = 40000
+
+
+def build_sdss_database(
+    photo_rows: int = DEFAULT_PHOTO_ROWS, seed: int = 42
+) -> Database:
+    """Create and load the synthetic survey database.
+
+    Row counts of the satellite tables scale with ``photo_rows`` at
+    SDSS-like ratios (about 20% of objects have spectra, fields hold
+    ~50 objects each).
+    """
+    rng = rng_for(seed)
+    db = Database()
+
+    spec_rows = max(10, photo_rows // 5)
+    field_rows = max(4, photo_rows // 50)
+    neighbor_rows = photo_rows
+
+    _load_field(db, rng, field_rows)
+    _load_photoobj(db, rng, photo_rows, field_rows)
+    _load_specobj(db, rng, spec_rows, photo_rows)
+    _load_neighbors(db, rng, neighbor_rows, photo_rows)
+    return db
+
+
+def _load_photoobj(db: Database, rng, rows: int, field_rows: int) -> None:
+    """The wide photometric table (41 columns)."""
+    table = make_table(
+        "photoobj",
+        [
+            ("objid", INTEGER),
+            ("ra", DOUBLE),
+            ("dec", DOUBLE),
+            ("run", SMALLINT),
+            ("rerun", SMALLINT),
+            ("camcol", SMALLINT),
+            ("field_id", INTEGER),
+            ("obj_type", SMALLINT),          # 3=galaxy, 6=star
+            ("mode", SMALLINT),
+            ("flags", INTEGER),
+            ("status", INTEGER),
+            ("psfmag_u", REAL),
+            ("psfmag_g", REAL),
+            ("psfmag_r", REAL),
+            ("psfmag_i", REAL),
+            ("psfmag_z", REAL),
+            ("modelmag_u", REAL),
+            ("modelmag_g", REAL),
+            ("modelmag_r", REAL),
+            ("modelmag_i", REAL),
+            ("modelmag_z", REAL),
+            ("petromag_r", REAL),
+            ("petrorad_r", REAL),
+            ("extinction_r", REAL),
+            ("u_g", REAL),                   # precomputed colors
+            ("g_r", REAL),
+            ("r_i", REAL),
+            ("i_z", REAL),
+            ("err_u", REAL),
+            ("err_g", REAL),
+            ("err_r", REAL),
+            ("err_i", REAL),
+            ("err_z", REAL),
+            ("rowc", REAL),
+            ("colc", REAL),
+            ("rowv", REAL),
+            ("colv", REAL),
+            ("mjd", INTEGER),
+            ("nchild", SMALLINT),
+            ("parentid", INTEGER),
+            ("specobjid", INTEGER),
+        ],
+        primary_key="objid",
+    )
+
+    ra = clustered_floats(rng, rows, 0.0, 360.0)
+    dec = uniform(rng, rows, -10.0, 70.0)
+    psfmag = {
+        band: gaussian(rng, rows, mean, 1.8, low=12.0, high=28.0)
+        for band, mean in (
+            ("u", 21.5), ("g", 20.6), ("r", 20.0), ("i", 19.7), ("z", 19.4)
+        )
+    }
+    modelmag = {
+        band: [m - abs(d) for m, d in zip(psfmag[band], gaussian(rng, rows, 0.15, 0.2))]
+        for band in psfmag
+    }
+    obj_type = zipf_choice(rng, [3, 6], rows, skew=0.5)
+
+    data = {
+        "objid": list(range(1, rows + 1)),
+        "ra": ra,
+        "dec": dec,
+        "run": integers(rng, rows, 94, 125),
+        "rerun": [40] * rows,
+        "camcol": integers(rng, rows, 1, 7),
+        "field_id": integers(rng, rows, 1, field_rows + 1),
+        "obj_type": obj_type,
+        "mode": zipf_choice(rng, [1, 2, 3], rows, skew=1.6),
+        "flags": integers(rng, rows, 0, 2**20),
+        "status": zipf_choice(rng, [0, 1, 2, 4, 8], rows, skew=1.2),
+        "psfmag_u": psfmag["u"],
+        "psfmag_g": psfmag["g"],
+        "psfmag_r": psfmag["r"],
+        "psfmag_i": psfmag["i"],
+        "psfmag_z": psfmag["z"],
+        "modelmag_u": modelmag["u"],
+        "modelmag_g": modelmag["g"],
+        "modelmag_r": modelmag["r"],
+        "modelmag_i": modelmag["i"],
+        "modelmag_z": modelmag["z"],
+        "petromag_r": [m + e for m, e in zip(psfmag["r"], gaussian(rng, rows, 0.1, 0.3))],
+        "petrorad_r": gaussian(rng, rows, 3.0, 1.5, low=0.2, high=30.0),
+        "extinction_r": gaussian(rng, rows, 0.12, 0.08, low=0.0, high=1.2),
+        "u_g": [u - g for u, g in zip(psfmag["u"], psfmag["g"])],
+        "g_r": [g - r for g, r in zip(psfmag["g"], psfmag["r"])],
+        "r_i": [r - i for r, i in zip(psfmag["r"], psfmag["i"])],
+        "i_z": [i - z for i, z in zip(psfmag["i"], psfmag["z"])],
+        "err_u": gaussian(rng, rows, 0.12, 0.05, low=0.0),
+        "err_g": gaussian(rng, rows, 0.05, 0.02, low=0.0),
+        "err_r": gaussian(rng, rows, 0.04, 0.02, low=0.0),
+        "err_i": gaussian(rng, rows, 0.05, 0.02, low=0.0),
+        "err_z": gaussian(rng, rows, 0.1, 0.04, low=0.0),
+        "rowc": uniform(rng, rows, 0.0, 1489.0),
+        "colc": uniform(rng, rows, 0.0, 2048.0),
+        "rowv": gaussian(rng, rows, 0.0, 0.4),
+        "colv": gaussian(rng, rows, 0.0, 0.4),
+        "mjd": integers(rng, rows, 51000, 53000),
+        "nchild": zipf_choice(rng, [0, 0, 0, 1, 2, 3], rows, skew=1.0),
+        "parentid": integers(rng, rows, 0, rows + 1),
+        "specobjid": [
+            i if i % 5 == 0 else 0 for i in range(1, rows + 1)
+        ],
+    }
+    db.create_table(table, data)
+
+
+def _load_specobj(db: Database, rng, rows: int, photo_rows: int) -> None:
+    table = make_table(
+        "specobj",
+        [
+            ("specobjid", INTEGER),
+            ("bestobjid", INTEGER),
+            ("z", REAL),
+            ("zerr", REAL),
+            ("zconf", REAL),
+            ("specclass", varchar(16)),
+            ("plate", SMALLINT),
+            ("mjd", INTEGER),
+            ("fiberid", SMALLINT),
+            ("primtarget", INTEGER),
+            ("sci_ra", DOUBLE),
+            ("sci_dec", DOUBLE),
+            ("veldisp", REAL),
+            ("mag_r", REAL),
+        ],
+        primary_key="specobjid",
+    )
+    # Spectra reference every 5th photo object (matching specobjid above).
+    best = [i for i in range(1, photo_rows + 1) if i % 5 == 0][:rows]
+    rows = len(best)
+    specclass = zipf_choice(rng, SPEC_CLASSES, rows, skew=1.1)
+    z = [
+        abs(v) if c in ("GALAXY", "STAR") else abs(v) * 6.0
+        for v, c in zip(gaussian(rng, rows, 0.12, 0.1), specclass)
+    ]
+    data = {
+        "specobjid": list(range(1, rows + 1)),
+        "bestobjid": best,
+        "z": z,
+        "zerr": gaussian(rng, rows, 0.0005, 0.0004, low=0.0),
+        "zconf": gaussian(rng, rows, 0.95, 0.08, low=0.0, high=1.0),
+        "specclass": specclass,
+        "plate": integers(rng, rows, 266, 600),
+        "mjd": integers(rng, rows, 51600, 53000),
+        "fiberid": integers(rng, rows, 1, 641),
+        "primtarget": integers(rng, rows, 0, 2**16),
+        "sci_ra": uniform(rng, rows, 0.0, 360.0),
+        "sci_dec": uniform(rng, rows, -10.0, 70.0),
+        "veldisp": gaussian(rng, rows, 150.0, 60.0, low=0.0),
+        "mag_r": gaussian(rng, rows, 18.2, 1.2, low=12.0, high=22.0),
+    }
+    db.create_table(table, data)
+
+
+def _load_neighbors(db: Database, rng, rows: int, photo_rows: int) -> None:
+    table = make_table(
+        "neighbors",
+        [
+            ("neighbor_id", INTEGER),
+            ("objid", INTEGER),
+            ("neighborobjid", INTEGER),
+            ("distance", REAL),
+            ("neighbortype", SMALLINT),
+            ("neighbormode", SMALLINT),
+        ],
+        primary_key="neighbor_id",
+    )
+    data = {
+        "neighbor_id": list(range(1, rows + 1)),
+        "objid": integers(rng, rows, 1, photo_rows + 1),
+        "neighborobjid": integers(rng, rows, 1, photo_rows + 1),
+        "distance": gaussian(rng, rows, 0.01, 0.008, low=0.0, high=0.05),
+        "neighbortype": zipf_choice(rng, [3, 6], rows, skew=0.4),
+        "neighbormode": zipf_choice(rng, [1, 2], rows, skew=1.5),
+    }
+    db.create_table(table, data)
+
+
+def _load_field(db: Database, rng, rows: int) -> None:
+    table = make_table(
+        "field",
+        [
+            ("field_id", INTEGER),
+            ("run", SMALLINT),
+            ("camcol", SMALLINT),
+            ("field_num", SMALLINT),
+            ("ra_min", DOUBLE),
+            ("ra_max", DOUBLE),
+            ("dec_min", DOUBLE),
+            ("dec_max", DOUBLE),
+            ("nobjects", INTEGER),
+            ("quality", SMALLINT),
+            ("mjd", INTEGER),
+            ("seeing", REAL),
+            ("sky_r", REAL),
+        ],
+        primary_key="field_id",
+    )
+    ra_min = clustered_floats(rng, rows, 0.0, 359.0)
+    data = {
+        "field_id": list(range(1, rows + 1)),
+        "run": integers(rng, rows, 94, 125),
+        "camcol": integers(rng, rows, 1, 7),
+        "field_num": integers(rng, rows, 11, 800),
+        "ra_min": ra_min,
+        "ra_max": [r + 0.9 for r in ra_min],
+        "dec_min": uniform(rng, rows, -10.0, 69.0),
+        "dec_max": uniform(rng, rows, -9.0, 70.0),
+        "nobjects": integers(rng, rows, 20, 90),
+        "quality": zipf_choice(rng, [3, 2, 1], rows, skew=1.4),
+        "mjd": integers(rng, rows, 51000, 53000),
+        "seeing": gaussian(rng, rows, 1.4, 0.3, low=0.7, high=3.0),
+        "sky_r": gaussian(rng, rows, 21.0, 0.4),
+    }
+    db.create_table(table, data)
+
+
+def sdss_workload() -> Workload:
+    """The 30 prototypical survey queries."""
+    q = []
+
+    # -- Region / cone-style searches (SDSS "search by position") ------
+    q.append(Query("q01_box_search",
+        "SELECT objid, ra, dec, psfmag_r FROM photoobj "
+        "WHERE ra BETWEEN 180 AND 190 AND dec BETWEEN 20 AND 30"))
+    q.append(Query("q02_narrow_cone",
+        "SELECT objid, ra, dec FROM photoobj "
+        "WHERE ra BETWEEN 210.2 AND 210.4 AND dec BETWEEN 5.0 AND 5.2"))
+    q.append(Query("q03_bright_in_region",
+        "SELECT objid, psfmag_r, petromag_r FROM photoobj "
+        "WHERE ra BETWEEN 140 AND 160 AND psfmag_r < 17.5"))
+
+    # -- Star / galaxy photometry ---------------------------------------
+    q.append(Query("q04_galaxy_count_by_run",
+        "SELECT run, count(*) AS n FROM photoobj "
+        "WHERE obj_type = 3 AND psfmag_r < 19 GROUP BY run ORDER BY run"))
+    q.append(Query("q05_star_colors",
+        "SELECT objid, u_g, g_r FROM photoobj "
+        "WHERE obj_type = 6 AND u_g > 2.2 AND g_r BETWEEN 0.2 AND 0.6"))
+    q.append(Query("q06_red_galaxies",
+        "SELECT objid, ra, dec, g_r FROM photoobj "
+        "WHERE obj_type = 3 AND g_r > 1.4 AND petrorad_r > 4.0"))
+    q.append(Query("q07_faint_tail",
+        "SELECT count(*) FROM photoobj WHERE psfmag_r > 22.5"))
+    q.append(Query("q08_brightest",
+        "SELECT objid, ra, dec, psfmag_r FROM photoobj "
+        "WHERE psfmag_r < 14.5 ORDER BY psfmag_r LIMIT 50"))
+    q.append(Query("q09_extinction_by_camcol",
+        "SELECT camcol, avg(extinction_r) AS ext, count(*) AS n "
+        "FROM photoobj WHERE obj_type = 3 GROUP BY camcol"))
+    q.append(Query("q10_moving_objects",
+        "SELECT objid, rowv, colv FROM photoobj "
+        "WHERE rowv > 1.0 AND colv > 1.0"))
+
+    # -- Color-cut candidate selections ---------------------------------
+    q.append(Query("q11_qso_color_cut",
+        "SELECT objid, ra, dec, u_g, g_r FROM photoobj "
+        "WHERE u_g < 0.2 AND g_r < 0.3 AND psfmag_i BETWEEN 17 AND 20"))
+    q.append(Query("q12_lrg_cut",
+        "SELECT objid, modelmag_r FROM photoobj "
+        "WHERE obj_type = 3 AND r_i > 0.8 AND modelmag_r < 19.3"))
+    q.append(Query("q13_error_screen",
+        "SELECT count(*) FROM photoobj "
+        "WHERE err_r < 0.03 AND err_g < 0.05 AND psfmag_r BETWEEN 16 AND 20"))
+    q.append(Query("q14_status_in",
+        "SELECT objid, status FROM photoobj "
+        "WHERE status IN (4, 8) AND mode = 1 AND dec > 60"))
+
+    # -- Photo x Spec joins ----------------------------------------------
+    q.append(Query("q15_spec_redshift_join",
+        "SELECT p.objid, s.z, p.psfmag_r FROM photoobj p, specobj s "
+        "WHERE p.objid = s.bestobjid AND s.z > 0.3 AND p.psfmag_r < 18"))
+    q.append(Query("q16_class_counts",
+        "SELECT s.specclass, count(*) AS n, avg(s.z) AS mean_z "
+        "FROM specobj s GROUP BY s.specclass ORDER BY n DESC"))
+    q.append(Query("q17_qso_spectra",
+        "SELECT specobjid, z, zconf FROM specobj "
+        "WHERE specclass = 'QSO' AND z BETWEEN 2.5 AND 3.5 AND zconf > 0.9"))
+    q.append(Query("q18_galaxy_veldisp",
+        "SELECT p.objid, s.veldisp FROM photoobj p, specobj s "
+        "WHERE p.objid = s.bestobjid AND s.specclass = 'GALAXY' "
+        "AND s.veldisp > 250 AND p.petrorad_r > 5"))
+    q.append(Query("q19_spec_photo_offset",
+        "SELECT s.specobjid, s.mag_r, p.psfmag_r FROM specobj s, photoobj p "
+        "WHERE s.bestobjid = p.objid AND s.mag_r - p.psfmag_r > 0.5"))
+    q.append(Query("q20_plate_rollup",
+        "SELECT s.plate, count(*) AS n, min(s.z) AS zmin, max(s.z) AS zmax "
+        "FROM specobj s WHERE s.zconf > 0.95 GROUP BY s.plate"))
+    q.append(Query("q21_hiz_candidates",
+        "SELECT s.specobjid, s.z FROM specobj s "
+        "WHERE s.specclass LIKE 'HIZ%' AND s.z > 3.5 ORDER BY s.z DESC"))
+
+    # -- Neighbors --------------------------------------------------------
+    q.append(Query("q22_close_pairs",
+        "SELECT n.objid, n.neighborobjid, n.distance FROM neighbors n "
+        "WHERE n.distance < 0.002 AND n.neighbortype = 3"))
+    q.append(Query("q23_pair_photometry",
+        "SELECT p.objid, p.psfmag_r, n.distance FROM photoobj p, neighbors n "
+        "WHERE p.objid = n.objid AND n.distance < 0.005 AND p.obj_type = 6"))
+    q.append(Query("q24_merger_candidates",
+        "SELECT p.objid, q.objid AS other_objid, n.distance "
+        "FROM photoobj p, neighbors n, photoobj q "
+        "WHERE p.objid = n.objid AND n.neighborobjid = q.objid "
+        "AND n.distance < 0.001 AND p.obj_type = 3 AND q.obj_type = 3"))
+
+    # -- Field / data-quality --------------------------------------------
+    q.append(Query("q25_bad_fields",
+        "SELECT field_id, seeing, sky_r FROM field "
+        "WHERE quality = 1 OR seeing > 2.2"))
+    q.append(Query("q26_field_objects",
+        "SELECT f.field_id, count(*) AS n FROM field f, photoobj p "
+        "WHERE p.field_id = f.field_id AND f.quality = 3 AND p.psfmag_r < 20 "
+        "GROUP BY f.field_id"))
+    q.append(Query("q27_field_seeing_join",
+        "SELECT p.objid, f.seeing FROM photoobj p, field f "
+        "WHERE p.field_id = f.field_id AND f.seeing < 1.1 AND p.err_r < 0.04"))
+
+    # -- Mixed analytics ---------------------------------------------------
+    q.append(Query("q28_sky_density",
+        "SELECT floor(ra / 10) AS ra_bin, count(*) AS n FROM photoobj "
+        "WHERE dec BETWEEN 0 AND 10 GROUP BY floor(ra / 10) ORDER BY ra_bin"))
+    q.append(Query("q29_spec_field_quality",
+        "SELECT s.specclass, avg(f.seeing) AS mean_seeing "
+        "FROM specobj s, photoobj p, field f "
+        "WHERE s.bestobjid = p.objid AND p.field_id = f.field_id "
+        "AND s.zconf > 0.9 GROUP BY s.specclass"))
+    q.append(Query("q30_parent_children",
+        "SELECT parentid, count(*) AS n FROM photoobj "
+        "WHERE nchild > 0 AND parentid > 0 GROUP BY parentid "
+        "ORDER BY n DESC LIMIT 20"))
+
+    return Workload(queries=q, name="sdss30")

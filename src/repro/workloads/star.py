@@ -1,0 +1,113 @@
+"""A small star-schema workload used by unit tests and quick examples."""
+
+from __future__ import annotations
+
+from repro.catalog.datatypes import DOUBLE, INTEGER, SMALLINT, varchar
+from repro.catalog.schema import make_table
+from repro.storage.database import Database
+from repro.workloads.datagen import gaussian, integers, rng_for, uniform, zipf_choice
+from repro.workloads.workload import Query, Workload
+
+REGIONS = ["north", "south", "east", "west"]
+CATEGORIES = ["widget", "gadget", "doohickey", "gizmo", "sprocket", "cog"]
+
+
+def build_star_database(fact_rows: int = 8000, seed: int = 7) -> Database:
+    """Sales fact table with product and store dimensions."""
+    rng = rng_for(seed)
+    db = Database()
+
+    products = max(10, fact_rows // 100)
+    stores = max(5, fact_rows // 400)
+
+    db.create_table(
+        make_table(
+            "product",
+            [
+                ("product_id", INTEGER),
+                ("category", varchar(16)),
+                ("price", DOUBLE),
+                ("weight", DOUBLE),
+            ],
+            primary_key="product_id",
+        ),
+        {
+            "product_id": list(range(1, products + 1)),
+            "category": zipf_choice(rng, CATEGORIES, products, skew=1.0),
+            "price": gaussian(rng, products, 30.0, 20.0, low=1.0),
+            "weight": gaussian(rng, products, 2.0, 1.0, low=0.1),
+        },
+    )
+    db.create_table(
+        make_table(
+            "store",
+            [
+                ("store_id", INTEGER),
+                ("region", varchar(8)),
+                ("size_class", SMALLINT),
+            ],
+            primary_key="store_id",
+        ),
+        {
+            "store_id": list(range(1, stores + 1)),
+            "region": zipf_choice(rng, REGIONS, stores, skew=0.7),
+            "size_class": zipf_choice(rng, [1, 2, 3], stores, skew=1.0),
+        },
+    )
+    db.create_table(
+        make_table(
+            "sales",
+            [
+                ("sale_id", INTEGER),
+                ("product_id", INTEGER),
+                ("store_id", INTEGER),
+                ("sold_on", INTEGER),   # day number
+                ("quantity", SMALLINT),
+                ("amount", DOUBLE),
+                ("discount", DOUBLE),
+                ("tax", DOUBLE),
+                ("channel", SMALLINT),
+                ("promo_id", INTEGER),
+            ],
+            primary_key="sale_id",
+        ),
+        {
+            "sale_id": list(range(1, fact_rows + 1)),
+            "product_id": integers(rng, fact_rows, 1, products + 1),
+            "store_id": integers(rng, fact_rows, 1, stores + 1),
+            "sold_on": sorted(integers(rng, fact_rows, 1, 365)),
+            "quantity": integers(rng, fact_rows, 1, 12),
+            "amount": gaussian(rng, fact_rows, 80.0, 50.0, low=0.5),
+            "discount": uniform(rng, fact_rows, 0.0, 0.3),
+            "tax": uniform(rng, fact_rows, 0.0, 0.2),
+            "channel": zipf_choice(rng, [1, 2, 3], fact_rows, skew=1.3),
+            "promo_id": integers(rng, fact_rows, 0, 50),
+        },
+    )
+    return db
+
+
+def star_workload() -> Workload:
+    return Workload(
+        name="star",
+        queries=[
+            Query("s01_day_range",
+                  "SELECT sale_id, amount FROM sales WHERE sold_on BETWEEN 100 AND 120"),
+            Query("s02_revenue_by_region",
+                  "SELECT st.region, sum(s.amount) AS revenue FROM sales s, store st "
+                  "WHERE s.store_id = st.store_id GROUP BY st.region"),
+            Query("s03_category_quantity",
+                  "SELECT p.category, sum(s.quantity) AS qty FROM sales s, product p "
+                  "WHERE s.product_id = p.product_id AND s.sold_on > 300 "
+                  "GROUP BY p.category"),
+            Query("s04_big_tickets",
+                  "SELECT sale_id, amount, discount FROM sales "
+                  "WHERE amount > 250 ORDER BY amount DESC LIMIT 25"),
+            Query("s05_channel_mix",
+                  "SELECT channel, count(*) AS n, avg(amount) AS avg_amount "
+                  "FROM sales WHERE discount < 0.05 GROUP BY channel"),
+            Query("s06_promo_perf",
+                  "SELECT promo_id, sum(amount) AS revenue FROM sales "
+                  "WHERE promo_id > 0 AND sold_on BETWEEN 1 AND 90 GROUP BY promo_id"),
+        ],
+    )

@@ -1,0 +1,95 @@
+"""Workload container: named, weighted SQL queries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.catalog.catalog import Catalog
+from repro.errors import ReproError
+from repro.sql.ast_nodes import SelectStmt
+from repro.sql.binder import BoundQuery, bind
+from repro.sql.parser import parse_select
+
+
+@dataclass(frozen=True)
+class Query:
+    """One workload query.
+
+    ``weight`` models relative frequency: benefit computations multiply
+    per-execution savings by it.
+    """
+
+    name: str
+    sql: str
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ReproError(f"query {self.name!r} must have positive weight")
+
+    def parse(self) -> SelectStmt:
+        return parse_select(self.sql)
+
+    def bind(self, catalog: Catalog) -> BoundQuery:
+        return bind(catalog, self.parse())
+
+
+@dataclass
+class Workload:
+    """An ordered collection of queries."""
+
+    queries: list[Query] = field(default_factory=list)
+    name: str = "workload"
+
+    def __post_init__(self) -> None:
+        names = [q.name for q in self.queries]
+        if len(set(names)) != len(names):
+            raise ReproError(f"workload {self.name!r} has duplicate query names")
+
+    def __iter__(self) -> Iterator[Query]:
+        return iter(self.queries)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def query(self, name: str) -> Query:
+        for query in self.queries:
+            if query.name == name:
+                return query
+        raise ReproError(f"no query named {name!r} in workload {self.name!r}")
+
+    @property
+    def total_weight(self) -> float:
+        return sum(q.weight for q in self.queries)
+
+    def subset(self, count: int, name: str | None = None) -> "Workload":
+        """The first ``count`` queries (workload-size scaling sweeps)."""
+        return Workload(
+            queries=self.queries[:count], name=name or f"{self.name}[:{count}]"
+        )
+
+    def bind_all(self, catalog: Catalog) -> list[BoundQuery]:
+        return [q.bind(catalog) for q in self.queries]
+
+    @classmethod
+    def from_sql(cls, statements: list[str], name: str = "workload") -> "Workload":
+        """Build a workload from bare SQL strings (auto-named q1..qN)."""
+        return cls(
+            queries=[
+                Query(name=f"q{i + 1}", sql=sql) for i, sql in enumerate(statements)
+            ],
+            name=name,
+        )
+
+    @classmethod
+    def from_file(cls, path: str, name: str | None = None) -> "Workload":
+        """Load semicolon-separated queries from a SQL file.
+
+        Mirrors the demo GUI's "workload file" input. Lines starting
+        with ``--`` are comments.
+        """
+        with open(path) as handle:
+            text = handle.read()
+        statements = [s.strip() for s in text.split(";") if s.strip()]
+        return cls.from_sql(statements, name=name or path)

@@ -1,0 +1,173 @@
+"""A brute-force reference query engine used as the executor's oracle.
+
+Independent of the optimizer and plan structure: it materializes the
+cartesian product of the FROM relations, filters with the expression
+evaluator, then applies grouping, HAVING, projection, DISTINCT,
+ORDER BY, and LIMIT by direct definition. Slow but obviously correct on
+the small test databases.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any
+
+from repro.executor.aggregates import AggregateAccumulator
+from repro.sql.ast_nodes import FuncCall
+from repro.sql.binder import BoundQuery
+from repro.sql.expressions import evaluate, is_true
+from repro.storage.database import Database
+
+
+def run_reference(db: Database, query: BoundQuery) -> list[tuple]:
+    stmt = query.statement
+
+    # FROM: cartesian product of base rows as (alias, column) contexts.
+    per_rel_rows = []
+    for entry in query.rels:
+        heap = db.relation(entry.table.name).heap
+        contexts = []
+        for row_idx in heap.scan():
+            contexts.append(
+                {
+                    (entry.alias, name): heap.value(row_idx, name)
+                    for name in entry.table.column_names
+                }
+            )
+        per_rel_rows.append(contexts)
+
+    joined = []
+    for combo in itertools.product(*per_rel_rows):
+        row: dict = {}
+        for part in combo:
+            row.update(part)
+        if all(is_true(evaluate(q, row)) for q in query.quals):
+            joined.append(row)
+
+    has_aggs = any(
+        isinstance(n, FuncCall) and n.is_aggregate
+        for item in stmt.targets
+        for n in item.expr.walk()
+    )
+
+    if stmt.group_by or has_aggs:
+        output_rows = _aggregate(stmt, joined)
+    else:
+        output_rows = []
+        for row in joined:
+            out = dict(row)
+            for item in stmt.targets:
+                out[item.expr] = evaluate(item.expr, row)
+            output_rows.append(out)
+
+    if stmt.distinct:
+        seen = set()
+        deduped = []
+        for row in output_rows:
+            key = tuple(_norm(row[item.expr]) for item in stmt.targets)
+            if key not in seen:
+                seen.add(key)
+                deduped.append(row)
+        output_rows = deduped
+
+    if stmt.order_by:
+        def sort_key(row):
+            parts = []
+            for item in stmt.order_by:
+                value = row.get(item.expr)
+                if value is None and item.expr not in row:
+                    value = evaluate(item.expr, row)
+                null_flag = 1 if value is None else 0
+                if item.descending:
+                    parts.append((-null_flag, _Rev(value)))
+                else:
+                    parts.append((null_flag, _norm(value)))
+            return parts
+
+        output_rows.sort(key=sort_key)
+
+    if stmt.limit is not None:
+        output_rows = output_rows[: stmt.limit]
+
+    return [
+        tuple(row[item.expr] for item in stmt.targets) for row in output_rows
+    ]
+
+
+def _aggregate(stmt, joined: list[dict]) -> list[dict]:
+    agg_calls: list[FuncCall] = []
+    roots = [item.expr for item in stmt.targets]
+    if stmt.having is not None:
+        roots.append(stmt.having)
+    for root in roots:
+        for node in root.walk():
+            if isinstance(node, FuncCall) and node.is_aggregate and node not in agg_calls:
+                agg_calls.append(node)
+
+    groups: dict[tuple, tuple[dict, list[AggregateAccumulator]]] = {}
+    order: list[tuple] = []
+    for row in joined:
+        key = tuple(_norm(evaluate(k, row)) for k in stmt.group_by)
+        if key not in groups:
+            groups[key] = (row, [AggregateAccumulator(c) for c in agg_calls])
+            order.append(key)
+        for acc in groups[key][1]:
+            acc.add(row)
+    if not stmt.group_by and not groups:
+        groups[()] = ({}, [AggregateAccumulator(c) for c in agg_calls])
+        order.append(())
+
+    out = []
+    for key in order:
+        sample, accs = groups[key]
+        values = {call: acc.result() for call, acc in zip(agg_calls, accs)}
+
+        def eval_agg(expr, sample=sample, values=values):
+            from repro.executor.executor import _eval_with_aggs
+
+            return _eval_with_aggs(expr, sample, values)
+
+        if stmt.having is not None and not is_true(eval_agg(stmt.having)):
+            continue
+        row = dict(sample)
+        row.update(values)
+        for item in stmt.targets:
+            row[item.expr] = eval_agg(item.expr)
+        out.append(row)
+    return out
+
+
+def _norm(value: Any):
+    if value is None:
+        return (1, 0)
+    if isinstance(value, bool):
+        return (0, int(value))
+    if isinstance(value, float):
+        # Accumulation order differs between executor and reference;
+        # compare to 6 decimal places of relative precision.
+        return (0, round(value, 6) if abs(value) < 1e6 else round(value, 0))
+    return (0, value)
+
+
+class _Rev:
+    __slots__ = ("v",)
+
+    def __init__(self, v):
+        self.v = _norm(v)
+
+    def __lt__(self, other):
+        return other.v < self.v
+
+    def __eq__(self, other):
+        return other.v == self.v
+
+
+def rows_equal(actual: list[tuple], expected: list[tuple], ordered: bool) -> bool:
+    """Compare result sets, as multisets unless ``ordered``."""
+    def canonical(rows):
+        return [tuple(_norm(v) for v in row) for row in rows]
+
+    a, b = canonical(actual), canonical(expected)
+    if ordered:
+        return a == b
+    return sorted(a) == sorted(b)

@@ -1,0 +1,83 @@
+"""Aggregate accumulator unit tests (NULL handling, DISTINCT, count(*))."""
+
+import pytest
+
+from repro.errors import ExecutorError
+from repro.executor.aggregates import AggregateAccumulator
+from repro.sql.ast_nodes import ColumnRef, FuncCall, Star
+
+
+def acc(name, distinct=False, star=False):
+    args = (Star(),) if star else (ColumnRef("v", table="t"),)
+    return AggregateAccumulator(FuncCall(name, args, distinct=distinct))
+
+
+def feed(accumulator, values):
+    for value in values:
+        accumulator.add({("t", "v"): value})
+    return accumulator.result()
+
+
+class TestCount:
+    def test_count_star_counts_everything(self):
+        assert feed(acc("count", star=True), [1, None, 2]) == 3
+
+    def test_count_column_skips_nulls(self):
+        assert feed(acc("count"), [1, None, 2]) == 2
+
+    def test_count_distinct(self):
+        assert feed(acc("count", distinct=True), [1, 1, 2, None, 2]) == 2
+
+    def test_count_empty(self):
+        assert feed(acc("count"), []) == 0
+
+    def test_bare_count_acts_like_star(self):
+        bare = AggregateAccumulator(FuncCall("count", ()))
+        bare.add({("t", "v"): None})
+        assert bare.result() == 1
+
+
+class TestSumAvg:
+    def test_sum(self):
+        assert feed(acc("sum"), [1, 2, None, 3]) == 6
+
+    def test_sum_empty_is_null(self):
+        assert feed(acc("sum"), []) is None
+        assert feed(acc("sum"), [None, None]) is None
+
+    def test_avg(self):
+        assert feed(acc("avg"), [2, 4, None]) == pytest.approx(3.0)
+
+    def test_avg_empty_is_null(self):
+        assert feed(acc("avg"), [None]) is None
+
+    def test_sum_distinct(self):
+        assert feed(acc("sum", distinct=True), [5, 5, 3]) == 8
+
+
+class TestMinMax:
+    def test_min_max(self):
+        assert feed(acc("min"), [3, 1, None, 2]) == 1
+        assert feed(acc("max"), [3, 1, None, 2]) == 3
+
+    def test_min_empty_is_null(self):
+        assert feed(acc("min"), []) is None
+
+    def test_strings(self):
+        accumulator = AggregateAccumulator(
+            FuncCall("min", (ColumnRef("v", table="t"),))
+        )
+        for value in ["pear", "apple", None]:
+            accumulator.add({("t", "v"): value})
+        assert accumulator.result() == "apple"
+
+
+class TestErrors:
+    def test_non_aggregate_rejected(self):
+        with pytest.raises(ExecutorError):
+            AggregateAccumulator(FuncCall("abs", (ColumnRef("v", table="t"),)))
+
+    def test_argless_sum_rejected_at_add(self):
+        accumulator = AggregateAccumulator(FuncCall("sum", ()))
+        with pytest.raises(ExecutorError):
+            accumulator.add({})

@@ -1,0 +1,158 @@
+"""Unit and property tests for the real B-Tree index."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog.datatypes import DOUBLE, INTEGER, TEXT
+from repro.catalog.schema import Index, make_table
+from repro.errors import ExecutorError
+from repro.storage.btree import BTreeIndex
+from repro.storage.heap import HeapFile
+
+
+def build(values, columns=("k",), table_types=None):
+    """Build a B-Tree over column-major ``values`` dict."""
+    table_types = table_types or [("k", INTEGER)]
+    table = make_table("t", table_types)
+    heap = HeapFile(table, values)
+    index = Index("i", "t", columns)
+    return BTreeIndex(index, table, heap), heap
+
+
+class TestBuild:
+    def test_rejects_hypothetical(self):
+        table = make_table("t", [("k", INTEGER)])
+        heap = HeapFile(table, {"k": [1]})
+        with pytest.raises(ExecutorError):
+            BTreeIndex(Index("i", "t", ("k",), hypothetical=True), table, heap)
+
+    def test_entry_count(self):
+        btree, _ = build({"k": [3, 1, 2]})
+        assert btree.entry_count == 3
+
+    def test_empty(self):
+        btree, _ = build({"k": []})
+        assert btree.leaf_page_count == 1
+        assert list(btree.scan_all()) == []
+
+    def test_leaf_pages_grow_with_entries(self):
+        small, _ = build({"k": list(range(100))})
+        large, _ = build({"k": list(range(50_000))})
+        assert large.leaf_page_count > small.leaf_page_count
+        assert large.height >= 1
+
+
+class TestSearch:
+    def test_full_scan_in_key_order(self):
+        btree, heap = build({"k": [5, 1, 4, 2, 3]})
+        keys = [heap.value(rid, "k") for rid, _page in btree.scan_all()]
+        assert keys == [1, 2, 3, 4, 5]
+
+    def test_point_lookup(self):
+        btree, heap = build({"k": [5, 1, 4, 2, 3]})
+        rows = [rid for rid, _ in btree.search_range((3,), (3,))]
+        assert [heap.value(r, "k") for r in rows] == [3]
+
+    def test_range_inclusive_exclusive(self):
+        btree, heap = build({"k": list(range(10))})
+        inclusive = [heap.value(r, "k") for r, _ in btree.search_range((2,), (5,))]
+        assert inclusive == [2, 3, 4, 5]
+        exclusive = [
+            heap.value(r, "k")
+            for r, _ in btree.search_range((2,), (5,), False, False)
+        ]
+        assert exclusive == [3, 4]
+
+    def test_open_bounds(self):
+        btree, heap = build({"k": [3, 1, 2]})
+        assert len(list(btree.search_range(None, (2,)))) == 2
+        assert len(list(btree.search_range((2,), None))) == 2
+
+    def test_duplicates_all_returned(self):
+        btree, _ = build({"k": [7, 7, 7, 1]})
+        assert len(list(btree.search_range((7,), (7,)))) == 3
+
+    def test_nulls_sort_last_and_excluded_from_ranges(self):
+        btree, heap = build({"k": [2, None, 1]})
+        all_keys = [heap.value(r, "k") for r, _ in btree.scan_all()]
+        assert all_keys == [1, 2, None]
+        ranged = [heap.value(r, "k") for r, _ in btree.search_range((0,), (9,))]
+        assert None not in ranged
+
+
+class TestMulticolumn:
+    def make(self):
+        data = {
+            "a": [1, 1, 2, 2, 3],
+            "b": [10.0, 20.0, 10.0, 20.0, 10.0],
+        }
+        table_types = [("a", INTEGER), ("b", DOUBLE)]
+        return build(data, columns=("a", "b"), table_types=table_types)
+
+    def test_prefix_probe(self):
+        btree, heap = self.make()
+        rows = [heap.row(r) for r, _ in btree.search_range((2,), (2,))]
+        assert [(r["a"], r["b"]) for r in rows] == [(2, 10.0), (2, 20.0)]
+
+    def test_full_key_probe(self):
+        btree, heap = self.make()
+        rows = [heap.row(r) for r, _ in btree.search_range((1, 20.0), (1, 20.0))]
+        assert [(r["a"], r["b"]) for r in rows] == [(1, 20.0)]
+
+    def test_prefix_range(self):
+        btree, heap = self.make()
+        rows = [heap.row(r) for r, _ in btree.search_range((1,), (2,))]
+        assert len(rows) == 4
+
+
+class TestTextKeys:
+    def test_string_ordering(self):
+        btree, heap = build(
+            {"s": ["pear", "apple", "fig"]},
+            columns=("s",),
+            table_types=[("s", TEXT)],
+        )
+        keys = [heap.value(r, "s") for r, _ in btree.scan_all()]
+        assert keys == ["apple", "fig", "pear"]
+
+    def test_prefix_range_on_text(self):
+        btree, heap = build(
+            {"s": ["abc", "abd", "b", "ab"]},
+            columns=("s",),
+            table_types=[("s", TEXT)],
+        )
+        matches = [
+            heap.value(r, "s")
+            for r, _ in btree.search_range(("ab",), ("ac",), True, False)
+        ]
+        assert sorted(matches) == ["ab", "abc", "abd"]
+
+
+class TestAgainstBruteForce:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        keys=st.lists(
+            st.one_of(st.integers(-50, 50), st.none()), min_size=0, max_size=120
+        ),
+        low=st.integers(-60, 60),
+        span=st.integers(0, 40),
+    )
+    def test_range_matches_filter(self, keys, low, span):
+        high = low + span
+        btree, heap = build({"k": keys})
+        got = sorted(
+            heap.value(r, "k") for r, _ in btree.search_range((low,), (high,))
+        )
+        expected = sorted(k for k in keys if k is not None and low <= k <= high)
+        assert got == expected
+
+    def test_random_page_assignment_monotone(self):
+        rng = random.Random(0)
+        keys = [rng.randint(0, 10_000) for _ in range(20_000)]
+        btree, _ = build({"k": keys})
+        pages = [page for _rid, page in btree.scan_all()]
+        assert pages == sorted(pages)
+        assert pages[-1] == btree.leaf_page_count - 1

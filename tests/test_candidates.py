@@ -1,0 +1,109 @@
+"""Candidate index generation tests."""
+
+import pytest
+
+from repro.advisor.candidates import generate_candidates
+from repro.errors import AdvisorError
+from repro.workloads.workload import Query, Workload
+
+from tests.conftest import make_people_db
+
+
+@pytest.fixture(scope="module")
+def db():
+    return make_people_db(rows=500, seed=23)
+
+
+def candidates_for(db, *sqls, **kwargs):
+    workload = Workload.from_sql(list(sqls))
+    return generate_candidates(db.catalog, workload, **kwargs)
+
+
+class TestGeneration:
+    def test_single_column_from_eq(self, db):
+        cands = candidates_for(db, "select height from people where age = 30")
+        assert any(c.index.columns == ("age",) for c in cands)
+
+    def test_eq_plus_range_composite(self, db):
+        cands = candidates_for(
+            db, "select person_id from people where city = 'oslo' and age > 50"
+        )
+        assert any(c.index.columns == ("city", "age") for c in cands)
+
+    def test_join_column_candidates(self, db):
+        cands = candidates_for(
+            db,
+            "select p.age from people p, pets q where p.person_id = q.owner_id",
+        )
+        tables = {(c.index.table_name, c.index.columns) for c in cands}
+        assert ("people", ("person_id",)) in tables
+        assert ("pets", ("owner_id",)) in tables
+
+    def test_order_by_column_candidate(self, db):
+        cands = candidates_for(db, "select age from people order by height")
+        assert any(c.index.columns[0] == "height" for c in cands)
+
+    def test_covering_candidate(self, db):
+        cands = candidates_for(
+            db, "select height from people where age between 1 and 2"
+        )
+        assert any(
+            set(c.index.columns) == {"age", "height"} and c.index.columns[0] == "age"
+            for c in cands
+        )
+
+    def test_dedupe_across_queries(self, db):
+        cands = candidates_for(
+            db,
+            "select person_id from people where age = 1",
+            "select height from people where age = 2",
+        )
+        age_only = [c for c in cands if c.index.columns == ("age",)]
+        assert len(age_only) == 1
+
+    def test_all_hypothetical_with_sizes(self, db):
+        cands = candidates_for(db, "select person_id from people where age = 1")
+        assert all(c.index.hypothetical for c in cands)
+        assert all(c.size_pages >= 1 for c in cands)
+
+    def test_unique_names(self, db):
+        cands = candidates_for(
+            db,
+            "select p.age from people p, pets q "
+            "where p.person_id = q.owner_id and q.weight > 5 and p.city = 'lima'",
+        )
+        names = [c.name for c in cands]
+        assert len(names) == len(set(names))
+
+
+class TestKnobs:
+    def test_single_column_only(self, db):
+        cands = candidates_for(
+            db,
+            "select person_id from people where city = 'oslo' and age > 50",
+            single_column_only=True,
+        )
+        assert all(len(c.index.columns) == 1 for c in cands)
+
+    def test_max_width_respected(self, db):
+        cands = candidates_for(
+            db,
+            "select person_id from people "
+            "where city = 'oslo' and age = 5 and height > 150",
+            max_width=2,
+            max_covering_width=2,
+        )
+        assert all(len(c.index.columns) <= 2 for c in cands)
+
+    def test_per_table_cap(self, db):
+        cands = candidates_for(
+            db,
+            "select person_id from people "
+            "where city = 'oslo' and age = 5 and height > 150 and nickname = 'n'",
+            max_per_table=3,
+        )
+        assert len([c for c in cands if c.index.table_name == "people"]) <= 3
+
+    def test_empty_workload_rejected(self, db):
+        with pytest.raises(AdvisorError):
+            generate_candidates(db.catalog, Workload(queries=[]))

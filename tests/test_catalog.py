@@ -1,0 +1,121 @@
+"""Unit tests for the system catalog."""
+
+import pytest
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.datatypes import DOUBLE, INTEGER
+from repro.catalog.schema import Index, make_table
+from repro.catalog.statistics import RelationStatistics, TableStats
+from repro.errors import DuplicateObjectError, UnknownObjectError
+
+
+def catalog_with_table() -> Catalog:
+    cat = Catalog()
+    cat.add_table(make_table("t", [("id", INTEGER), ("x", DOUBLE)], primary_key="id"))
+    return cat
+
+
+class TestTables:
+    def test_add_and_lookup(self):
+        cat = catalog_with_table()
+        assert cat.has_table("t")
+        assert "t" in cat
+        assert cat.table("t").name == "t"
+        assert cat.table_names == ["t"]
+
+    def test_duplicate_rejected(self):
+        cat = catalog_with_table()
+        with pytest.raises(DuplicateObjectError):
+            cat.add_table(make_table("t", [("id", INTEGER)]))
+
+    def test_unknown_lookup(self):
+        with pytest.raises(UnknownObjectError):
+            Catalog().table("ghost")
+
+    def test_drop_cascades_indexes_and_stats(self):
+        cat = catalog_with_table()
+        cat.add_index(Index("i", "t", ("x",)))
+        cat.set_statistics(
+            "t", RelationStatistics(table=TableStats(row_count=1, page_count=1))
+        )
+        cat.drop_table("t")
+        assert not cat.has_table("t")
+        assert not cat.has_index("i")
+
+    def test_drop_unknown(self):
+        with pytest.raises(UnknownObjectError):
+            Catalog().drop_table("ghost")
+
+
+class TestIndexes:
+    def test_add_and_list(self):
+        cat = catalog_with_table()
+        cat.add_index(Index("i1", "t", ("x",)))
+        cat.add_index(Index("i2", "t", ("id", "x")))
+        assert {ix.name for ix in cat.indexes_on("t")} == {"i1", "i2"}
+        assert cat.index_names == ["i1", "i2"]
+
+    def test_duplicate_name_rejected(self):
+        cat = catalog_with_table()
+        cat.add_index(Index("i", "t", ("x",)))
+        with pytest.raises(DuplicateObjectError):
+            cat.add_index(Index("i", "t", ("id",)))
+
+    def test_duplicate_signature_rejected(self):
+        cat = catalog_with_table()
+        cat.add_index(Index("i1", "t", ("x",)))
+        with pytest.raises(DuplicateObjectError):
+            cat.add_index(Index("i2", "t", ("x",)))
+
+    def test_unknown_table_rejected(self):
+        with pytest.raises(UnknownObjectError):
+            Catalog().add_index(Index("i", "ghost", ("x",)))
+
+    def test_unknown_column_rejected(self):
+        cat = catalog_with_table()
+        with pytest.raises(UnknownObjectError):
+            cat.add_index(Index("i", "t", ("nope",)))
+
+    def test_drop(self):
+        cat = catalog_with_table()
+        cat.add_index(Index("i", "t", ("x",)))
+        cat.drop_index("i")
+        assert not cat.has_index("i")
+        with pytest.raises(UnknownObjectError):
+            cat.drop_index("i")
+
+
+class TestStatistics:
+    def test_set_and_get(self):
+        cat = catalog_with_table()
+        stats = RelationStatistics(table=TableStats(row_count=5, page_count=1))
+        cat.set_statistics("t", stats)
+        assert cat.has_statistics("t")
+        assert cat.statistics("t").table.row_count == 5
+
+    def test_missing_statistics(self):
+        cat = catalog_with_table()
+        with pytest.raises(UnknownObjectError):
+            cat.statistics("t")
+
+    def test_statistics_for_unknown_table(self):
+        with pytest.raises(UnknownObjectError):
+            Catalog().statistics("ghost")
+
+
+class TestClone:
+    def test_clone_isolated(self):
+        cat = catalog_with_table()
+        clone = cat.clone()
+        clone.add_table(make_table("extra", [("a", INTEGER)]))
+        clone.add_index(Index("ci", "t", ("x",)))
+        assert not cat.has_table("extra")
+        assert not cat.has_index("ci")
+        assert clone.has_table("t")  # shares existing entries
+
+    def test_clone_sees_original_statistics(self):
+        cat = catalog_with_table()
+        cat.set_statistics(
+            "t", RelationStatistics(table=TableStats(row_count=9, page_count=2))
+        )
+        assert cat.clone().statistics("t").table.row_count == 9

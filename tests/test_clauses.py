@@ -1,0 +1,122 @@
+"""Unit tests for clause classification and index-clause extraction."""
+
+import pytest
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.datatypes import DOUBLE, INTEGER, TEXT
+from repro.catalog.schema import make_table
+from repro.optimizer.clauses import (
+    classify,
+    extract_index_clause,
+    like_prefix,
+    prefix_upper_bound,
+)
+from repro.sql.binder import bind
+from repro.sql.parser import parse_select
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    cat = Catalog()
+    cat.add_table(make_table("a", [("id", INTEGER), ("x", DOUBLE), ("s", TEXT)]))
+    cat.add_table(make_table("b", [("id", INTEGER), ("y", DOUBLE)]))
+    return cat
+
+
+def quals(catalog, condition):
+    sql = f"select a.id from a, b where {condition}"
+    return bind(catalog, parse_select(sql)).quals
+
+
+class TestClassification:
+    def test_restriction_single_rel(self, catalog):
+        clause = classify(quals(catalog, "a.x > 1")[0])
+        assert clause.is_restriction
+        assert clause.single_alias == "a"
+
+    def test_equi_join_detected(self, catalog):
+        clause = classify(quals(catalog, "a.id = b.id")[0])
+        assert not clause.is_restriction
+        assert clause.equi_join == (("a", "id"), ("b", "id"))
+
+    def test_non_equi_join(self, catalog):
+        clause = classify(quals(catalog, "a.x > b.y")[0])
+        assert clause.equi_join is None
+        assert clause.rels == frozenset({"a", "b"})
+
+    def test_same_rel_column_comparison_not_join(self, catalog):
+        clause = classify(quals(catalog, "a.x = a.id")[0])
+        assert clause.is_restriction
+        assert clause.index_clause is None
+
+
+class TestIndexClauseExtraction:
+    def get(self, catalog, condition):
+        return classify(quals(catalog, condition)[0]).index_clause
+
+    def test_equality(self, catalog):
+        ic = self.get(catalog, "a.x = 5")
+        assert ic.op == "=" and ic.values == (5,)
+        assert ic.is_equality
+
+    def test_flipped_comparison(self, catalog):
+        ic = self.get(catalog, "5 < a.x")
+        assert ic.op == ">" and ic.column == "x"
+
+    def test_between(self, catalog):
+        ic = self.get(catalog, "a.x between 1 and 2")
+        assert ic.op == "between" and ic.values == (1, 2)
+
+    def test_in_list(self, catalog):
+        ic = self.get(catalog, "a.id in (1, 2, 3)")
+        assert ic.op == "in" and ic.values == (1, 2, 3)
+
+    def test_like_prefix(self, catalog):
+        ic = self.get(catalog, "a.s like 'abc%'")
+        assert ic.op == "like_prefix" and ic.values == ("abc",)
+
+    def test_unanchored_like_not_indexable(self, catalog):
+        assert self.get(catalog, "a.s like '%abc'") is None
+
+    def test_not_equal_not_indexable(self, catalog):
+        assert self.get(catalog, "a.x <> 5") is None
+
+    def test_or_not_indexable(self, catalog):
+        assert self.get(catalog, "a.x = 1 or a.x = 2") is None
+
+    def test_negated_between_not_indexable(self, catalog):
+        assert self.get(catalog, "a.x not between 1 and 2") is None
+
+    def test_arithmetic_on_column_not_indexable(self, catalog):
+        assert self.get(catalog, "a.x + 1 = 5") is None
+
+    def test_non_literal_in_not_indexable(self, catalog):
+        assert self.get(catalog, "a.x in (a.id, 2)") is None
+
+
+class TestLikePrefix:
+    @pytest.mark.parametrize(
+        "pattern,expected",
+        [
+            ("abc%", "abc"),
+            ("abc", "abc"),
+            ("a_c", "a"),
+            ("%abc", None),
+            ("_bc", None),
+            ("ab\\%c%", "ab%c"),
+            ("", None),
+        ],
+    )
+    def test_cases(self, pattern, expected):
+        assert like_prefix(pattern) == expected
+
+
+class TestPrefixUpperBound:
+    def test_simple_increment(self):
+        assert prefix_upper_bound("abc") == "abd"
+
+    def test_orders_correctly(self):
+        prefix = "m31"
+        upper = prefix_upper_bound(prefix)
+        assert prefix < "m31zzz" < upper
+        assert not ("m32" < upper)

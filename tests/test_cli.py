@@ -1,0 +1,132 @@
+"""CLI tests: the three scenario subcommands."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv) -> str:
+    code = main(list(argv))
+    assert code == 0
+    return capsys.readouterr().out
+
+
+class TestSuggestIndexes:
+    def test_basic(self, capsys):
+        out = run_cli(
+            capsys, "--db", "star:2000", "suggest-indexes", "--budget-mb", "2"
+        )
+        assert "Suggested" in out
+        assert "CREATE INDEX ON" in out
+
+    def test_verbose_table(self, capsys):
+        out = run_cli(
+            capsys, "--db", "star:2000", "suggest-indexes", "--budget-mb", "2", "-v"
+        )
+        assert "Per-query benefit" in out
+
+    def test_single_column_flag(self, capsys):
+        out = run_cli(
+            capsys,
+            "--db", "star:2000",
+            "suggest-indexes", "--budget-mb", "2", "--single-column",
+        )
+        for line in out.splitlines():
+            if line.strip().startswith("CREATE INDEX ON"):
+                columns = line[line.index("(") + 1 : line.rindex(")")]
+                assert "," not in columns
+
+    def test_create_flag(self, capsys):
+        out = run_cli(
+            capsys,
+            "--db", "star:2000",
+            "suggest-indexes", "--budget-mb", "2", "--create",
+        )
+        assert "Materialized" in out
+
+
+class TestSuggestPartitions:
+    def test_basic(self, capsys):
+        out = run_cli(
+            capsys, "--db", "star:2000", "suggest-partitions", "--replication", "0.3"
+        )
+        assert "AutoPart" in out
+        assert "Workload cost" in out
+
+    def test_save_rewritten(self, capsys, tmp_path):
+        target = tmp_path / "rewritten.sql"
+        run_cli(
+            capsys,
+            "--db", "star:2000",
+            "suggest-partitions", "--save-rewritten", str(target),
+        )
+        text = target.read_text()
+        assert "SELECT" in text
+        assert text.count(";") >= 6
+
+
+class TestEvaluate:
+    def test_whatif_indexes(self, capsys):
+        out = run_cli(
+            capsys,
+            "--db", "star:2000",
+            "evaluate", "--index", "sales:sold_on",
+        )
+        assert "average per-query benefit" in out
+        assert "whatif_sales_sold_on" in out
+
+    def test_compare(self, capsys):
+        out = run_cli(
+            capsys,
+            "--db", "star:2000",
+            "evaluate", "--index", "sales:sold_on", "--compare", "s01_day_range",
+        )
+        assert "plans match = True" in out
+
+    def test_bad_index_spec(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--db", "star:2000", "evaluate", "--index", "nocolon"])
+
+
+class TestExplain:
+    def test_explain_with_whatif(self, capsys):
+        out = run_cli(
+            capsys,
+            "--db", "star:2000",
+            "explain",
+            "--sql", "SELECT amount FROM sales WHERE sold_on BETWEEN 5 AND 6",
+            "--index", "sales:sold_on",
+        )
+        assert "Index Scan" in out
+        assert "hypothetical" in out
+
+
+class TestParser:
+    def test_unknown_db(self):
+        with pytest.raises(SystemExit):
+            main(["--db", "oracle:1", "explain", "--sql", "SELECT 1 FROM t"])
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_workload_file(self, capsys, tmp_path):
+        wl = tmp_path / "wl.sql"
+        wl.write_text("select amount from sales where sold_on between 1 and 2;")
+        out = run_cli(
+            capsys,
+            "--db", "star:2000",
+            "suggest-indexes", "--workload", str(wl), "--budget-mb", "2",
+        )
+        assert "Suggested" in out
+
+
+class TestSuggestCombined:
+    def test_full_pipeline(self, capsys):
+        out = run_cli(
+            capsys,
+            "--db", "star:2000",
+            "suggest-combined", "--budget-mb", "2", "--replication", "0.3",
+        )
+        assert "Combined workload cost" in out
+        assert "Partitions:" in out

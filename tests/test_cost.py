@@ -1,0 +1,198 @@
+"""Unit tests for the cost model formulas."""
+
+import pytest
+
+from repro.catalog.datatypes import INTEGER
+from repro.catalog.schema import Index, make_table
+from repro.optimizer.config import IndexInfo, PlannerConfig, RelationInfo
+from repro.optimizer.cost import (
+    clamp_rows,
+    cost_agg_hash,
+    cost_hashjoin,
+    cost_index_scan,
+    cost_mergejoin,
+    cost_nestloop,
+    cost_seqscan,
+    cost_sort,
+    index_pages_fetched,
+)
+
+CONFIG = PlannerConfig()
+
+
+def rel(rows=10_000, pages=100) -> RelationInfo:
+    table = make_table("t", [("k", INTEGER)])
+    return RelationInfo(table=table, row_count=rows, page_count=pages, indexes=())
+
+
+def idx(leaf_pages=30, rows=10_000) -> IndexInfo:
+    return IndexInfo(
+        definition=Index("i", "t", ("k",)),
+        leaf_pages=leaf_pages,
+        height=1,
+        index_tuples=rows,
+    )
+
+
+class TestClampRows:
+    def test_floor_is_one(self):
+        assert clamp_rows(0.0) == 1.0
+        assert clamp_rows(5.5) == 5.5
+
+
+class TestSeqScan:
+    def test_formula(self):
+        startup, total = cost_seqscan(CONFIG, rel(), qual_count=0)
+        assert startup == 0.0
+        assert total == pytest.approx(100 * 1.0 + 10_000 * 0.01)
+
+    def test_quals_add_cpu(self):
+        _, bare = cost_seqscan(CONFIG, rel(), qual_count=0)
+        _, with_quals = cost_seqscan(CONFIG, rel(), qual_count=3)
+        assert with_quals == pytest.approx(bare + 10_000 * 3 * 0.0025)
+
+    def test_disable_flag(self):
+        config = CONFIG.with_flags(enable_seqscan=False)
+        _, total = cost_seqscan(config, rel(), qual_count=0)
+        assert total > config.disable_cost
+
+
+class TestMackertLohman:
+    def test_zero_tuples(self):
+        assert index_pages_fetched(0, 100, 16384) == 0.0
+
+    def test_capped_by_table_pages(self):
+        assert index_pages_fetched(1e9, 100, 16384) <= 100
+
+    def test_monotone_in_tuples(self):
+        few = index_pages_fetched(10, 1000, 16384)
+        many = index_pages_fetched(1000, 1000, 16384)
+        assert few < many
+
+    def test_loop_count_amortizes(self):
+        single = index_pages_fetched(50, 1000, 16384, loop_count=1)
+        looped = index_pages_fetched(50, 1000, 16384, loop_count=100)
+        assert looped < single
+
+    def test_cache_pressure_branch(self):
+        small_cache = index_pages_fetched(100_000, 50_000, 1000)
+        big_cache = index_pages_fetched(100_000, 50_000, 1_000_000)
+        assert small_cache >= big_cache
+
+
+class TestIndexScan:
+    def common(self, **kwargs):
+        defaults = dict(
+            index_selectivity=0.01,
+            heap_selectivity=0.01,
+            index_qual_ops=1,
+            filter_qual_ops=0,
+            index_only=False,
+            correlation=0.0,
+        )
+        defaults.update(kwargs)
+        return cost_index_scan(CONFIG, rel(), idx(), **defaults)
+
+    def test_selective_beats_seqscan(self):
+        _, index_total = self.common(index_selectivity=0.001, heap_selectivity=0.001)
+        _, seq_total = cost_seqscan(CONFIG, rel(), qual_count=1)
+        assert index_total < seq_total
+
+    def test_unselective_loses_to_seqscan(self):
+        _, index_total = self.common(index_selectivity=0.9, heap_selectivity=0.9)
+        _, seq_total = cost_seqscan(CONFIG, rel(), qual_count=1)
+        assert index_total > seq_total
+
+    def test_correlation_discounts_heap_io(self):
+        _, uncorrelated = self.common(correlation=0.0, index_selectivity=0.2,
+                                      heap_selectivity=0.2)
+        _, correlated = self.common(correlation=1.0, index_selectivity=0.2,
+                                    heap_selectivity=0.2)
+        assert correlated < uncorrelated
+
+    def test_index_only_cheaper(self):
+        _, regular = self.common(index_selectivity=0.3, heap_selectivity=0.3)
+        _, index_only = self.common(
+            index_selectivity=0.3, heap_selectivity=0.3, index_only=True
+        )
+        assert index_only < regular
+
+    def test_startup_grows_with_height(self):
+        tall = IndexInfo(Index("i", "t", ("k",)), leaf_pages=30, height=4,
+                         index_tuples=10_000)
+        startup_tall, _ = cost_index_scan(
+            CONFIG, rel(), tall, 0.01, 0.01, 1, 0, False, 0.0
+        )
+        startup_short, _ = self.common()
+        assert startup_tall > startup_short
+
+    def test_loop_count_cheapens_rescans(self):
+        _, once = self.common(index_selectivity=0.01, heap_selectivity=0.01)
+        _, looped = self.common(
+            index_selectivity=0.01, heap_selectivity=0.01, loop_count=50
+        )
+        assert looped <= once
+
+
+class TestSort:
+    def test_nlogn_growth(self):
+        _, small = cost_sort(CONFIG, 0, 0, 1_000, 16)
+        _, large = cost_sort(CONFIG, 0, 0, 100_000, 16)
+        assert large > small * 50
+
+    def test_spill_adds_io(self):
+        fits = cost_sort(CONFIG, 0, 0, 1000, 100)[1]
+        config = PlannerConfig(work_mem_bytes=1024)
+        spills = cost_sort(config, 0, 0, 1000, 100)[1]
+        assert spills > fits
+
+    def test_startup_dominates(self):
+        startup, total = cost_sort(CONFIG, 0, 100, 1000, 16)
+        assert startup > 100
+        assert total > startup
+
+
+class TestJoins:
+    def test_nestloop_scales_with_outer_rows(self):
+        few = cost_nestloop(CONFIG, (0, 100, 10), 50, 50, 100, 1)[1]
+        many = cost_nestloop(CONFIG, (0, 100, 1000), 50, 50, 100, 1)[1]
+        assert many > few
+
+    def test_nestloop_cheap_rescan_matters(self):
+        expensive = cost_nestloop(CONFIG, (0, 100, 100), 50, 50, 100, 1)[1]
+        cheap = cost_nestloop(CONFIG, (0, 100, 100), 50, 0.5, 100, 1)[1]
+        assert cheap < expensive
+
+    def test_hashjoin_startup_includes_build(self):
+        startup, total = cost_hashjoin(
+            CONFIG, (0, 100, 1000, 16), (0, 200, 5000, 16), 1000, 1
+        )
+        assert startup >= 200
+        assert total > startup
+
+    def test_hashjoin_spill(self):
+        config = PlannerConfig(work_mem_bytes=1024)
+        small = cost_hashjoin(CONFIG, (0, 10, 10, 8), (0, 10, 10, 8), 10, 1)[1]
+        spilled = cost_hashjoin(
+            config, (0, 10, 10, 8), (0, 10, 100_000, 8), 10, 1
+        )[1]
+        assert spilled > small
+
+    def test_mergejoin_adds_scan_cpu(self):
+        _, total = cost_mergejoin(CONFIG, (0, 100, 1000), (0, 100, 1000), 500, 2)
+        assert total > 200
+
+    def test_disabled_join_methods(self):
+        off = CONFIG.with_flags(enable_nestloop=False)
+        assert cost_nestloop(off, (0, 1, 1), 1, 1, 1, 1)[1] > off.disable_cost
+        off = CONFIG.with_flags(enable_hashjoin=False)
+        assert cost_hashjoin(off, (0, 1, 1, 8), (0, 1, 1, 8), 1, 1)[1] > off.disable_cost
+        off = CONFIG.with_flags(enable_mergejoin=False)
+        assert cost_mergejoin(off, (0, 1, 1), (0, 1, 1), 1, 1)[1] > off.disable_cost
+
+
+class TestAggregates:
+    def test_hash_agg_scales_with_input(self):
+        small = cost_agg_hash(CONFIG, 0, 0, 100, 1, 1, 10)[1]
+        large = cost_agg_hash(CONFIG, 0, 0, 100_000, 1, 1, 10)[1]
+        assert large > small

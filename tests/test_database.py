@@ -1,0 +1,100 @@
+"""Unit tests for the Database facade."""
+
+import pytest
+
+from repro.catalog.datatypes import DOUBLE, INTEGER
+from repro.catalog.schema import Index, PartitionScheme, make_table
+from repro.errors import DuplicateObjectError, UnknownObjectError
+from repro.storage.database import Database
+
+
+def make_db() -> Database:
+    db = Database()
+    db.create_table(
+        make_table("t", [("id", INTEGER), ("x", DOUBLE), ("y", DOUBLE)], primary_key="id"),
+        {"id": [1, 2, 3], "x": [1.0, 2.0, 3.0], "y": [9.0, 8.0, 7.0]},
+    )
+    return db
+
+
+class TestTables:
+    def test_create_analyzes_automatically(self):
+        db = make_db()
+        stats = db.catalog.statistics("t")
+        assert stats.table.row_count == 3
+
+    def test_create_empty_table(self):
+        db = Database()
+        db.create_table(make_table("e", [("a", INTEGER)]))
+        assert db.relation("e").heap.row_count == 0
+
+    def test_drop_table_cascades(self):
+        db = make_db()
+        db.create_index(Index("i", "t", ("x",)))
+        db.drop_table("t")
+        assert not db.has_relation("t")
+        assert not db.has_btree("i")
+
+    def test_unknown_relation(self):
+        with pytest.raises(UnknownObjectError):
+            Database().relation("ghost")
+
+
+class TestIndexes:
+    def test_create_index_materializes(self):
+        db = make_db()
+        btree = db.create_index(Index("i", "t", ("x",)))
+        assert db.has_btree("i")
+        assert btree.entry_count == 3
+
+    def test_hypothetical_flag_stripped(self):
+        db = make_db()
+        db.create_index(Index("i", "t", ("x",), hypothetical=True))
+        assert not db.catalog.index("i").hypothetical
+
+    def test_drop_index(self):
+        db = make_db()
+        db.create_index(Index("i", "t", ("x",)))
+        db.drop_index("i")
+        assert not db.has_btree("i")
+        with pytest.raises(UnknownObjectError):
+            db.btree("i")
+
+    def test_timed_create(self):
+        db = make_db()
+        btree, seconds = db.timed_create_index(Index("i", "t", ("x",)))
+        assert btree.entry_count == 3
+        assert seconds >= 0
+
+
+class TestAnalyze:
+    def test_reanalyze_all(self):
+        db = make_db()
+        db.analyze()
+        assert db.catalog.statistics("t").table.row_count == 3
+
+
+class TestPartitions:
+    def test_materialize_partitions(self):
+        db = make_db()
+        scheme = PartitionScheme("t", fragments=(("id", "x"), ("id", "y")))
+        created = db.materialize_partitions(scheme)
+        assert [r.name for r in created] == ["t__frag0", "t__frag1"]
+        frag = db.relation("t__frag0")
+        assert frag.table.column_names == ("id", "x")
+        assert frag.heap.column("x") == [1.0, 2.0, 3.0]
+        # Parent table kept for comparison runs.
+        assert db.has_relation("t")
+
+    def test_fragment_gets_pk_prepended(self):
+        db = make_db()
+        scheme = PartitionScheme("t", fragments=(("y",),))
+        created = db.materialize_partitions(scheme)
+        assert created[0].table.column_names == ("id", "y")
+
+    def test_duplicate_fragment_names_rejected(self):
+        db = make_db()
+        scheme = PartitionScheme("t", fragments=(("id", "x"),))
+        db.materialize_partitions(scheme)
+        with pytest.raises(DuplicateObjectError):
+            db.materialize_partitions(scheme)

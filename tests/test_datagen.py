@@ -1,0 +1,58 @@
+"""Synthetic-data helper tests."""
+
+from repro.workloads.datagen import (
+    clustered_floats,
+    gaussian,
+    integers,
+    rng_for,
+    uniform,
+    zipf_choice,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        a = uniform(rng_for(5), 100, 0, 1)
+        b = uniform(rng_for(5), 100, 0, 1)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        assert uniform(rng_for(1), 50, 0, 1) != uniform(rng_for(2), 50, 0, 1)
+
+
+class TestZipf:
+    def test_skew_orders_frequencies(self):
+        values = zipf_choice(rng_for(0), ["a", "b", "c", "d"], 20_000, skew=1.5)
+        counts = {v: values.count(v) for v in "abcd"}
+        assert counts["a"] > counts["b"] > counts["c"] > counts["d"]
+
+    def test_only_given_values(self):
+        values = zipf_choice(rng_for(0), [1, 2], 100)
+        assert set(values) <= {1, 2}
+
+
+class TestClusteredFloats:
+    def test_range_respected(self):
+        values = clustered_floats(rng_for(3), 5000, 10.0, 20.0)
+        assert min(values) >= 10.0 and max(values) <= 20.0
+
+    def test_high_physical_correlation(self):
+        from repro.catalog.statistics import _physical_correlation
+
+        values = clustered_floats(rng_for(3), 5000, 0.0, 100.0)
+        assert _physical_correlation(values) > 0.9
+
+    def test_python_floats_not_numpy(self):
+        values = clustered_floats(rng_for(3), 10, 0.0, 1.0)
+        assert all(type(v) is float for v in values)
+
+
+class TestGaussianAndIntegers:
+    def test_gaussian_clipping(self):
+        values = gaussian(rng_for(4), 10_000, 0.0, 5.0, low=-1.0, high=1.0)
+        assert min(values) >= -1.0 and max(values) <= 1.0
+
+    def test_integers_bounds(self):
+        values = integers(rng_for(4), 1000, 3, 7)
+        assert set(values) <= {3, 4, 5, 6}
+        assert all(type(v) is int for v in values)

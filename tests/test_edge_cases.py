@@ -1,0 +1,167 @@
+"""Cross-cutting edge cases: empty tables, NULL join keys, odd queries."""
+
+import pytest
+
+from repro.catalog.datatypes import DOUBLE, INTEGER
+from repro.catalog.schema import Index, make_table
+from repro.errors import BindError
+from repro.executor.executor import execute
+from repro.optimizer.config import PlannerConfig
+from repro.optimizer.planner import Planner
+from repro.sql.binder import bind
+from repro.sql.parser import parse_select
+from repro.storage.database import Database
+
+
+def run(db, sql, config=None):
+    query = bind(db.catalog, parse_select(sql))
+    plan = Planner(db.catalog, config).plan(query)
+    return execute(db, plan)
+
+
+@pytest.fixture()
+def tiny_db():
+    db = Database()
+    db.create_table(
+        make_table("a", [("id", INTEGER), ("k", INTEGER), ("v", DOUBLE)],
+                   primary_key="id"),
+        {
+            "id": [1, 2, 3, 4],
+            "k": [10, None, 10, 20],
+            "v": [1.0, 2.0, None, 4.0],
+        },
+    )
+    db.create_table(
+        make_table("b", [("bid", INTEGER), ("k", INTEGER)], primary_key="bid"),
+        {"bid": [1, 2, 3], "k": [10, None, 30]},
+    )
+    return db
+
+
+class TestEmptyTables:
+    def test_scan_empty(self):
+        db = Database()
+        db.create_table(make_table("e", [("x", INTEGER)]))
+        result = run(db, "select x from e")
+        assert result.rows == []
+
+    def test_aggregate_over_empty(self):
+        db = Database()
+        db.create_table(make_table("e", [("x", INTEGER)]))
+        result = run(db, "select count(*), sum(x) from e")
+        assert result.rows == [(0, None)]
+
+    def test_group_by_over_empty_yields_no_groups(self):
+        db = Database()
+        db.create_table(make_table("e", [("x", INTEGER)]))
+        result = run(db, "select x, count(*) from e group by x")
+        assert result.rows == []
+
+    def test_index_on_empty_table(self):
+        db = Database()
+        db.create_table(make_table("e", [("x", INTEGER)]))
+        db.create_index(Index("ix", "e", ("x",)))
+        result = run(db, "select x from e where x = 1")
+        assert result.rows == []
+
+
+class TestNullJoinKeys:
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            {},
+            {"enable_hashjoin": False, "enable_mergejoin": False},
+            {"enable_hashjoin": False, "enable_nestloop": False},
+        ],
+    )
+    def test_nulls_never_join(self, tiny_db, flags):
+        config = PlannerConfig().with_flags(**flags) if flags else None
+        result = run(
+            tiny_db, "select a.id, b.bid from a, b where a.k = b.k", config
+        )
+        # Only k=10 matches (a rows 1,3 x b row 1); NULLs never equal.
+        assert sorted(result.rows) == [(1, 1), (3, 1)]
+
+
+class TestOddButLegalQueries:
+    def test_constant_only_select(self, tiny_db):
+        result = run(tiny_db, "select 1, 'x' from a limit 2")
+        assert result.rows == [(1, "x"), (1, "x")]
+
+    def test_self_join_three_ways(self, tiny_db):
+        result = run(
+            tiny_db,
+            "select x.id from a x, a y, a z "
+            "where x.id = y.id and y.id = z.id and z.v > 3",
+        )
+        assert result.rows == [(4,)]
+
+    def test_duplicate_predicates(self, tiny_db):
+        result = run(tiny_db, "select id from a where k = 10 and k = 10")
+        assert sorted(result.rows) == [(1,), (3,)]
+
+    def test_contradictory_predicates(self, tiny_db):
+        result = run(tiny_db, "select id from a where k = 10 and k = 20")
+        assert result.rows == []
+
+    def test_limit_zero(self, tiny_db):
+        result = run(tiny_db, "select id from a limit 0")
+        assert result.rows == []
+
+    def test_limit_beyond_rows(self, tiny_db):
+        result = run(tiny_db, "select id from a limit 999")
+        assert len(result.rows) == 4
+
+    def test_having_without_group_keys_in_select(self, tiny_db):
+        result = run(
+            tiny_db,
+            "select count(*) from a group by k having count(*) > 1",
+        )
+        assert result.rows == [(2,)]
+
+    def test_order_by_null_values_last_asc(self, tiny_db):
+        result = run(tiny_db, "select v from a order by v")
+        assert result.rows == [(1.0,), (2.0,), (4.0,), (None,)]
+
+    def test_order_by_null_values_first_desc(self, tiny_db):
+        result = run(tiny_db, "select v from a order by v desc")
+        assert result.rows == [(None,), (4.0,), (2.0,), (1.0,)]
+
+
+class TestBinderEdges:
+    def test_bare_star_in_arithmetic_rejected(self, tiny_db):
+        with pytest.raises(BindError):
+            bind(tiny_db.catalog, parse_select("select 1 + * from a"))
+
+    def test_count_star_plus_arithmetic_ok(self, tiny_db):
+        result = run(tiny_db, "select count(*) + 1 from a")
+        assert result.rows == [(5,)]
+
+    def test_table_named_like_column(self, tiny_db):
+        # alias shadows nothing; both resolve fine
+        result = run(tiny_db, "select a.k from a a where a.id = 1")
+        assert result.rows == [(10,)]
+
+
+class TestWhatIfOnDegenerateTables:
+    def test_whatif_index_on_empty_table(self):
+        from repro.whatif.session import WhatIfSession
+
+        db = Database()
+        db.create_table(make_table("e", [("x", INTEGER)]))
+        session = WhatIfSession(db.catalog)
+        index = session.add_index("e", ("x",))
+        assert session.index_size_pages(index) == 1
+        assert session.cost("select x from e where x = 1") > 0
+
+    def test_partition_of_two_column_table(self):
+        from repro.whatif.session import WhatIfSession
+
+        db = Database()
+        db.create_table(
+            make_table("two", [("id", INTEGER), ("p", DOUBLE)], primary_key="id"),
+            {"id": [1, 2], "p": [0.5, 0.7]},
+        )
+        session = WhatIfSession(db.catalog)
+        shell = session.add_partition_table("two", ("p",), "two_p")
+        assert shell.column_names == ("id", "p")

@@ -1,0 +1,59 @@
+"""Exception hierarchy contract tests."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.CatalogError,
+            errors.DuplicateObjectError,
+            errors.UnknownObjectError,
+            errors.SQLError,
+            errors.TokenizeError,
+            errors.ParseError,
+            errors.BindError,
+            errors.PlannerError,
+            errors.ExecutorError,
+            errors.StatisticsError,
+            errors.AdvisorError,
+            errors.SolverError,
+            errors.InfeasibleError,
+            errors.UnboundedError,
+            errors.WhatIfError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        if exc is errors.TokenizeError:
+            instance = exc("msg", 3)
+        else:
+            instance = exc("msg")
+        assert isinstance(instance, errors.ReproError)
+
+    def test_tokenize_error_carries_position(self):
+        exc = errors.TokenizeError("bad char", 42)
+        assert exc.position == 42
+        assert "42" in str(exc)
+
+    def test_sql_errors_group(self):
+        assert issubclass(errors.ParseError, errors.SQLError)
+        assert issubclass(errors.BindError, errors.SQLError)
+        assert issubclass(errors.TokenizeError, errors.SQLError)
+
+    def test_solver_errors_group(self):
+        assert issubclass(errors.InfeasibleError, errors.SolverError)
+        assert issubclass(errors.UnboundedError, errors.SolverError)
+
+    def test_catalog_errors_group(self):
+        assert issubclass(errors.DuplicateObjectError, errors.CatalogError)
+        assert issubclass(errors.UnknownObjectError, errors.CatalogError)
+
+    def test_one_catch_at_the_boundary(self):
+        """Library consumers can catch ReproError for everything."""
+        from repro.sql.parser import parse_select
+
+        with pytest.raises(errors.ReproError):
+            parse_select("not sql at all ~~~")

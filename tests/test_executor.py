@@ -1,0 +1,170 @@
+"""Executor correctness against the brute-force reference engine."""
+
+import pytest
+
+from repro.catalog.schema import Index
+from repro.executor.executor import execute
+from repro.optimizer.config import PlannerConfig
+from repro.optimizer.planner import Planner
+from repro.sql.binder import bind
+from repro.sql.parser import parse_select
+
+from tests.conftest import make_people_db
+from tests.reference import rows_equal, run_reference
+
+# Queries exercising every operator; `ordered` marks ORDER BY results
+# whose exact sequence must match.
+QUERIES = [
+    ("select person_id, age from people where age > 90", False),
+    ("select * from people where age between 30 and 40 and city = 'oslo'", False),
+    ("select person_id from people where nickname is null", False),
+    ("select person_id from people where nickname is not null and age < 10", False),
+    ("select person_id from people where city in ('lima', 'pune')", False),
+    ("select person_id from people where nickname like 'nick1%'", False),
+    ("select person_id from people where not age = 50", False),
+    ("select person_id from people where age = 10 or height > 195", False),
+    ("select count(*) from people", False),
+    ("select count(nickname) from people", False),
+    ("select count(distinct city) from people", False),
+    ("select city, count(*), avg(height) from people group by city", False),
+    ("select city, min(age), max(age) from people group by city "
+     "having count(*) > 50", False),
+    ("select age, count(*) as n from people group by age order by n desc, age limit 5",
+     True),
+    ("select person_id, height from people order by height desc limit 10", True),
+    ("select distinct city from people", False),
+    ("select p.person_id, q.species from people p, pets q "
+     "where p.person_id = q.owner_id and q.weight > 35", False),
+    ("select q.species, count(*) from people p, pets q "
+     "where p.person_id = q.owner_id and p.age < 20 group by q.species", False),
+    ("select p.city, avg(q.weight) as w from people p, pets q "
+     "where p.person_id = q.owner_id group by p.city order by w", True),
+    ("select a.person_id, b.person_id from people a, people b "
+     "where a.person_id = b.person_id and a.age > 97", False),
+    ("select sum(age) / count(*) from people where city = 'baku'", False),
+    ("select floor(age / 10), count(*) from people group by floor(age / 10)", False),
+    ("select person_id + 1, age * 2 from people where age >= 99", False),
+    ("select count(*) from people where age > 200", False),  # empty input
+    ("select max(height) from people where age > 200", False),  # null aggregate
+]
+
+
+@pytest.fixture(scope="module")
+def db():
+    return make_people_db(rows=400, seed=11)
+
+
+@pytest.fixture(scope="module", params=["no-indexes", "indexed"])
+def planner_db(request, db):
+    """Run the whole battery twice: plain heap scans, then with indexes."""
+    if request.param == "indexed":
+        database = make_people_db(rows=400, seed=11)
+        database.create_index(Index("ix_age", "people", ("age",)))
+        database.create_index(Index("ix_city_age", "people", ("city", "age")))
+        database.create_index(Index("ix_pid", "people", ("person_id",), unique=True))
+        database.create_index(Index("ix_owner", "pets", ("owner_id",)))
+        return database
+    return db
+
+
+@pytest.mark.parametrize("sql,ordered", QUERIES)
+def test_executor_matches_reference(planner_db, sql, ordered):
+    query = bind(planner_db.catalog, parse_select(sql))
+    plan = Planner(planner_db.catalog).plan(query)
+    result = execute(planner_db, plan)
+    expected = run_reference(planner_db, query)
+    assert rows_equal(result.rows, expected, ordered=ordered), (
+        f"mismatch for {sql!r}\n got {sorted(result.rows)[:5]}...\n"
+        f" want {sorted(expected)[:5]}..."
+    )
+
+
+@pytest.mark.parametrize("flags", [
+    {"enable_hashjoin": False},
+    {"enable_mergejoin": False, "enable_nestloop": False},
+    {"enable_hashjoin": False, "enable_mergejoin": False},
+])
+def test_join_methods_agree(db, flags):
+    """Every join method must produce identical join results."""
+    sql = ("select p.person_id, q.pet_id from people p, pets q "
+           "where p.person_id = q.owner_id and p.age < 40")
+    query = bind(db.catalog, parse_select(sql))
+    reference_rows = run_reference(db, query)
+    config = PlannerConfig().with_flags(**flags)
+    plan = Planner(db.catalog, config).plan(query)
+    result = execute(db, plan)
+    assert rows_equal(result.rows, reference_rows, ordered=False)
+
+
+class TestStatsAccounting:
+    def test_seqscan_reads_every_heap_page(self, db):
+        query = bind(db.catalog, parse_select("select person_id from people"))
+        plan = Planner(db.catalog).plan(query)
+        result = execute(db, plan)
+        assert result.stats.heap_pages_read == db.relation("people").heap.page_count
+
+    def test_index_scan_reads_fewer_pages(self):
+        database = make_people_db(rows=2000, seed=2)
+        database.create_index(Index("ix_pid", "people", ("person_id",), unique=True))
+        query = bind(
+            database.catalog,
+            parse_select("select age from people where person_id = 77"),
+        )
+        plan = Planner(database.catalog).plan(query)
+        result = execute(database, plan)
+        heap_pages = database.relation("people").heap.page_count
+        assert 0 < result.stats.heap_pages_read < heap_pages
+        assert result.stats.index_pages_read >= 1
+        assert result.stats.index_probes == 1
+
+    def test_rows_output_counted(self, db):
+        query = bind(db.catalog, parse_select("select person_id from people limit 7"))
+        plan = Planner(db.catalog).plan(query)
+        result = execute(db, plan)
+        assert result.stats.rows_output == 7
+
+
+class TestResultApi:
+    def test_scalar(self, db):
+        query = bind(db.catalog, parse_select("select count(*) from people"))
+        result = execute(db, Planner(db.catalog).plan(query))
+        assert result.scalar() == 400
+
+    def test_scalar_rejects_non_scalar(self, db):
+        query = bind(db.catalog, parse_select("select person_id from people"))
+        result = execute(db, Planner(db.catalog).plan(query))
+        from repro.errors import ExecutorError
+
+        with pytest.raises(ExecutorError):
+            result.scalar()
+
+    def test_column_names_respect_aliases(self, db):
+        query = bind(
+            db.catalog, parse_select("select person_id as pid from people limit 1")
+        )
+        result = execute(db, Planner(db.catalog).plan(query))
+        assert result.columns == ["pid"]
+
+    def test_len(self, db):
+        query = bind(db.catalog, parse_select("select person_id from people limit 3"))
+        result = execute(db, Planner(db.catalog).plan(query))
+        assert len(result) == 3
+
+
+def test_hypothetical_index_refuses_to_execute(db):
+    """What-if designs are simulation-only — running one is a bug."""
+    from repro.errors import ExecutorError
+    from repro.whatif.session import WhatIfSession
+
+    big_db = make_people_db(rows=3000, seed=11)
+    session = WhatIfSession(big_db.catalog)
+    session.add_index("people", ("person_id",))
+    query = session.bind_sql("select age from people where person_id = 77")
+    plan = session.planner().plan(query)
+    hypo_scans = [
+        n for n in plan.walk()
+        if getattr(n, "hypothetical", False)
+    ]
+    assert hypo_scans, "expected the hypothetical index to be chosen"
+    with pytest.raises(ExecutorError, match="hypothetical"):
+        execute(big_db, plan)

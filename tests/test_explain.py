@@ -1,0 +1,94 @@
+"""EXPLAIN rendering tests."""
+
+import pytest
+
+from repro.catalog.schema import Index
+from repro.optimizer.config import PlannerConfig
+from repro.optimizer.explain import explain
+from repro.optimizer.planner import Planner
+from repro.sql.binder import bind
+from repro.sql.parser import parse_select
+
+from tests.conftest import make_people_db
+
+
+@pytest.fixture(scope="module")
+def db():
+    database = make_people_db(rows=3000, seed=19)
+    database.create_index(Index("ix_pid", "people", ("person_id",), unique=True))
+    return database
+
+
+def render(db, sql, config=None):
+    plan = Planner(db.catalog, config).plan(bind(db.catalog, parse_select(sql)))
+    return explain(plan)
+
+
+class TestRendering:
+    def test_seqscan_with_filter(self, db):
+        text = render(db, "select age from people where age > 50")
+        assert "Seq Scan on people" in text
+        assert "Filter: people.age > 50" in text
+
+    def test_index_scan_with_cond(self, db):
+        text = render(db, "select age from people where person_id = 7")
+        assert "Index Scan using ix_pid" in text
+        assert "Index Cond: people.person_id = 7" in text
+
+    def test_costs_and_rows_present(self, db):
+        text = render(db, "select age from people")
+        assert "cost=" in text and "rows=" in text and "width=" in text
+
+    def test_hash_join_cond(self, db):
+        text = render(
+            db,
+            "select p.age from people p, pets q where p.person_id = q.owner_id",
+            PlannerConfig().with_flags(enable_nestloop=False, enable_mergejoin=False),
+        )
+        assert "Hash Join" in text
+        assert "Hash Cond:" in text
+
+    def test_merge_join_rendering(self, db):
+        text = render(
+            db,
+            "select p.age from people p, pets q where p.person_id = q.owner_id",
+            PlannerConfig().with_flags(enable_nestloop=False, enable_hashjoin=False),
+        )
+        assert "Merge Join" in text
+        assert "Merge Cond:" in text
+
+    def test_aggregate_group_key(self, db):
+        text = render(db, "select city, count(*) from people group by city")
+        assert "Aggregate" in text
+        assert "Group Key: people.city" in text
+
+    def test_sort_key(self, db):
+        text = render(db, "select person_id, age from people order by age desc")
+        assert "Sort" in text
+        assert "Sort Key: people.age DESC" in text
+
+    def test_limit(self, db):
+        text = render(db, "select age from people limit 5")
+        assert "Limit (5)" in text
+
+    def test_hypothetical_marker(self, db):
+        from repro.whatif.session import WhatIfSession
+
+        session = WhatIfSession(db.catalog)
+        session.add_index("people", ("age",), name="h_age")
+        text = explain(
+            session.plan("select person_id from people where age between 30 and 30")
+        )
+        if "h_age" in text:
+            assert "(hypothetical)" in text
+
+    def test_indentation_grows_with_depth(self, db):
+        text = render(
+            db,
+            "select p.city, count(*) from people p, pets q "
+            "where p.person_id = q.owner_id group by p.city order by count(*)",
+        )
+        lines = text.splitlines()
+        assert len(lines) >= 4
+        assert lines[0][0] != " "  # root unindented
+        assert any(line.startswith("    ") for line in lines)

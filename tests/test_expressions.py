@@ -1,0 +1,163 @@
+"""Unit and property tests for runtime expression evaluation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ExecutorError
+from repro.sql.ast_nodes import (
+    BinaryOp,
+    ColumnRef,
+    FuncCall,
+    InExpr,
+    IsNullExpr,
+    Literal,
+)
+from repro.sql.expressions import evaluate, is_true, like_match
+from repro.sql.parser import parse_select
+
+
+def eval_where(condition: str, row: dict):
+    """Parse a WHERE expression and evaluate it against {col: value}."""
+    stmt = parse_select(f"select 1 from t where {condition}")
+    qualified_row = {("t", k): v for k, v in row.items()}
+
+    # Qualify bare column refs as table t.
+    from repro.sql.transform import transform_expr
+
+    def qualify(expr):
+        if isinstance(expr, ColumnRef) and expr.table is None:
+            return ColumnRef(expr.column, table="t")
+        return expr
+
+    return evaluate(transform_expr(stmt.where, qualify), qualified_row)
+
+
+class TestComparisons:
+    @pytest.mark.parametrize(
+        "cond,row,expected",
+        [
+            ("a = 1", {"a": 1}, True),
+            ("a = 1", {"a": 2}, False),
+            ("a <> 1", {"a": 2}, True),
+            ("a < 5", {"a": 3}, True),
+            ("a >= 5", {"a": 5}, True),
+            ("a between 1 and 3", {"a": 2}, True),
+            ("a between 1 and 3", {"a": 4}, False),
+            ("a not between 1 and 3", {"a": 4}, True),
+            ("a in (1, 2)", {"a": 2}, True),
+            ("a in (1, 2)", {"a": 3}, False),
+            ("a not in (1, 2)", {"a": 3}, True),
+        ],
+    )
+    def test_cases(self, cond, row, expected):
+        assert eval_where(cond, row) is expected
+
+
+class TestThreeValuedLogic:
+    def test_null_comparison_is_null(self):
+        assert eval_where("a = 1", {"a": None}) is None
+
+    def test_and_short_circuit(self):
+        assert eval_where("a = 1 and b = 2", {"a": 0, "b": None}) is False
+        assert eval_where("a = 1 and b = 2", {"a": 1, "b": None}) is None
+
+    def test_or_kleene(self):
+        assert eval_where("a = 1 or b = 2", {"a": 1, "b": None}) is True
+        assert eval_where("a = 1 or b = 2", {"a": 0, "b": None}) is None
+
+    def test_not_null(self):
+        assert eval_where("not a = 1", {"a": None}) is None
+
+    def test_in_with_null_item(self):
+        assert eval_where("a in (1, null)", {"a": 1}) is True
+        assert eval_where("a in (1, null)", {"a": 2}) is None
+
+    def test_is_null(self):
+        assert eval_where("a is null", {"a": None}) is True
+        assert eval_where("a is not null", {"a": None}) is False
+
+    def test_is_true_rejects_null_and_false(self):
+        assert is_true(True)
+        assert not is_true(None)
+        assert not is_true(False)
+
+
+class TestArithmetic:
+    def test_operations(self):
+        assert eval_where("a + 2 = 5", {"a": 3}) is True
+        assert eval_where("a * 2 > 5", {"a": 3}) is True
+        assert eval_where("a - 1 < 0", {"a": 0}) is True
+        assert eval_where("a / 2 = 1.5", {"a": 3}) is True
+        assert eval_where("a % 3 = 1", {"a": 7}) is True
+
+    def test_division_by_zero(self):
+        with pytest.raises(ExecutorError):
+            eval_where("a / 0 = 1", {"a": 1})
+
+    def test_concat(self):
+        expr = BinaryOp("||", Literal("ab"), Literal("cd"))
+        assert evaluate(expr, {}) == "abcd"
+
+    def test_null_propagates(self):
+        assert eval_where("a + 1 = 2", {"a": None}) is None
+
+
+class TestScalarFunctions:
+    def test_known_functions(self):
+        assert eval_where("abs(a) = 3", {"a": -3}) is True
+        assert eval_where("floor(a) = 2", {"a": 2.9}) is True
+        assert eval_where("sqrt(a) = 3", {"a": 9}) is True
+        assert eval_where("length(a) = 3", {"a": "abc"}) is True
+
+    def test_unknown_function(self):
+        with pytest.raises(ExecutorError):
+            eval_where("frobnicate(a) = 1", {"a": 1})
+
+    def test_aggregate_outside_aggregation_rejected(self):
+        expr = FuncCall("sum", (Literal(1),))
+        with pytest.raises(ExecutorError):
+            evaluate(expr, {})
+
+
+class TestLike:
+    @pytest.mark.parametrize(
+        "value,pattern,expected",
+        [
+            ("hello", "hello", True),
+            ("hello", "h%", True),
+            ("hello", "%llo", True),
+            ("hello", "h_llo", True),
+            ("hello", "H%", False),
+            ("hello", "%z%", False),
+            ("a.b", "a.b", True),
+            ("axb", "a.b", False),  # dot is literal, not regex
+            ("50%", "50\\%", True),
+            ("hi\nthere", "hi%", True),  # % crosses newlines
+        ],
+    )
+    def test_cases(self, value, pattern, expected):
+        assert like_match(value, pattern) is expected
+
+    def test_null_pattern(self):
+        assert eval_where("a like b", {"a": "x", "b": None}) is None
+
+    @given(st.text(min_size=0, max_size=20))
+    def test_percent_matches_everything(self, value):
+        assert like_match(value, "%")
+
+    @given(st.text(min_size=1, max_size=10))
+    def test_exact_pattern_matches_itself(self, value):
+        # escape LIKE metacharacters
+        pattern = value.replace("\\", "\\\\").replace("%", "\\%").replace("_", "\\_")
+        assert like_match(value, pattern)
+
+
+class TestErrors:
+    def test_unbound_column(self):
+        with pytest.raises(ExecutorError):
+            evaluate(ColumnRef("a"), {})
+
+    def test_missing_column_in_context(self):
+        with pytest.raises(ExecutorError):
+            evaluate(ColumnRef("a", table="t"), {("t", "b"): 1})

@@ -1,0 +1,72 @@
+"""Greedy baseline tests and its dominance relation with ILP."""
+
+import pytest
+
+from repro.advisor.ilp_advisor import IlpIndexAdvisor
+from repro.baselines.greedy import GreedyIndexAdvisor
+from repro.errors import AdvisorError
+from repro.workloads.workload import Query, Workload
+
+from tests.conftest import make_people_db
+
+
+@pytest.fixture(scope="module")
+def db():
+    return make_people_db(rows=3000, seed=31)
+
+
+WL = Workload(
+    name="greedy-test",
+    queries=[
+        Query("point", "select age from people where person_id = 44"),
+        Query("range", "select person_id from people where age between 20 and 22"),
+        Query("join", "select p.age, q.weight from people p, pets q "
+                      "where p.person_id = q.owner_id and q.weight > 39"),
+    ],
+)
+
+
+class TestGreedy:
+    def test_improves_workload(self, db):
+        result = GreedyIndexAdvisor(db.catalog).recommend(WL, budget_pages=200)
+        assert result.cost_after < result.cost_before
+        assert result.solver_status == "greedy"
+
+    def test_budget_respected(self, db):
+        for budget in (5, 25, 120):
+            result = GreedyIndexAdvisor(db.catalog).recommend(WL, budget_pages=budget)
+            assert result.size_pages <= budget
+
+    def test_stops_when_no_benefit(self, db):
+        useless = Workload(
+            queries=[Query("all", "select count(*) from people")], name="u"
+        )
+        result = GreedyIndexAdvisor(db.catalog).recommend(useless, budget_pages=1000)
+        assert result.indexes == []
+        assert result.cost_after == pytest.approx(result.cost_before)
+
+    def test_invalid_budget(self, db):
+        with pytest.raises(AdvisorError):
+            GreedyIndexAdvisor(db.catalog).recommend(WL, budget_pages=-5)
+
+    def test_per_page_variant_runs(self, db):
+        result = GreedyIndexAdvisor(db.catalog, per_page=True).recommend(
+            WL, budget_pages=100
+        )
+        assert result.size_pages <= 100
+
+    def test_single_column_mode(self, db):
+        result = GreedyIndexAdvisor(db.catalog, single_column_only=True).recommend(
+            WL, budget_pages=500
+        )
+        assert all(len(ix.columns) == 1 for ix in result.indexes)
+
+
+class TestIlpDominance:
+    @pytest.mark.parametrize("budget", [15, 40, 150, 600])
+    def test_ilp_at_least_as_good(self, db, budget):
+        """The paper: ILP outperforms greedy. At minimum it never loses
+        (both priced with the same INUM models)."""
+        ilp = IlpIndexAdvisor(db.catalog).recommend(WL, budget_pages=budget)
+        greedy = GreedyIndexAdvisor(db.catalog).recommend(WL, budget_pages=budget)
+        assert ilp.cost_after <= greedy.cost_after * 1.001

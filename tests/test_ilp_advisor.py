@@ -1,0 +1,166 @@
+"""ILP index advisor tests: constraints, optimality, reporting."""
+
+import itertools
+
+import pytest
+
+from repro.advisor.candidates import generate_candidates
+from repro.advisor.ilp_advisor import IlpIndexAdvisor
+from repro.errors import AdvisorError
+from repro.inum.model import InumModel
+from repro.workloads.workload import Query, Workload
+
+from tests.conftest import make_people_db
+
+
+@pytest.fixture(scope="module")
+def db():
+    return make_people_db(rows=3000, seed=29)
+
+
+WL = Workload(
+    name="advisor-test",
+    queries=[
+        Query("point", "select age from people where person_id = 44"),
+        Query("range", "select person_id from people where age between 20 and 22"),
+        Query("join", "select p.age, q.weight from people p, pets q "
+                      "where p.person_id = q.owner_id and q.weight > 39"),
+        Query("groupy", "select city, count(*) from people where height > 190 "
+                        "group by city"),
+    ],
+)
+
+
+class TestRecommendation:
+    def test_improves_workload(self, db):
+        result = IlpIndexAdvisor(db.catalog).recommend(WL, budget_pages=200)
+        assert result.cost_after < result.cost_before
+        assert result.speedup > 1.0
+        assert result.solver_status in ("optimal", "feasible", "no-benefit")
+
+    def test_budget_respected(self, db):
+        for budget in (5, 20, 100):
+            result = IlpIndexAdvisor(db.catalog).recommend(WL, budget_pages=budget)
+            assert result.size_pages <= budget
+
+    def test_more_budget_never_worse(self, db):
+        tight = IlpIndexAdvisor(db.catalog).recommend(WL, budget_pages=10)
+        loose = IlpIndexAdvisor(db.catalog).recommend(WL, budget_pages=500)
+        assert loose.benefit >= tight.benefit - 1e-9
+
+    def test_invalid_budget(self, db):
+        with pytest.raises(AdvisorError):
+            IlpIndexAdvisor(db.catalog).recommend(WL, budget_pages=0)
+
+    def test_indexes_are_hypothetical_until_created(self, db):
+        result = IlpIndexAdvisor(db.catalog).recommend(WL, budget_pages=200)
+        assert all(ix.hypothetical for ix in result.indexes)
+
+    def test_per_query_accounting_consistent(self, db):
+        result = IlpIndexAdvisor(db.catalog).recommend(WL, budget_pages=200)
+        assert len(result.per_query) == len(WL)
+        total_before = sum(q.cost_before for q in result.per_query)
+        total_after = sum(q.cost_after for q in result.per_query)
+        assert total_before == pytest.approx(result.cost_before)
+        assert total_after == pytest.approx(result.cost_after)
+        for entry in result.per_query:
+            assert entry.cost_after <= entry.cost_before + 1e-9
+
+    def test_used_indexes_are_recommended(self, db):
+        result = IlpIndexAdvisor(db.catalog).recommend(WL, budget_pages=200)
+        names = {ix.name for ix in result.indexes}
+        for entry in result.per_query:
+            assert set(entry.indexes_used) <= names
+
+    def test_scipy_backend_agrees(self, db):
+        builtin = IlpIndexAdvisor(db.catalog).recommend(WL, budget_pages=150)
+        scipy_res = IlpIndexAdvisor(db.catalog, backend="scipy").recommend(
+            WL, budget_pages=150
+        )
+        assert builtin.cost_after == pytest.approx(scipy_res.cost_after, rel=1e-6)
+
+    def test_weights_shift_the_choice(self, db):
+        heavy_range = Workload(
+            name="w",
+            queries=[
+                Query("point", WL.query("point").sql, weight=1.0),
+                Query("range", WL.query("range").sql, weight=50.0),
+            ],
+        )
+        result = IlpIndexAdvisor(db.catalog).recommend(heavy_range, budget_pages=15)
+        assert any("age" in ix.columns for ix in result.indexes)
+
+
+class TestOptimalityOnTinyInstance:
+    def test_matches_exhaustive_search(self, db):
+        """On a small candidate set, the ILP answer must equal brute force
+        over all configurations under the same INUM pricing."""
+        workload = Workload(
+            name="tiny",
+            queries=[WL.query("point"), WL.query("range")],
+        )
+        budget = 30
+        candidates = generate_candidates(db.catalog, workload)[:6]
+        models = {
+            q.name: InumModel(db.catalog, q.bind(db.catalog)) for q in workload
+        }
+
+        def cost_of(config):
+            return sum(
+                models[q.name].estimate([c.index for c in config]) for q in workload
+            )
+
+        best = cost_of(())
+        for r in range(1, len(candidates) + 1):
+            for combo in itertools.combinations(candidates, r):
+                if sum(c.size_pages for c in combo) <= budget:
+                    best = min(best, cost_of(combo))
+
+        advisor = IlpIndexAdvisor(db.catalog, max_candidates_per_table=6)
+        result = advisor.recommend(workload, budget_pages=budget)
+        assert result.cost_after == pytest.approx(best, rel=1e-6)
+
+
+class TestRefinement:
+    def test_refine_never_worse(self, db):
+        raw = IlpIndexAdvisor(db.catalog).recommend(
+            WL, budget_pages=150, refine=False
+        )
+        polished = IlpIndexAdvisor(db.catalog).recommend(
+            WL, budget_pages=150, refine=True
+        )
+        assert polished.cost_after <= raw.cost_after + 1e-9
+        assert polished.size_pages <= 150
+
+    def test_refine_respects_update_cap(self, db):
+        result = IlpIndexAdvisor(db.catalog).recommend(
+            WL,
+            budget_pages=500,
+            update_rates={"people": 2.0, "pets": 2.0},
+            max_update_cost=10.0,
+            refine=True,
+        )
+        assert result.maintenance_cost <= 10.0 + 1e-9
+
+    def test_refine_drops_redundant_indexes(self, db):
+        """Two near-identical candidates chosen by the additive model
+        collapse to one after full-estimate refinement (or were never
+        both chosen): the final set must have no droppable index."""
+        from repro.inum.model import InumModel
+
+        result = IlpIndexAdvisor(db.catalog).recommend(WL, budget_pages=500)
+        models = {
+            q.name: InumModel(db.catalog, q.bind(db.catalog)) for q in WL
+        }
+
+        def workload_cost(indexes):
+            return sum(
+                models[q.name].estimate(indexes) * q.weight for q in WL
+            )
+
+        full = workload_cost(tuple(i for i in result.indexes))
+        for dropped in result.indexes:
+            reduced = tuple(i for i in result.indexes if i is not dropped)
+            assert workload_cost(reduced) >= full - 1e-9, (
+                f"{dropped.name} is redundant and should have been dropped"
+            )

@@ -1,0 +1,79 @@
+"""Tests for the LP modeling layer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.ilp.model import LinearProgram, Sense
+
+
+class TestBuilding:
+    def test_variables_indexed_in_order(self):
+        lp = LinearProgram()
+        a = lp.add_variable("a")
+        b = lp.add_binary("b")
+        assert (a.index, b.index) == (0, 1)
+        assert b.is_integer and b.upper_bound == 1.0
+
+    def test_duplicate_name_rejected(self):
+        lp = LinearProgram()
+        lp.add_variable("a")
+        with pytest.raises(SolverError):
+            lp.add_variable("a")
+
+    def test_lookup(self):
+        lp = LinearProgram()
+        lp.add_variable("a")
+        assert lp.variable("a").name == "a"
+        with pytest.raises(SolverError):
+            lp.variable("zzz")
+
+    def test_objective_via_add_variable(self):
+        lp = LinearProgram()
+        a = lp.add_variable("a", objective=3.0)
+        compiled = lp.compile()
+        assert compiled.objective[a.index] == 3.0
+
+    def test_objective_value(self):
+        lp = LinearProgram()
+        a = lp.add_variable("a", objective=2.0)
+        b = lp.add_variable("b", objective=5.0)
+        assert lp.objective_value(np.array([1.0, 2.0])) == 12.0
+
+
+class TestCompile:
+    def test_senses_routed(self):
+        lp = LinearProgram()
+        a = lp.add_variable("a")
+        lp.add_constraint({a: 1.0}, Sense.LE, 4)
+        lp.add_constraint({a: 2.0}, Sense.GE, 1)
+        lp.add_constraint({a: 3.0}, Sense.EQ, 2)
+        compiled = lp.compile()
+        assert compiled.a_ub.shape == (2, 1)  # GE negated into <=
+        assert compiled.b_ub[1] == -1
+        assert compiled.a_eq.shape == (1, 1)
+
+    def test_zero_coefficients_dropped(self):
+        lp = LinearProgram()
+        a = lp.add_variable("a")
+        b = lp.add_variable("b")
+        c = lp.add_constraint({a: 1.0, b: 0.0}, Sense.LE, 1)
+        assert b.index not in c.coefficients
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(SolverError):
+            LinearProgram().compile()
+
+    def test_integer_mask(self):
+        lp = LinearProgram()
+        lp.add_variable("x")
+        lp.add_binary("y")
+        mask = lp.compile().integer_mask
+        assert list(mask) == [False, True]
+
+    def test_upper_bounds(self):
+        lp = LinearProgram()
+        lp.add_variable("x", upper_bound=7.0)
+        lp.add_variable("y")
+        ubs = lp.compile().upper_bounds
+        assert ubs[0] == 7.0 and np.isinf(ubs[1])

@@ -1,0 +1,97 @@
+"""Interactive designer tests (demo scenario 1)."""
+
+import pytest
+
+from repro.core.interactive import InteractiveDesigner
+from repro.errors import WhatIfError
+from repro.workloads.workload import Query, Workload
+
+from tests.conftest import make_people_db
+
+
+WL = Workload(
+    name="interactive",
+    queries=[
+        Query("point", "select age from people where person_id = 99"),
+        Query("range", "select person_id from people where age between 20 and 21"),
+        Query("scan", "select count(*) from people"),
+    ],
+)
+
+
+@pytest.fixture()
+def db():
+    return make_people_db(rows=3000, seed=47)
+
+
+@pytest.fixture()
+def designer(db):
+    return InteractiveDesigner(db)
+
+
+class TestEvaluate:
+    def test_no_design_is_neutral(self, designer):
+        evaluation = designer.evaluate(WL)
+        assert evaluation.cost_after == pytest.approx(evaluation.cost_before)
+        assert evaluation.average_benefit == pytest.approx(0.0)
+
+    def test_index_design_benefits(self, designer):
+        designer.add_whatif_index("people", ("person_id",))
+        designer.add_whatif_index("people", ("age",))
+        evaluation = designer.evaluate(WL)
+        assert evaluation.cost_after < evaluation.cost_before
+        assert 0 < evaluation.average_benefit <= 1
+        point = next(q for q in evaluation.per_query if q.name == "point")
+        assert point.speedup > 2
+        assert point.indexes_used
+        scan = next(q for q in evaluation.per_query if q.name == "scan")
+        assert scan.cost_after == pytest.approx(scan.cost_before)
+
+    def test_partition_design_rewrites_queries(self, designer, db):
+        other_cols = tuple(
+            c for c in db.catalog.table("people").column_names
+            if c not in ("person_id", "age")
+        )
+        designer.add_whatif_partitions("people", [("age",), other_cols])
+        evaluation = designer.evaluate(WL)
+        assert "people__frag" in evaluation.rewritten_sql["range"]
+
+    def test_partitions_must_cover_table(self, designer):
+        with pytest.raises(WhatIfError, match="uncovered"):
+            designer.add_whatif_partitions("people", [("age",)])
+
+    def test_duplicate_partitioning_rejected(self, designer, db):
+        every = [tuple(db.catalog.table("people").column_names)]
+        designer.add_whatif_partitions("people", every)
+        with pytest.raises(WhatIfError):
+            designer.add_whatif_partitions("people", every)
+
+    def test_reset(self, designer):
+        designer.add_whatif_index("people", ("age",))
+        designer.reset()
+        assert designer.session.hypothetical_indexes == []
+
+
+class TestCompareWithMaterialized:
+    def test_plans_and_costs_match(self, designer):
+        designer.add_whatif_index("people", ("person_id",))
+        comparison = designer.compare_with_materialized("point", WL)
+        assert comparison.plans_match
+        assert comparison.cost_error < 1e-9
+        assert "Index Scan" in comparison.whatif_plan
+        assert "Index Scan" in comparison.materialized_plan
+
+    def test_comparison_leaves_database_unchanged(self, designer, db):
+        designer.add_whatif_index("people", ("person_id",))
+        designer.compare_with_materialized("point", WL)
+        assert db.catalog.indexes_on("people") == []
+        assert not db.has_relation("people__frag0")
+
+    def test_partition_comparison(self, designer, db):
+        other_cols = tuple(
+            c for c in db.catalog.table("people").column_names
+            if c not in ("person_id", "age")
+        )
+        designer.add_whatif_partitions("people", [("age",), other_cols])
+        comparison = designer.compare_with_materialized("scan", WL)
+        assert comparison.cost_error < 1e-9

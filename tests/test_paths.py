@@ -1,0 +1,153 @@
+"""Access-path generation unit tests."""
+
+import pytest
+
+from repro.catalog.schema import Index
+from repro.optimizer.clauses import classify_all
+from repro.optimizer.config import PlannerConfig, default_relation_info
+from repro.optimizer.paths import (
+    build_base_rel,
+    index_paths,
+    match_index,
+    parameterized_index_paths,
+    seqscan_path,
+)
+from repro.sql.binder import bind
+from repro.sql.parser import parse_select
+
+from tests.conftest import make_people_db
+
+CONFIG = PlannerConfig()
+
+
+@pytest.fixture(scope="module")
+def db():
+    database = make_people_db(rows=2000, seed=53)
+    database.create_index(Index("ix_age", "people", ("age",)))
+    database.create_index(Index("ix_city_age", "people", ("city", "age")))
+    database.create_index(Index("ix_city_age_h", "people", ("city", "age", "height")))
+    database.create_index(Index("ix_owner", "pets", ("owner_id",)))
+    return database
+
+
+def prepare(db, sql, alias="people"):
+    query = bind(db.catalog, parse_select(sql))
+    classified = classify_all(query.quals)
+    restrictions = [c for c in classified if c.single_alias == alias]
+    joins = [c for c in classified if len(c.rels) > 1]
+    info = default_relation_info(
+        CONFIG, db.catalog, query.rel(alias).table.name
+    )
+    rel = build_base_rel(
+        CONFIG, alias, info, restrictions, query.required_columns[alias]
+    )
+    return rel, joins, info
+
+
+class TestMatchIndex:
+    def find(self, info, name):
+        return next(ix for ix in info.indexes if ix.name == name)
+
+    def test_eq_prefix_then_range(self, db):
+        rel, _j, info = prepare(
+            db, "select person_id from people where city = 'oslo' and age > 50"
+        )
+        match = match_index(self.find(info, "ix_city_age"), rel)
+        assert match is not None
+        assert len(match.matched) == 2
+
+    def test_range_stops_the_prefix(self, db):
+        rel, _j, info = prepare(
+            db,
+            "select person_id from people "
+            "where city > 'a' and age = 5 and height = 170",
+        )
+        match = match_index(self.find(info, "ix_city_age_h"), rel)
+        # city is a range -> matching must stop after it.
+        assert len(match.matched) == 1
+
+    def test_no_leading_column_no_match(self, db):
+        rel, _j, info = prepare(
+            db, "select person_id from people where age = 5"
+        )
+        assert match_index(self.find(info, "ix_city_age"), rel) is None
+
+    def test_selectivity_product(self, db):
+        rel, _j, info = prepare(
+            db, "select person_id from people where city = 'oslo' and age = 30"
+        )
+        single = match_index(self.find(info, "ix_age"), rel)
+        double = match_index(self.find(info, "ix_city_age"), rel)
+        assert double.index_selectivity < single.index_selectivity
+
+
+class TestIndexPaths:
+    def test_paths_for_matching_indexes_only(self, db):
+        rel, _j, _info = prepare(
+            db, "select person_id from people where age = 30"
+        )
+        paths = index_paths(CONFIG, rel)
+        names = {p.index_name for p in paths}
+        assert "ix_age" in names
+        assert "ix_owner" not in names
+
+    def test_index_only_flag(self, db):
+        rel, _j, _info = prepare(
+            db, "select count(*) from people where city = 'oslo' and age > 10"
+        )
+        paths = index_paths(CONFIG, rel)
+        by_name = {p.index_name: p for p in paths}
+        assert by_name["ix_city_age"].index_only
+        assert not by_name["ix_age"].index_only
+
+    def test_out_order_reflects_key(self, db):
+        rel, _j, _info = prepare(
+            db, "select person_id from people where age > 90"
+        )
+        path = next(p for p in index_paths(CONFIG, rel) if p.index_name == "ix_age")
+        assert path.out_order == (("people", "age"),)
+
+    def test_in_clause_kills_order(self, db):
+        rel, _j, _info = prepare(
+            db, "select person_id from people where age in (1, 2, 3)"
+        )
+        path = next(p for p in index_paths(CONFIG, rel) if p.index_name == "ix_age")
+        assert path.out_order == ()
+
+    def test_seqscan_rows_match_restriction_product(self, db):
+        rel, _j, _info = prepare(
+            db, "select person_id from people where age = 30 and city = 'oslo'"
+        )
+        scan = seqscan_path(CONFIG, rel)
+        assert scan.rows == rel.rows
+        assert len(scan.filter_quals) == 2
+
+
+class TestParameterizedPaths:
+    def test_join_column_bound(self, db):
+        rel, joins, _info = prepare(
+            db,
+            "select q.weight from people p, pets q where p.person_id = q.owner_id",
+            alias="q",
+        )
+        paths = parameterized_index_paths(CONFIG, rel, joins)
+        assert len(paths) == 1
+        path = paths[0]
+        assert path.index_name == "ix_owner"
+        assert path.param_rels == frozenset({"p"})
+        assert path.ref_quals[0][0] == "owner_id"
+
+    def test_no_join_no_param_paths(self, db):
+        rel, joins, _info = prepare(
+            db, "select person_id from people where age = 1"
+        )
+        assert parameterized_index_paths(CONFIG, rel, joins) == []
+
+    def test_rescan_cheaper_than_first_run(self, db):
+        rel, joins, _info = prepare(
+            db,
+            "select q.weight from people p, pets q where p.person_id = q.owner_id",
+            alias="q",
+        )
+        path = parameterized_index_paths(CONFIG, rel, joins)[0]
+        assert path.rescan_cost <= path.total_cost

@@ -1,0 +1,69 @@
+"""Deparser tests: parse → print → parse round-trips structurally."""
+
+import pytest
+
+from repro.sql.parser import parse_select
+from repro.sql.printer import expr_to_sql, to_sql
+
+ROUNDTRIP_QUERIES = [
+    "SELECT a FROM t",
+    "SELECT DISTINCT a, b FROM t",
+    "SELECT a AS x, b + 1 AS y FROM t",
+    "SELECT * FROM t WHERE a = 1 AND b > 2",
+    "SELECT a FROM t WHERE a = 1 OR b = 2 AND c = 3",
+    "SELECT a FROM t WHERE (a = 1 OR b = 2) AND c = 3",
+    "SELECT a FROM t WHERE x BETWEEN 1 AND 10",
+    "SELECT a FROM t WHERE x NOT BETWEEN 1 AND 10",
+    "SELECT a FROM t WHERE x IN (1, 2, 3)",
+    "SELECT a FROM t WHERE name LIKE 'M%'",
+    "SELECT a FROM t WHERE name NOT LIKE '%x'",
+    "SELECT a FROM t WHERE x IS NULL",
+    "SELECT a FROM t WHERE x IS NOT NULL",
+    "SELECT a FROM t WHERE NOT a = 1",
+    "SELECT a FROM t1, t2 WHERE t1.id = t2.id",
+    "SELECT a, count(*) FROM t GROUP BY a HAVING count(*) > 5",
+    "SELECT a FROM t ORDER BY a DESC, b LIMIT 3",
+    "SELECT count(DISTINCT a) FROM t",
+    "SELECT sum(a * 2) / count(*) FROM t",
+    "SELECT a FROM t WHERE s = 'it''s'",
+    "SELECT a FROM t WHERE x = -3.5",
+    "SELECT floor(a / 10), count(*) FROM t GROUP BY floor(a / 10)",
+    "SELECT a FROM big b WHERE b.x = TRUE",
+    "SELECT a FROM t WHERE x = 1 AND (y = 2 OR z = 3) ORDER BY a",
+]
+
+
+@pytest.mark.parametrize("sql", ROUNDTRIP_QUERIES)
+def test_roundtrip(sql):
+    first = parse_select(sql)
+    printed = to_sql(first)
+    second = parse_select(printed)
+    assert first == second, f"{printed!r} does not round-trip"
+
+
+def test_double_roundtrip_is_fixpoint():
+    for sql in ROUNDTRIP_QUERIES:
+        once = to_sql(parse_select(sql))
+        twice = to_sql(parse_select(once))
+        assert once == twice
+
+
+class TestExprRendering:
+    def test_string_escaping(self):
+        stmt = parse_select("select a from t where s = 'o''clock'")
+        assert "''" in expr_to_sql(stmt.where)
+
+    def test_precedence_parens_only_when_needed(self):
+        stmt = parse_select("select a from t where a = 1 and b = 2")
+        rendered = expr_to_sql(stmt.where)
+        assert "(" not in rendered
+
+    def test_or_under_and_parenthesized(self):
+        stmt = parse_select("select a from t where (a = 1 or b = 2) and c = 3")
+        rendered = expr_to_sql(stmt.where)
+        assert rendered.startswith("(")
+
+    def test_null_and_booleans(self):
+        stmt = parse_select("select a from t where x = NULL or y = FALSE")
+        rendered = expr_to_sql(stmt.where)
+        assert "NULL" in rendered and "FALSE" in rendered

@@ -1,0 +1,149 @@
+"""Property-based executor testing: random predicates vs the reference.
+
+Hypothesis generates WHERE clauses over a fixed small table; whatever
+plan the optimizer picks, executing it must produce exactly the rows the
+brute-force reference produces.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.catalog.schema import Index
+from repro.executor.executor import execute
+from repro.optimizer.planner import Planner
+from repro.sql.binder import bind
+from repro.sql.parser import parse_select
+
+from tests.conftest import make_people_db
+from tests.reference import rows_equal, run_reference
+
+_DB = make_people_db(rows=150, seed=61)
+_DB_INDEXED = make_people_db(rows=150, seed=61)
+_DB_INDEXED.create_index(Index("ix_age", "people", ("age",)))
+_DB_INDEXED.create_index(Index("ix_city_age", "people", ("city", "age")))
+_DB_INDEXED.create_index(Index("ix_pid", "people", ("person_id",), unique=True))
+_DB_AGE_ONLY = make_people_db(rows=150, seed=61)
+_DB_AGE_ONLY.create_index(Index("ix_age", "people", ("age",)))
+
+
+def _comparison():
+    column_and_value = st.one_of(
+        st.tuples(st.just("age"), st.integers(-5, 105)),
+        st.tuples(st.just("height"), st.integers(100, 220)),
+        st.tuples(st.just("person_id"), st.integers(0, 160)),
+    )
+    op = st.sampled_from(["=", "<>", "<", "<=", ">", ">="])
+    return st.builds(
+        lambda cv, op: f"{cv[0]} {op} {cv[1]}", column_and_value, op
+    )
+
+
+def _special():
+    return st.one_of(
+        st.builds(
+            lambda lo, span: f"age between {lo} and {lo + span}",
+            st.integers(0, 90),
+            st.integers(0, 30),
+        ),
+        st.builds(
+            lambda vals: f"age in ({', '.join(map(str, vals))})",
+            st.lists(st.integers(0, 99), min_size=1, max_size=4),
+        ),
+        st.sampled_from(
+            [
+                "nickname is null",
+                "nickname is not null",
+                "city like 'o%'",
+                "city in ('lima', 'oslo')",
+                "nickname like 'nick_'",
+            ]
+        ),
+    )
+
+
+def _term():
+    return st.one_of(_comparison(), _special())
+
+
+@st.composite
+def where_clause(draw):
+    terms = draw(st.lists(_term(), min_size=1, max_size=3))
+    connectors = draw(
+        st.lists(st.sampled_from(["and", "or"]), min_size=len(terms) - 1,
+                 max_size=len(terms) - 1)
+    )
+    clause = terms[0]
+    for connector, term in zip(connectors, terms[1:]):
+        clause = f"({clause}) {connector} ({term})"
+    if draw(st.booleans()):
+        clause = f"not ({clause})"
+    return clause
+
+
+@settings(max_examples=120, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(clause=where_clause())
+def test_random_filters_match_reference(clause):
+    sql = f"select person_id, age from people where {clause}"
+    for db in (_DB, _DB_INDEXED):
+        query = bind(db.catalog, parse_select(sql))
+        plan = Planner(db.catalog).plan(query)
+        result = execute(db, plan)
+        expected = run_reference(db, query)
+        assert rows_equal(result.rows, expected, ordered=False), (
+            f"{clause!r} on {'indexed' if db is _DB_INDEXED else 'plain'} db"
+        )
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(clause=where_clause(), descending=st.booleans())
+def test_random_order_by_sorted(clause, descending):
+    direction = "desc" if descending else "asc"
+    sql = (
+        f"select person_id, age from people where {clause} "
+        f"order by age {direction}, person_id"
+    )
+    query = bind(_DB_INDEXED.catalog, parse_select(sql))
+    plan = Planner(_DB_INDEXED.catalog).plan(query)
+    result = execute(_DB_INDEXED, plan)
+    ages = [row[1] for row in result.rows]
+    expected = sorted(ages, reverse=descending)
+    assert ages == expected
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(clause=where_clause())
+def test_random_aggregates_match_reference(clause):
+    sql = (
+        f"select city, count(*), min(age), max(height) from people "
+        f"where {clause} group by city"
+    )
+    query = bind(_DB.catalog, parse_select(sql))
+    plan = Planner(_DB.catalog).plan(query)
+    result = execute(_DB, plan)
+    expected = run_reference(_DB, query)
+    assert rows_equal(result.rows, expected, ordered=False)
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(clause=where_clause())
+def test_whatif_cost_equals_materialized_cost(clause):
+    """Property form of the central invariant: for any predicate, a
+    what-if index produces exactly the cost of the real one."""
+    from repro.whatif.session import WhatIfSession
+
+    sql = f"select person_id, age from people where {clause}"
+    session = WhatIfSession(_DB.catalog)
+    session.add_index("people", ("age",), name="w")
+    whatif_cost = session.cost(sql)
+
+    # Compare against a database whose only real index is the same age
+    # index (what-if sessions see their own catalog clone).
+    real_plan = Planner(_DB_AGE_ONLY.catalog).plan(
+        bind(_DB_AGE_ONLY.catalog, parse_select(sql))
+    )
+    assert whatif_cost == pytest.approx(real_plan.total_cost)

@@ -1,0 +1,156 @@
+"""Property-based SQL frontend testing: generated ASTs round-trip.
+
+Hypothesis builds random (but type-sane) SELECT statements directly as
+ASTs; printing and re-parsing must reproduce the identical tree, and
+tokenizing arbitrary printable text must either succeed or raise the
+library's own error type (never crash with something foreign).
+"""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.sql.ast_nodes import (
+    BetweenExpr,
+    BinaryOp,
+    ColumnRef,
+    Expr,
+    InExpr,
+    IsNullExpr,
+    LikeExpr,
+    Literal,
+    SelectItem,
+    SelectStmt,
+    SortItem,
+    TableRef,
+)
+from repro.sql.parser import parse_select
+from repro.sql.printer import to_sql
+from repro.sql.tokenizer import tokenize
+
+_ident = st.sampled_from(["alpha", "beta", "gamma", "delta", "val", "key"])
+_number = st.one_of(
+    st.integers(-1000, 1000),
+    st.floats(
+        min_value=-100, max_value=100, allow_nan=False, allow_infinity=False
+    ).map(lambda f: round(f, 3)),
+)
+_text_literal = st.text(alphabet=string.ascii_letters + " %_'", max_size=8)
+
+
+def _column():
+    return st.builds(ColumnRef, column=_ident, table=st.just("t"))
+
+
+def _literal():
+    return st.builds(Literal, value=st.one_of(_number, _text_literal))
+
+
+def _comparison():
+    op = st.sampled_from(["=", "<>", "<", "<=", ">", ">="])
+    return st.builds(BinaryOp, op=op, left=_column(), right=_literal())
+
+
+def _special_predicate():
+    return st.one_of(
+        st.builds(
+            BetweenExpr,
+            expr=_column(),
+            low=st.builds(Literal, value=_number),
+            high=st.builds(Literal, value=_number),
+            negated=st.booleans(),
+        ),
+        st.builds(
+            InExpr,
+            expr=_column(),
+            items=st.lists(_literal(), min_size=1, max_size=3).map(tuple),
+            negated=st.booleans(),
+        ),
+        st.builds(
+            LikeExpr,
+            expr=_column(),
+            pattern=st.builds(Literal, value=_text_literal),
+            negated=st.booleans(),
+        ),
+        st.builds(IsNullExpr, expr=_column(), negated=st.booleans()),
+    )
+
+
+def _predicate(depth: int = 2):
+    base = st.one_of(_comparison(), _special_predicate())
+    if depth == 0:
+        return base
+    return st.one_of(
+        base,
+        st.builds(
+            BinaryOp,
+            op=st.sampled_from(["and", "or"]),
+            left=_predicate(depth - 1),
+            right=_predicate(depth - 1),
+        ),
+    )
+
+
+def _statement():
+    targets = st.lists(
+        st.builds(SelectItem, expr=_column(), alias=st.none()),
+        min_size=1,
+        max_size=3,
+    ).map(tuple)
+    order_by = st.lists(
+        st.builds(SortItem, expr=_column(), descending=st.booleans()),
+        max_size=2,
+    ).map(tuple)
+    return st.builds(
+        SelectStmt,
+        targets=targets,
+        tables=st.just((TableRef(name="t", alias=None),)),
+        where=st.one_of(st.none(), _predicate()),
+        group_by=st.just(()),
+        having=st.none(),
+        order_by=order_by,
+        limit=st.one_of(st.none(), st.integers(1, 100)),
+        distinct=st.booleans(),
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(stmt=_statement())
+def test_print_parse_roundtrip(stmt: SelectStmt):
+    sql = to_sql(stmt)
+    reparsed = parse_select(sql)
+    assert reparsed == stmt, f"{sql!r} did not round-trip"
+
+
+@settings(max_examples=200, deadline=None)
+@given(expr=_predicate())
+def test_predicate_roundtrip_in_context(expr: Expr):
+    stmt = SelectStmt(
+        targets=(SelectItem(expr=ColumnRef("alpha", table="t")),),
+        tables=(TableRef(name="t"),),
+        where=expr,
+    )
+    assert parse_select(to_sql(stmt)) == stmt
+
+
+@settings(max_examples=300, deadline=None)
+@given(text=st.text(alphabet=string.printable, max_size=60))
+def test_tokenizer_total(text: str):
+    """Tokenizing arbitrary input never raises anything but ReproError."""
+    try:
+        tokens = tokenize(text)
+    except ReproError:
+        return
+    assert tokens[-1].value == ""  # EOF present
+
+
+@settings(max_examples=200, deadline=None)
+@given(text=st.text(alphabet=string.printable, max_size=60))
+def test_parser_total(text: str):
+    """Parsing arbitrary input never raises anything but ReproError."""
+    try:
+        parse_select(text)
+    except ReproError:
+        pass

@@ -1,0 +1,52 @@
+"""ResultTable formatting tests."""
+
+import pytest
+
+from repro.bench.reporting import ResultTable, format_speedup
+
+
+class TestResultTable:
+    def test_render_alignment(self):
+        table = ResultTable("T", ["name", "value"])
+        table.add_row("a", 1)
+        table.add_row("longer-name", 123456.0)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "== T =="
+        header, sep, row1, row2 = lines[1:]
+        assert len(header) == len(row1) == len(row2)
+        assert "longer-name" in row2
+
+    def test_wrong_arity_rejected(self):
+        table = ResultTable("T", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_float_formatting(self):
+        table = ResultTable("T", ["v"])
+        table.add_row(0.123456)
+        table.add_row(12.345)
+        table.add_row(1234.5)
+        rows = table.render().splitlines()[3:]
+        assert rows[0].strip() == "0.123"
+        assert rows[1].strip() == "12.3"
+        assert rows[2].strip() == "1234"
+
+    def test_nan_rendering(self):
+        table = ResultTable("T", ["v"])
+        table.add_row(float("nan"))
+        assert "nan" in table.render()
+
+    def test_emit_prints(self, capsys):
+        table = ResultTable("T", ["v"])
+        table.add_row("x")
+        table.emit()
+        assert "== T ==" in capsys.readouterr().out
+
+
+class TestFormatSpeedup:
+    def test_normal(self):
+        assert format_speedup(10.0, 5.0) == "2.00x"
+
+    def test_zero_after(self):
+        assert format_speedup(10.0, 0.0) == "inf"

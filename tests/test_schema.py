@@ -1,0 +1,133 @@
+"""Unit tests for schema objects: tables, indexes, partition schemes."""
+
+import pytest
+
+from repro.catalog.datatypes import DOUBLE, INTEGER, TEXT
+from repro.catalog.schema import (
+    Column,
+    Index,
+    PartitionScheme,
+    Table,
+    index_signature,
+    make_table,
+)
+from repro.errors import CatalogError, UnknownObjectError
+
+
+def sample_table() -> Table:
+    return make_table(
+        "t",
+        [("id", INTEGER), ("a", DOUBLE), ("b", DOUBLE), ("c", TEXT)],
+        primary_key="id",
+    )
+
+
+class TestColumn:
+    def test_rejects_empty_name(self):
+        with pytest.raises(CatalogError):
+            Column("", INTEGER)
+
+
+class TestTable:
+    def test_column_lookup(self):
+        t = sample_table()
+        assert t.column("a").dtype is DOUBLE
+        assert t.has_column("c")
+        assert not t.has_column("zzz")
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(UnknownObjectError):
+            sample_table().column("nope")
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(CatalogError):
+            make_table("bad", [("x", INTEGER), ("x", DOUBLE)])
+
+    def test_empty_tables_rejected(self):
+        with pytest.raises(CatalogError):
+            Table("bad", columns=())
+
+    def test_primary_key_must_exist(self):
+        with pytest.raises(CatalogError):
+            make_table("bad", [("x", INTEGER)], primary_key="missing")
+
+    def test_project_keeps_order_and_pk(self):
+        t = sample_table()
+        p = t.project(("id", "b"), new_name="t_frag")
+        assert p.column_names == ("id", "b")
+        assert p.primary_key == ("id",)
+
+    def test_project_drops_pk_when_excluded(self):
+        p = sample_table().project(("a",), new_name="t_a")
+        assert p.primary_key == ()
+
+
+class TestIndex:
+    def test_basic(self):
+        ix = Index("i", "t", ("a", "b"))
+        assert ix.leading_column == "a"
+        assert not ix.hypothetical
+
+    def test_rejects_duplicate_key_columns(self):
+        with pytest.raises(CatalogError):
+            Index("i", "t", ("a", "a"))
+
+    def test_rejects_empty_columns(self):
+        with pytest.raises(CatalogError):
+            Index("i", "t", ())
+
+    def test_covers(self):
+        ix = Index("i", "t", ("a", "b"))
+        assert ix.covers({"a"})
+        assert ix.covers({"a", "b"})
+        assert not ix.covers({"a", "c"})
+
+    def test_prefix(self):
+        ix = Index("i", "t", ("a", "b", "c"))
+        assert ix.prefix(2).columns == ("a", "b")
+        with pytest.raises(CatalogError):
+            ix.prefix(0)
+        with pytest.raises(CatalogError):
+            ix.prefix(4)
+
+    def test_hypothetical_roundtrip(self):
+        ix = Index("i", "t", ("a",))
+        hypo = ix.as_hypothetical("h")
+        assert hypo.hypothetical and hypo.name == "h"
+        real = hypo.as_real()
+        assert not real.hypothetical
+
+    def test_signature_ignores_name_and_flags(self):
+        a = Index("x", "t", ("a", "b"))
+        b = Index("y", "t", ("a", "b"), hypothetical=True)
+        assert index_signature(a) == index_signature(b)
+
+
+class TestPartitionScheme:
+    def scheme(self) -> PartitionScheme:
+        return PartitionScheme(
+            "t", fragments=(("id", "a"), ("id", "b"), ("id", "c"))
+        )
+
+    def test_fragment_names(self):
+        assert self.scheme().fragment_name(1) == "t__frag1"
+
+    def test_covering_single(self):
+        assert self.scheme().covering_fragments({"a"}) == [0]
+
+    def test_covering_multi(self):
+        assert self.scheme().covering_fragments({"a", "c"}) == [0, 2]
+
+    def test_covering_prefers_fewest_fragments(self):
+        scheme = PartitionScheme(
+            "t", fragments=(("id", "a"), ("id", "b"), ("id", "a", "b"))
+        )
+        assert scheme.covering_fragments({"a", "b"}) == [2]
+
+    def test_uncoverable_raises(self):
+        with pytest.raises(CatalogError):
+            self.scheme().covering_fragments({"zzz"})
+
+    def test_empty_scheme_rejected(self):
+        with pytest.raises(CatalogError):
+            PartitionScheme("t", fragments=())

@@ -1,0 +1,121 @@
+"""Simplex correctness, cross-checked against scipy's linprog."""
+
+import numpy as np
+import pytest
+from scipy.optimize import linprog
+
+from repro.ilp.model import LinearProgram, Sense
+from repro.ilp.simplex import SimplexSolver, check_feasible, fix_variables
+
+
+def solve(lp: LinearProgram):
+    return SimplexSolver().solve(lp.compile())
+
+
+class TestTextbookCases:
+    def test_two_variable_max(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x")
+        y = lp.add_variable("y")
+        lp.set_objective({x: 3, y: 2})
+        lp.add_constraint({x: 1, y: 1}, Sense.LE, 4)
+        lp.add_constraint({x: 1, y: 3}, Sense.LE, 6)
+        result = solve(lp)
+        assert result.is_optimal
+        assert result.objective == pytest.approx(12.0)
+        assert result.x == pytest.approx([4.0, 0.0])
+
+    def test_equality_and_ge(self):
+        lp = LinearProgram()
+        a = lp.add_variable("a")
+        b = lp.add_variable("b")
+        lp.set_objective({a: 1, b: 1})
+        lp.add_constraint({a: 1, b: 2}, Sense.EQ, 4)
+        lp.add_constraint({a: 1}, Sense.GE, 1)
+        lp.add_constraint({a: 1}, Sense.LE, 3)
+        result = solve(lp)
+        assert result.objective == pytest.approx(3.5)
+
+    def test_upper_bounds_respected(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x", upper_bound=2.5, objective=1.0)
+        result = solve(lp)
+        assert result.objective == pytest.approx(2.5)
+
+    def test_infeasible(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x", upper_bound=1.0, objective=1.0)
+        lp.add_constraint({x: 1}, Sense.GE, 2)
+        assert solve(lp).status == "infeasible"
+
+    def test_unbounded(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x", objective=1.0)
+        lp.add_constraint({x: -1}, Sense.LE, 0)
+        assert solve(lp).status == "unbounded"
+
+    def test_degenerate_redundant_rows(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x", objective=1.0)
+        lp.add_constraint({x: 1}, Sense.LE, 5)
+        lp.add_constraint({x: 1}, Sense.LE, 5)
+        lp.add_constraint({x: 2}, Sense.LE, 10)
+        result = solve(lp)
+        assert result.objective == pytest.approx(5.0)
+
+    def test_negative_rhs_normalized(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x", objective=-1.0)
+        lp.add_constraint({x: -1}, Sense.LE, -2)  # x >= 2
+        result = solve(lp)
+        assert result.is_optimal
+        assert result.x[0] == pytest.approx(2.0)
+
+
+class TestAgainstScipy:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_lps(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 7))
+        m = int(rng.integers(1, 6))
+        c = rng.uniform(-5, 5, n)
+        A = rng.uniform(-3, 5, (m, n))
+        b = rng.uniform(1, 20, m)
+
+        lp = LinearProgram()
+        variables = [lp.add_variable(f"x{i}", upper_bound=10.0) for i in range(n)]
+        lp.set_objective({v: c[i] for i, v in enumerate(variables)})
+        for row in range(m):
+            lp.add_constraint(
+                {v: A[row, i] for i, v in enumerate(variables)}, Sense.LE, b[row]
+            )
+        ours = solve(lp)
+
+        scipy_result = linprog(
+            -c, A_ub=A, b_ub=b, bounds=[(0, 10)] * n, method="highs"
+        )
+        assert ours.is_optimal == scipy_result.success
+        if ours.is_optimal:
+            assert ours.objective == pytest.approx(-scipy_result.fun, abs=1e-6)
+
+
+class TestFixVariables:
+    def test_substitution(self):
+        lp = LinearProgram()
+        x = lp.add_binary("x", objective=5.0)
+        y = lp.add_binary("y", objective=3.0)
+        lp.add_constraint({x: 2.0, y: 1.0}, Sense.LE, 2.0)
+        compiled = lp.compile()
+        reduced, offset, keep = fix_variables(compiled, {x.index: 1.0})
+        assert offset == 5.0
+        assert keep == [y.index]
+        assert reduced.b_ub[0] == pytest.approx(0.0)
+
+    def test_check_feasible(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x", upper_bound=1.0)
+        lp.add_constraint({x: 1.0}, Sense.LE, 0.5)
+        compiled = lp.compile()
+        assert check_feasible(compiled, np.array([0.25]))
+        assert not check_feasible(compiled, np.array([0.75]))
+        assert not check_feasible(compiled, np.array([-0.1]))

@@ -1,0 +1,154 @@
+"""Unit and property tests for ANALYZE statistics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.catalog.datatypes import INTEGER, TEXT, to_comparable
+from repro.catalog.schema import make_table
+from repro.catalog.statistics import (
+    ColumnStats,
+    TableStats,
+    analyze_column,
+    analyze_table,
+)
+from repro.errors import StatisticsError
+
+
+class TestTableStats:
+    def test_rejects_negative(self):
+        with pytest.raises(StatisticsError):
+            TableStats(row_count=-1, page_count=0)
+
+    def test_scaled(self):
+        s = TableStats(row_count=1000, page_count=100)
+        half = s.scaled(0.5)
+        assert half.row_count == 500
+        assert half.page_count == 50
+
+
+class TestColumnStatsValidation:
+    def test_null_frac_bounds(self):
+        with pytest.raises(StatisticsError):
+            ColumnStats(null_frac=1.5)
+
+    def test_mcv_length_mismatch(self):
+        with pytest.raises(StatisticsError):
+            ColumnStats(mcv_values=(1,), mcv_freqs=())
+
+    def test_correlation_bounds(self):
+        with pytest.raises(StatisticsError):
+            ColumnStats(correlation=2.0)
+
+    def test_distinct_resolution(self):
+        absolute = ColumnStats(n_distinct=42.0)
+        assert absolute.distinct_values(10_000) == 42.0
+        relative = ColumnStats(n_distinct=-0.5)
+        assert relative.distinct_values(10_000) == 5000.0
+
+
+class TestAnalyzeColumn:
+    def test_empty_column(self):
+        stats = analyze_column(INTEGER, [])
+        assert stats.n_distinct == 0.0
+
+    def test_all_null(self):
+        stats = analyze_column(INTEGER, [None, None])
+        assert stats.null_frac == 1.0
+
+    def test_null_fraction(self):
+        stats = analyze_column(INTEGER, [1, None, 2, None])
+        assert stats.null_frac == pytest.approx(0.5)
+
+    def test_unique_column_negative_ndistinct(self):
+        stats = analyze_column(INTEGER, list(range(1000)))
+        assert stats.n_distinct == pytest.approx(-1.0)
+
+    def test_low_cardinality_all_mcvs_no_histogram(self):
+        values = [1, 2, 3] * 100
+        stats = analyze_column(INTEGER, values)
+        assert set(stats.mcv_values) == {1, 2, 3}
+        assert stats.histogram == ()
+        assert sum(stats.mcv_freqs) == pytest.approx(1.0)
+
+    def test_mcv_frequencies(self):
+        values = [7] * 90 + [8] * 10
+        stats = analyze_column(INTEGER, values)
+        freq = dict(zip(stats.mcv_values, stats.mcv_freqs))
+        assert freq[7] == pytest.approx(0.9)
+        assert freq[8] == pytest.approx(0.1)
+
+    def test_histogram_when_many_distincts(self):
+        values = list(range(5000))
+        stats = analyze_column(INTEGER, values, target=100)
+        assert len(stats.histogram) == 101
+        assert list(stats.histogram) == sorted(stats.histogram)
+        assert stats.histogram[0] == 0
+        assert stats.histogram[-1] == 4999
+
+    def test_correlation_of_sorted_data_is_one(self):
+        stats = analyze_column(INTEGER, list(range(2000)))
+        assert stats.correlation == pytest.approx(1.0, abs=1e-6)
+
+    def test_correlation_of_reversed_data(self):
+        stats = analyze_column(INTEGER, list(range(2000, 0, -1)))
+        assert stats.correlation == pytest.approx(-1.0, abs=1e-6)
+
+    def test_correlation_of_shuffled_data_near_zero(self):
+        import random
+
+        values = list(range(3000))
+        random.Random(0).shuffle(values)
+        stats = analyze_column(INTEGER, values)
+        assert abs(stats.correlation) < 0.1
+
+    def test_text_avg_width_measured(self):
+        stats = analyze_column(TEXT, ["ab", "abcd", "abcdef"])
+        # widths: 3, 5, 7 (1-byte header each) -> avg 5
+        assert stats.avg_width == 5
+
+    @given(
+        st.lists(
+            st.one_of(st.none(), st.integers(-100, 100)), min_size=1, max_size=300
+        )
+    )
+    def test_invariants(self, values):
+        stats = analyze_column(INTEGER, values)
+        assert 0.0 <= stats.null_frac <= 1.0
+        assert -1.0 <= stats.correlation <= 1.0
+        assert abs(sum(stats.mcv_freqs)) <= 1.0 + 1e-9
+        non_null = [v for v in values if v is not None]
+        if stats.histogram:
+            comparable = [to_comparable(v) for v in stats.histogram]
+            assert comparable == sorted(comparable)
+        if non_null:
+            distinct = stats.distinct_values(len(values))
+            assert 1.0 <= distinct <= len(non_null) + 1e-9
+
+
+class TestAnalyzeTable:
+    def test_full_analysis(self):
+        table = make_table("t", [("a", INTEGER), ("b", TEXT)])
+        stats = analyze_table(
+            table, {"a": [1, 2, 3], "b": ["x", "y", None]}, page_count=1
+        )
+        assert stats.table.row_count == 3
+        assert stats.column("a").null_frac == 0
+        assert stats.column("b").null_frac == pytest.approx(1 / 3)
+        assert stats.has_column("a") and not stats.has_column("zzz")
+
+    def test_missing_column_data(self):
+        table = make_table("t", [("a", INTEGER), ("b", TEXT)])
+        with pytest.raises(StatisticsError):
+            analyze_table(table, {"a": [1]}, page_count=1)
+
+    def test_ragged_data(self):
+        table = make_table("t", [("a", INTEGER), ("b", TEXT)])
+        with pytest.raises(StatisticsError):
+            analyze_table(table, {"a": [1, 2], "b": ["x"]}, page_count=1)
+
+    def test_unknown_stat_column_raises(self):
+        table = make_table("t", [("a", INTEGER)])
+        stats = analyze_table(table, {"a": [1]}, page_count=1)
+        with pytest.raises(StatisticsError):
+            stats.column("missing")

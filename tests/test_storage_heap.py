@@ -1,0 +1,91 @@
+"""Unit tests for heap files and relations."""
+
+import pytest
+
+from repro.catalog.datatypes import DOUBLE, INTEGER, TEXT
+from repro.catalog.schema import make_table
+from repro.catalog.sizing import BLOCK_SIZE
+from repro.errors import ExecutorError
+from repro.storage.heap import HeapFile, Relation
+
+
+def small_table():
+    return make_table("t", [("id", INTEGER), ("x", DOUBLE), ("s", TEXT)])
+
+
+class TestHeapBasics:
+    def test_row_and_value_access(self):
+        heap = HeapFile(small_table(), {"id": [1, 2], "x": [1.5, 2.5], "s": ["a", "b"]})
+        assert heap.row_count == 2
+        assert heap.value(0, "x") == 1.5
+        assert heap.row(1) == {"id": 2, "x": 2.5, "s": "b"}
+        assert list(heap.scan()) == [0, 1]
+
+    def test_empty_heap(self):
+        heap = HeapFile(small_table(), {"id": [], "x": [], "s": []})
+        assert heap.row_count == 0
+        assert heap.page_count == 1
+
+    def test_missing_column_rejected(self):
+        with pytest.raises(ExecutorError):
+            HeapFile(small_table(), {"id": [1], "x": [1.0]})
+
+    def test_ragged_data_rejected(self):
+        with pytest.raises(ExecutorError):
+            HeapFile(small_table(), {"id": [1], "x": [1.0, 2.0], "s": ["a"]})
+
+    def test_unknown_column_access(self):
+        heap = HeapFile(small_table(), {"id": [1], "x": [1.0], "s": ["a"]})
+        with pytest.raises(ExecutorError):
+            heap.column("nope")
+
+
+class TestPageAccounting:
+    def test_pages_monotone_nondecreasing(self):
+        n = 3000
+        heap = HeapFile(
+            small_table(),
+            {"id": list(range(n)), "x": [1.0] * n, "s": ["abc"] * n},
+        )
+        pages = [heap.page_of(i) for i in range(n)]
+        assert pages == sorted(pages)
+        assert pages[0] == 0
+        assert heap.page_count == pages[-1] + 1
+
+    def test_rows_per_page_matches_width(self):
+        n = 1000
+        heap = HeapFile(
+            small_table(),
+            {"id": list(range(n)), "x": [1.0] * n, "s": ["abcd"] * n},
+        )
+        # width: 28 + 4(id) -> 32, pad to 8 -> 32 + 8(x) = 40, + 5(s->pad4 40) 45 -> 48
+        rows_on_page0 = sum(1 for i in range(n) if heap.page_of(i) == 0)
+        expected = (BLOCK_SIZE - 24) // 48
+        assert rows_on_page0 == expected
+
+    def test_wide_strings_reduce_rows_per_page(self):
+        n = 500
+        narrow = HeapFile(
+            small_table(), {"id": list(range(n)), "x": [0.0] * n, "s": ["ab"] * n}
+        )
+        wide = HeapFile(
+            small_table(), {"id": list(range(n)), "x": [0.0] * n, "s": ["y" * 500] * n}
+        )
+        assert wide.page_count > narrow.page_count
+
+    def test_null_values_take_no_space(self):
+        n = 500
+        with_nulls = HeapFile(
+            small_table(), {"id": list(range(n)), "x": [None] * n, "s": [None] * n}
+        )
+        without = HeapFile(
+            small_table(), {"id": list(range(n)), "x": [0.0] * n, "s": ["abcdef"] * n}
+        )
+        assert with_nulls.page_count <= without.page_count
+
+
+class TestRelation:
+    def test_project_data(self):
+        rel = Relation(small_table(), {"id": [1, 2], "x": [1.0, 2.0], "s": ["a", "b"]})
+        assert rel.project_data(("id",)) == {"id": [1, 2]}
+        assert rel.name == "t"

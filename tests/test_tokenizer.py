@@ -1,0 +1,94 @@
+"""Unit tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.errors import TokenizeError
+from repro.sql.tokenizer import Token, TokenType, tokenize
+
+
+def kinds(sql: str) -> list[tuple]:
+    return [(t.type, t.value) for t in tokenize(sql)[:-1]]
+
+
+class TestBasics:
+    def test_keywords_fold_lowercase(self):
+        assert kinds("SELECT FROM Where") == [
+            (TokenType.KEYWORD, "select"),
+            (TokenType.KEYWORD, "from"),
+            (TokenType.KEYWORD, "where"),
+        ]
+
+    def test_identifiers_fold_lowercase(self):
+        assert kinds("PhotoObj") == [(TokenType.IDENT, "photoobj")]
+
+    def test_quoted_identifier_preserves_case(self):
+        assert kinds('"PhotoObj"') == [(TokenType.IDENT, "PhotoObj")]
+
+    def test_eof_token_always_last(self):
+        tokens = tokenize("select")
+        assert tokens[-1].type is TokenType.EOF
+
+    def test_empty_input(self):
+        assert tokenize("") == [Token(TokenType.EOF, "", 0)]
+
+
+class TestNumbers:
+    @pytest.mark.parametrize("text", ["0", "42", "3.14", ".5", "1e6", "2.5E-3"])
+    def test_number_forms(self, text):
+        (kind, value), = kinds(text)
+        assert kind is TokenType.NUMBER
+        assert value == text
+
+    def test_number_then_dot_dot(self):
+        tokens = kinds("1.5.x")
+        assert tokens[0] == (TokenType.NUMBER, "1.5")
+
+
+class TestStrings:
+    def test_simple(self):
+        assert kinds("'hello'") == [(TokenType.STRING, "hello")]
+
+    def test_doubled_quote_escape(self):
+        assert kinds("'it''s'") == [(TokenType.STRING, "it's")]
+
+    def test_unterminated(self):
+        with pytest.raises(TokenizeError):
+            tokenize("'oops")
+
+
+class TestOperators:
+    def test_two_char_operators_win(self):
+        assert kinds("a<=b") == [
+            (TokenType.IDENT, "a"),
+            (TokenType.OPERATOR, "<="),
+            (TokenType.IDENT, "b"),
+        ]
+
+    @pytest.mark.parametrize("op", ["<>", "<=", ">=", "!=", "=", "<", ">", "||"])
+    def test_all_operators(self, op):
+        assert (TokenType.OPERATOR, op) in kinds(f"a {op} b")
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert kinds("select -- comment\n1") == [
+            (TokenType.KEYWORD, "select"),
+            (TokenType.NUMBER, "1"),
+        ]
+
+    def test_block_comment(self):
+        assert kinds("a /* stuff */ b") == [
+            (TokenType.IDENT, "a"),
+            (TokenType.IDENT, "b"),
+        ]
+
+    def test_unterminated_block(self):
+        with pytest.raises(TokenizeError):
+            tokenize("a /* oops")
+
+
+class TestErrors:
+    def test_unknown_character(self):
+        with pytest.raises(TokenizeError) as exc:
+            tokenize("select @")
+        assert exc.value.position == 7

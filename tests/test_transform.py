@@ -1,0 +1,79 @@
+"""Tests for generic AST transformation (sharing + rewriting)."""
+
+from repro.sql.ast_nodes import BinaryOp, ColumnRef, Literal
+from repro.sql.parser import parse_select
+from repro.sql.transform import transform_expr, transform_statement
+
+
+class TestSharing:
+    def test_identity_returns_same_nodes(self):
+        stmt = parse_select(
+            "select a + b from t where x between 1 and 2 and s like 'q%'"
+        )
+        same = transform_expr(stmt.where, lambda e: e)
+        assert same is stmt.where
+
+    def test_untouched_subtrees_shared(self):
+        stmt = parse_select("select a from t where x = 1 and y = 2")
+        replaced = transform_expr(
+            stmt.where,
+            lambda e: Literal(99) if e == Literal(2) else e,
+        )
+        assert replaced is not stmt.where
+        assert replaced.left is stmt.where.left  # x = 1 side untouched
+
+
+class TestRewriting:
+    def test_column_rename(self):
+        stmt = parse_select("select a, b from t where a > 1 order by a")
+
+        def rename(expr):
+            if isinstance(expr, ColumnRef) and expr.column == "a":
+                return ColumnRef("a_new", table=expr.table)
+            return expr
+
+        rewritten = transform_statement(stmt, rename)
+        assert rewritten.targets[0].expr.column == "a_new"
+        assert rewritten.where.left.column == "a_new"
+        assert rewritten.order_by[0].expr.column == "a_new"
+        assert rewritten.targets[1].expr.column == "b"
+
+    def test_bottom_up_order(self):
+        """fn sees children already transformed."""
+        expr = parse_select("select 1 from t where a + b = 3").where
+
+        def fold(node):
+            if isinstance(node, ColumnRef):
+                return Literal(1)
+            if (
+                isinstance(node, BinaryOp)
+                and node.op == "+"
+                and isinstance(node.left, Literal)
+                and isinstance(node.right, Literal)
+            ):
+                return Literal(node.left.value + node.right.value)
+            return node
+
+        folded = transform_expr(expr, fold)
+        assert folded == BinaryOp("=", Literal(2), Literal(3))
+
+    def test_in_items_transformed(self):
+        expr = parse_select("select 1 from t where a in (1, 2)").where
+        bumped = transform_expr(
+            expr,
+            lambda e: Literal(e.value + 10) if isinstance(e, Literal) else e,
+        )
+        assert [i.value for i in bumped.items] == [11, 12]
+
+    def test_having_and_group_by_transformed(self):
+        stmt = parse_select(
+            "select a, count(*) from t group by a having count(*) > 1"
+        )
+        marker = []
+
+        def spy(expr):
+            marker.append(type(expr).__name__)
+            return expr
+
+        transform_statement(stmt, spy)
+        assert "FuncCall" in marker  # visited the HAVING aggregate

@@ -1,0 +1,80 @@
+"""Update-cost constraint tests (the paper's §3.4 "update costs")."""
+
+import pytest
+
+from repro.advisor.ilp_advisor import IlpIndexAdvisor
+from repro.workloads.workload import Query, Workload
+
+from tests.conftest import make_people_db
+
+
+@pytest.fixture(scope="module")
+def db():
+    return make_people_db(rows=3000, seed=59)
+
+
+WL = Workload(
+    name="update-test",
+    queries=[
+        Query("point", "select age from people where person_id = 44"),
+        Query("range", "select person_id from people where age between 20 and 22"),
+        Query("petq", "select pet_id from pets where weight > 39"),
+    ],
+)
+
+
+class TestUpdateRates:
+    def test_no_rates_means_no_maintenance(self, db):
+        result = IlpIndexAdvisor(db.catalog).recommend(WL, budget_pages=200)
+        assert result.maintenance_cost == 0.0
+
+    def test_maintenance_included_in_cost_after(self, db):
+        plain = IlpIndexAdvisor(db.catalog).recommend(WL, budget_pages=200)
+        with_updates = IlpIndexAdvisor(db.catalog).recommend(
+            WL, budget_pages=200, update_rates={"people": 5.0, "pets": 5.0}
+        )
+        assert with_updates.maintenance_cost > 0
+        assert with_updates.cost_after >= plain.cost_after
+
+    def test_write_hot_table_gets_fewer_indexes(self, db):
+        plain = IlpIndexAdvisor(db.catalog).recommend(WL, budget_pages=500)
+        hot = IlpIndexAdvisor(db.catalog).recommend(
+            WL, budget_pages=500, update_rates={"people": 1e6}
+        )
+        people_plain = [i for i in plain.indexes if i.table_name == "people"]
+        people_hot = [i for i in hot.indexes if i.table_name == "people"]
+        assert people_plain, "baseline should index people"
+        assert not people_hot, "extreme update rate must suppress people indexes"
+        # The read-only table keeps its indexes.
+        assert any(i.table_name == "pets" for i in hot.indexes)
+
+    def test_moderate_rate_prunes_marginal_indexes(self, db):
+        plain = IlpIndexAdvisor(db.catalog).recommend(WL, budget_pages=500)
+        moderate = IlpIndexAdvisor(db.catalog).recommend(
+            WL, budget_pages=500, update_rates={"people": 3.0, "pets": 3.0}
+        )
+        assert len(moderate.indexes) <= len(plain.indexes)
+
+    def test_max_update_cost_constraint(self, db):
+        advisor = IlpIndexAdvisor(db.catalog)
+        unconstrained = advisor.recommend(
+            WL, budget_pages=500, update_rates={"people": 2.0, "pets": 2.0}
+        )
+        assert unconstrained.maintenance_cost > 0
+        cap = unconstrained.maintenance_cost / 2
+        constrained = advisor.recommend(
+            WL,
+            budget_pages=500,
+            update_rates={"people": 2.0, "pets": 2.0},
+            max_update_cost=cap,
+        )
+        assert constrained.maintenance_cost <= cap + 1e-9
+
+    def test_zero_cap_means_no_indexes(self, db):
+        result = IlpIndexAdvisor(db.catalog).recommend(
+            WL,
+            budget_pages=500,
+            update_rates={"people": 1.0, "pets": 1.0},
+            max_update_cost=0.0,
+        )
+        assert result.indexes == []
