@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping
 
 from repro.catalog.catalog import Catalog
 from repro.catalog.schema import Index
@@ -23,6 +24,9 @@ from repro.optimizer.clauses import classify_all
 from repro.sql.ast_nodes import ColumnRef
 from repro.sql.binder import BoundQuery
 from repro.workloads.workload import Workload
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.parallel.caches import CostCache
 
 
 @dataclass(frozen=True)
@@ -146,6 +150,8 @@ def generate_candidates(
     max_covering_width: int = 4,
     max_per_table: int = 40,
     single_column_only: bool = False,
+    bound: Mapping[str, BoundQuery] | None = None,
+    cost_cache: "CostCache | None" = None,
 ) -> list[CandidateIndex]:
     """All deduplicated candidates for ``workload``.
 
@@ -156,14 +162,22 @@ def generate_candidates(
             puts single-column and equality-led candidates first).
         single_column_only: Restrict to one key column (the COLT-style
             baseline of experiment E8).
+        bound: Already-bound workload queries keyed by name; avoids
+            re-parsing when the advisor has bound the workload anyway.
+        cost_cache: Shared cache for Equation-1 sizes (candidate sizing
+            repeats the same (table, columns) computation the INUM
+            models do).
     """
     if not len(workload):
         raise AdvisorError("cannot generate candidates for an empty workload")
 
     sequences: dict[str, list[tuple[str, ...]]] = {}
     for query in workload:
-        bound = query.bind(catalog)
-        for table, roles in _roles_for_query(bound).items():
+        if bound is not None and query.name in bound:
+            bound_query = bound[query.name]
+        else:
+            bound_query = query.bind(catalog)
+        for table, roles in _roles_for_query(bound_query).items():
             per_table = sequences.setdefault(table, [])
             for columns in _candidates_for_roles(roles, max_width, max_covering_width):
                 if single_column_only:
@@ -184,8 +198,13 @@ def generate_candidates(
                 columns=columns,
                 hypothetical=True,
             )
-            size = estimate_index_pages(
-                table, index, stats.table.row_count, stats.columns
-            )
+            if cost_cache is not None:
+                size = cost_cache.index_pages(
+                    catalog, table, index, stats.table.row_count, stats.columns
+                )
+            else:
+                size = estimate_index_pages(
+                    table, index, stats.table.row_count, stats.columns
+                )
             candidates.append(CandidateIndex(index=index, size_pages=size))
     return candidates

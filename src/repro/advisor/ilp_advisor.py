@@ -43,6 +43,9 @@ from repro.ilp.branch_bound import BranchAndBoundSolver
 from repro.ilp.model import LinearProgram, Sense
 from repro.inum.model import InumModel
 from repro.optimizer.config import PlannerConfig
+from repro.parallel.caches import CostCache
+from repro.parallel.engine import bind_workload, build_inum_models
+from repro.sql.binder import BoundQuery
 from repro.workloads.workload import Workload
 
 _MIN_BENEFIT = 1e-6
@@ -87,6 +90,15 @@ class AdvisorResult:
     # Total index-maintenance cost under the update model (0 when no
     # update_rates were supplied); already included in cost_after.
     maintenance_cost: float = 0.0
+    # Shared-cost-cache totals for the run (all sections combined) and
+    # the per-section breakdown (see CostCache.stats()).
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_stats: dict = field(default_factory=dict)
+    # Interesting-order combinations dropped across all models because
+    # max_combinations capped the product; nonzero means INUM fidelity
+    # was degraded for at least one query.
+    combinations_truncated: int = 0
 
     @property
     def speedup(self) -> float:
@@ -111,7 +123,21 @@ class IlpIndexAdvisor:
         max_index_width: int = 3,
         single_column_only: bool = False,
         max_nodes: int = 20000,
+        workers: int = 1,
+        parallel_mode: str = "auto",
+        cost_cache: CostCache | None = None,
     ) -> None:
+        """Args (performance knobs; the rest are search-space knobs):
+
+        workers: Pool width for per-query INUM model construction.
+            ``1`` (default) is strictly serial; any ``N`` produces
+            bit-identical recommendations — parallelism and the shared
+            caches only change timing and counters.
+        parallel_mode: ``"thread"``, ``"process"``, or ``"auto"``.
+        cost_cache: Share a :class:`CostCache` across advisors or
+            repeated ``recommend`` calls; by default each call gets a
+            fresh one.
+        """
         self._catalog = catalog
         self._config = config or PlannerConfig()
         self._backend = backend
@@ -119,6 +145,9 @@ class IlpIndexAdvisor:
         self._max_width = max_index_width
         self._single_column_only = single_column_only
         self._max_nodes = max_nodes
+        self._workers = workers
+        self._parallel_mode = parallel_mode
+        self._cost_cache = cost_cache
 
     # ------------------------------------------------------------------
 
@@ -150,14 +179,18 @@ class IlpIndexAdvisor:
             raise AdvisorError("storage budget must be positive")
         started = time.perf_counter()
 
+        cache = self._cost_cache if self._cost_cache is not None else CostCache()
+        bound = bind_workload(self._catalog, workload, cache)
         candidates = generate_candidates(
             self._catalog,
             workload,
             max_width=self._max_width,
             max_per_table=self._max_per_table,
             single_column_only=self._single_column_only,
+            bound=bound,
+            cost_cache=cache,
         )
-        models = self.build_models(workload)
+        models = self.build_models(workload, bound=bound, cost_cache=cache)
         benefits = self._benefit_matrix(workload, models, candidates)
         maintenance = self._maintenance_costs(candidates, update_rates)
 
@@ -177,17 +210,33 @@ class IlpIndexAdvisor:
         result.candidates_considered = len(candidates)
         result.inum_estimates = sum(m.stats.estimates_served for m in models.values())
         result.optimizer_calls = sum(m.stats.optimizer_calls for m in models.values())
+        result.combinations_truncated = sum(
+            m.stats.combinations_truncated for m in models.values()
+        )
+        result.cache_hits = cache.hits
+        result.cache_misses = cache.misses
+        result.cache_stats = cache.stats()
         return result
 
     # ------------------------------------------------------------------
 
-    def build_models(self, workload: Workload) -> dict[str, InumModel]:
+    def build_models(
+        self,
+        workload: Workload,
+        *,
+        bound: dict[str, BoundQuery] | None = None,
+        cost_cache: CostCache | None = None,
+    ) -> dict[str, InumModel]:
         """One INUM model per workload query (exposed for baselines)."""
-        models: dict[str, InumModel] = {}
-        for query in workload:
-            bound = query.bind(self._catalog)
-            models[query.name] = InumModel(self._catalog, bound, self._config)
-        return models
+        return build_inum_models(
+            self._catalog,
+            workload,
+            self._config,
+            workers=self._workers,
+            mode=self._parallel_mode,
+            cost_cache=cost_cache if cost_cache is not None else self._cost_cache,
+            bound=bound,
+        )
 
     def _benefit_matrix(
         self,
@@ -201,6 +250,10 @@ class IlpIndexAdvisor:
             model = models[query.name]
             base = model.base_cost
             for position, candidate in enumerate(candidates):
+                # An index on a table the query never touches has
+                # benefit exactly 0 — skip the estimate outright.
+                if candidate.index.table_name not in model.tables:
+                    continue
                 with_index = model.estimate((candidate.index,))
                 saving = (base - with_index) * query.weight
                 if saving > _MIN_BENEFIT:
@@ -323,12 +376,22 @@ class IlpIndexAdvisor:
         budgets stay satisfied, so the result dominates the ILP seed.
         """
 
+        # The climb re-prices configurations it has already seen (every
+        # trial of the terminating round is a repeat); memoize on the
+        # position set.
+        cost_memo: dict[frozenset[int], float] = {}
+        priced = [(models[q.name], q.weight) for q in workload]
+
         def total_cost(positions: list[int]) -> float:
+            key = frozenset(positions)
+            cached = cost_memo.get(key)
+            if cached is not None:
+                return cached
             config = tuple(candidates[p].index for p in positions)
-            cost = sum(
-                models[q.name].estimate(config) * q.weight for q in workload
-            )
-            return cost + sum(maintenance.get(p, 0.0) for p in positions)
+            cost = sum(model.estimate(config) * weight for model, weight in priced)
+            cost += sum(maintenance.get(p, 0.0) for p in positions)
+            cost_memo[key] = cost
+            return cost
 
         def fits(positions: list[int]) -> bool:
             if sum(candidates[p].size_pages for p in positions) > budget_pages:

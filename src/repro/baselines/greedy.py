@@ -20,6 +20,8 @@ from repro.catalog.catalog import Catalog
 from repro.errors import AdvisorError
 from repro.inum.model import InumModel
 from repro.optimizer.config import PlannerConfig
+from repro.parallel.caches import CostCache
+from repro.parallel.engine import bind_workload, build_inum_models
 from repro.workloads.workload import Workload
 
 _MIN_BENEFIT = 1e-6
@@ -36,6 +38,9 @@ class GreedyIndexAdvisor:
         max_candidates_per_table: int = 40,
         max_index_width: int = 3,
         single_column_only: bool = False,
+        workers: int = 1,
+        parallel_mode: str = "auto",
+        cost_cache: CostCache | None = None,
     ) -> None:
         self._catalog = catalog
         self._config = config or PlannerConfig()
@@ -43,23 +48,35 @@ class GreedyIndexAdvisor:
         self._max_per_table = max_candidates_per_table
         self._max_width = max_index_width
         self._single_column_only = single_column_only
+        self._workers = workers
+        self._parallel_mode = parallel_mode
+        self._cost_cache = cost_cache
 
     def recommend(self, workload: Workload, budget_pages: int) -> AdvisorResult:
         if budget_pages <= 0:
             raise AdvisorError("storage budget must be positive")
         started = time.perf_counter()
 
+        cache = self._cost_cache if self._cost_cache is not None else CostCache()
+        bound = bind_workload(self._catalog, workload, cache)
         candidates = generate_candidates(
             self._catalog,
             workload,
             max_width=self._max_width,
             max_per_table=self._max_per_table,
             single_column_only=self._single_column_only,
+            bound=bound,
+            cost_cache=cache,
         )
-        models: dict[str, InumModel] = {}
-        for query in workload:
-            bound = query.bind(self._catalog)
-            models[query.name] = InumModel(self._catalog, bound, self._config)
+        models: dict[str, InumModel] = build_inum_models(
+            self._catalog,
+            workload,
+            self._config,
+            workers=self._workers,
+            mode=self._parallel_mode,
+            cost_cache=cache,
+            bound=bound,
+        )
 
         chosen: list[CandidateIndex] = []
         remaining = list(candidates)
@@ -96,6 +113,12 @@ class GreedyIndexAdvisor:
         result.candidates_considered = len(candidates)
         result.inum_estimates = sum(m.stats.estimates_served for m in models.values())
         result.optimizer_calls = sum(m.stats.optimizer_calls for m in models.values())
+        result.combinations_truncated = sum(
+            m.stats.combinations_truncated for m in models.values()
+        )
+        result.cache_hits = cache.hits
+        result.cache_misses = cache.misses
+        result.cache_stats = cache.stats()
         return result
 
     # ------------------------------------------------------------------

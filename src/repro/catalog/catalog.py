@@ -9,11 +9,16 @@ injected statistics) — see :mod:`repro.whatif`.
 
 from __future__ import annotations
 
+import itertools
 from typing import Iterator
 
 from repro.catalog.schema import Index, Table, index_signature
 from repro.catalog.statistics import RelationStatistics
 from repro.errors import DuplicateObjectError, UnknownObjectError
+
+# Process-wide distinct tokens so cache keys from two catalogs (e.g. a
+# base catalog and its what-if clone) can never collide.
+_catalog_tokens = itertools.count(1)
 
 
 class Catalog:
@@ -23,6 +28,30 @@ class Catalog:
         self._tables: dict[str, Table] = {}
         self._indexes: dict[str, Index] = {}
         self._statistics: dict[str, RelationStatistics] = {}
+        self._token = next(_catalog_tokens)
+        self._version = 0
+
+    # ------------------------------------------------------------------
+    # Versioning (cache invalidation)
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped by every catalog mutation.
+
+        Caches that derive values from catalog state (index sizes, scan
+        costs, bound queries, plans) key their entries by
+        :attr:`cache_key` so any DDL or re-ANALYZE invalidates them
+        automatically.
+        """
+        return self._version
+
+    @property
+    def cache_key(self) -> tuple[int, int]:
+        """A (catalog identity, version) pair safe to use as a cache key."""
+        return (self._token, self._version)
+
+    def _bump(self) -> None:
+        self._version += 1
 
     # ------------------------------------------------------------------
     # Tables
@@ -31,6 +60,7 @@ class Catalog:
         if table.name in self._tables:
             raise DuplicateObjectError(f"table {table.name!r} already exists")
         self._tables[table.name] = table
+        self._bump()
 
     def drop_table(self, name: str) -> None:
         if name not in self._tables:
@@ -39,6 +69,7 @@ class Catalog:
         self._statistics.pop(name, None)
         for index_name in [n for n, ix in self._indexes.items() if ix.table_name == name]:
             del self._indexes[index_name]
+        self._bump()
 
     def table(self, name: str) -> Table:
         try:
@@ -76,11 +107,13 @@ class Catalog:
                 "already exists"
             )
         self._indexes[index.name] = index
+        self._bump()
 
     def drop_index(self, name: str) -> None:
         if name not in self._indexes:
             raise UnknownObjectError(f"no index named {name!r}")
         del self._indexes[name]
+        self._bump()
 
     def index(self, name: str) -> Index:
         try:
@@ -107,6 +140,7 @@ class Catalog:
     def set_statistics(self, table_name: str, stats: RelationStatistics) -> None:
         self.table(table_name)  # validate existence
         self._statistics[table_name] = stats
+        self._bump()
 
     def statistics(self, table_name: str) -> RelationStatistics:
         self.table(table_name)

@@ -80,6 +80,14 @@ class InteractiveDesigner:
         self._db = database
         self._session = WhatIfSession(database.catalog)
         self._schemes: dict[str, PartitionScheme] = {}
+        # Baseline plans depend only on the real catalog; target-side
+        # bindings depend on the session catalog. Both are keyed by the
+        # owning catalog's version so they never serve stale state, and
+        # the session's own fingerprinted plan cache does the rest —
+        # evaluate() after add_whatif_index replans only the queries
+        # that touch the indexed table.
+        self._baseline_plans: dict[tuple, Plan] = {}
+        self._bound_targets: dict[tuple, tuple] = {}
 
     @property
     def session(self) -> WhatIfSession:
@@ -89,6 +97,8 @@ class InteractiveDesigner:
         """Drop every what-if feature created so far."""
         self._session = WhatIfSession(self._db.catalog)
         self._schemes = {}
+        self._baseline_plans = {}
+        self._bound_targets = {}
 
     # ------------------------------------------------------------------
     # Design features
@@ -143,16 +153,30 @@ class InteractiveDesigner:
         cost_before = 0.0
         cost_after = 0.0
         for query in workload:
-            bound = query.bind(self._db.catalog)
-            before = baseline.plan(bound).total_cost * query.weight
-            if rewriter is not None:
-                rewritten = rewriter.rewrite(bound)
-                rewritten_sql[query.name] = to_sql(rewritten)
-                target = bind(self._session.catalog, rewritten)
-            else:
-                rewritten_sql[query.name] = query.sql.strip()
-                target = bind(self._session.catalog, query.parse())
-            plan = self._session.planner().plan(target)
+            base_key = (self._db.catalog.cache_key, query.name)
+            base_plan = self._baseline_plans.get(base_key)
+            if base_plan is None:
+                bound = query.bind(self._db.catalog)
+                base_plan = baseline.plan(bound)
+                self._baseline_plans[base_key] = base_plan
+            before = base_plan.total_cost * query.weight
+            # Partition-scheme changes add shell tables to the session
+            # catalog (version bump), so the catalog key covers them.
+            target_key = (self._session.catalog.cache_key, query.name)
+            entry = self._bound_targets.get(target_key)
+            if entry is None:
+                bound = query.bind(self._db.catalog)
+                if rewriter is not None:
+                    rewritten = rewriter.rewrite(bound)
+                    sql = to_sql(rewritten)
+                    target = bind(self._session.catalog, rewritten)
+                else:
+                    sql = query.sql.strip()
+                    target = bind(self._session.catalog, query.parse())
+                entry = (target, sql)
+                self._bound_targets[target_key] = entry
+            target, rewritten_sql[query.name] = entry
+            plan = self._session.plan(target)
             after = plan.total_cost * query.weight
             used = sorted(
                 {

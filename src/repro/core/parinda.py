@@ -15,6 +15,8 @@ from repro.baselines.greedy import GreedyIndexAdvisor
 from repro.catalog.sizing import BLOCK_SIZE
 from repro.core.interactive import InteractiveDesigner
 from repro.optimizer.config import PlannerConfig
+from repro.optimizer.planner import Planner
+from repro.parallel.caches import CostCache
 from repro.partitioning.autopart import AutoPartAdvisor, PartitionAdvisorResult
 from repro.storage.database import Database
 from repro.workloads.workload import Query, Workload
@@ -42,6 +44,12 @@ class Parinda:
     def __init__(self, database: Database, config: PlannerConfig | None = None) -> None:
         self._db = database
         self._config = config or PlannerConfig()
+        # Shared across every advisor call made through this facade:
+        # bound queries, Equation-1 sizes, and scan costs carry over
+        # between suggest_* calls as long as the catalog version holds.
+        self._cost_cache = CostCache()
+        self._planner = Planner(self._db.catalog, self._config)
+        self._plan_cost_cache: dict[tuple, float] = {}
 
     @property
     def database(self) -> Database:
@@ -62,6 +70,7 @@ class Parinda:
         workload: Workload,
         replication_limit: float = 0.25,
         tables: list[str] | None = None,
+        workers: int = 1,
     ) -> PartitionAdvisorResult:
         """Optimal vertical partitions for ``workload`` (AutoPart)."""
         advisor = AutoPartAdvisor(
@@ -69,6 +78,7 @@ class Parinda:
             self._config,
             replication_limit=replication_limit,
             tables=tables,
+            workers=workers,
         )
         return advisor.recommend(workload)
 
@@ -91,8 +101,14 @@ class Parinda:
         budget_pages: int | None = None,
         backend: str = "builtin",
         single_column_only: bool = False,
+        workers: int = 1,
+        parallel_mode: str = "auto",
     ) -> AdvisorResult:
-        """Optimal index set within a storage budget (INUM + ILP)."""
+        """Optimal index set within a storage budget (INUM + ILP).
+
+        ``workers=N`` fans per-query INUM model construction out over a
+        pool; the recommendation is bit-identical to ``workers=1``.
+        """
         if budget_pages is None:
             if budget_bytes is None:
                 raise ValueError("provide budget_bytes or budget_pages")
@@ -102,6 +118,9 @@ class Parinda:
             self._config,
             backend=backend,
             single_column_only=single_column_only,
+            workers=workers,
+            parallel_mode=parallel_mode,
+            cost_cache=self._cost_cache,
         )
         return advisor.recommend(workload, budget_pages)
 
@@ -178,12 +197,20 @@ class Parinda:
     # ------------------------------------------------------------------
 
     def workload_cost(self, workload: Workload) -> float:
-        """Optimizer cost of the workload under the current design."""
-        from repro.optimizer.planner import Planner
+        """Optimizer cost of the workload under the current design.
 
-        planner = Planner(self._db.catalog, self._config)
+        Reuses one planner across calls; bindings and per-query plan
+        costs are cached per catalog version, so repeated evaluations
+        (e.g. pricing a design after each ``create_index``) replan only
+        what the catalog change invalidated.
+        """
         total = 0.0
         for query in workload:
-            bound = query.bind(self._db.catalog)
-            total += planner.plan(bound).total_cost * query.weight
+            key = (self._db.catalog.cache_key, query.name)
+            cost = self._plan_cost_cache.get(key)
+            if cost is None:
+                bound = self._cost_cache.bound_query(self._db.catalog, query.sql)
+                cost = self._planner.plan(bound).total_cost
+                self._plan_cost_cache[key] = cost
+            total += cost * query.weight
         return total

@@ -12,21 +12,35 @@ Cache construction
 
     and ``internal`` (join/sort/aggregate work) is cached.
 
+    Classification and restriction selectivities do not depend on the
+    available indexes, so the query is prepared once and each
+    per-combination optimizer call reuses that state with only the
+    synthetic index lists swapped (``Planner.plan_prepared``).
+
 Estimation
     ``estimate(config)`` computes, per relation, the best access cost
     achievable with the configuration's indexes (analytically, using the
     same ``cost_index_scan`` the optimizer uses) and takes the minimum
     over cache entries whose order requirements the configuration can
-    satisfy. No optimizer call is made.
+    satisfy. No optimizer call is made. Repeated estimates of the same
+    configuration are served from a memo.
+
+Sharing
+    When a :class:`~repro.parallel.caches.CostCache` is supplied,
+    Equation-1 index sizes, sequential-scan costs, and per-relation
+    access costs are shared across every model built against the same
+    catalog — the quantities are pure functions of (catalog version,
+    restriction signature, index signature), so sharing is lossless.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.catalog.catalog import Catalog
-from repro.catalog.schema import Index
+from repro.catalog.schema import Index, index_signature
 from repro.catalog.sizing import estimate_index_pages
 from repro.errors import PlannerError
 from repro.optimizer.config import IndexInfo, PlannerConfig, RelationInfo
@@ -41,6 +55,9 @@ from repro.optimizer.planner import Planner, PreparedQuery
 from repro.optimizer.plans import NestLoop, Plan, Scan
 from repro.sql.ast_nodes import ColumnRef
 from repro.sql.binder import BoundQuery
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine → model)
+    from repro.parallel.caches import CostCache
 
 
 @dataclass(frozen=True)
@@ -73,6 +90,30 @@ class InumStatistics:
     optimizer_calls: int = 0
     estimates_served: int = 0
     cache_entries: int = 0
+    # Number of interesting-order combinations dropped because the
+    # product exceeded max_combinations — nonzero means the model's
+    # fidelity is degraded and estimates may over-approximate.
+    combinations_truncated: int = 0
+    # Estimation-level memo: repeated estimate() calls for the same
+    # configuration are served without re-scanning cache entries.
+    estimate_cache_hits: int = 0
+    # Per-relation access-cost lookups (local to this model).
+    access_cache_hits: int = 0
+    access_cache_misses: int = 0
+
+
+@dataclass(frozen=True)
+class InumSnapshot:
+    """The picklable core of a built model (process-pool transport).
+
+    Everything else a model holds (prepared state, access caches) is
+    derived cheaply from (catalog, query, config) in the parent; only
+    the optimizer-call results are worth shipping.
+    """
+
+    entries: tuple[CacheEntry, ...]
+    optimizer_calls: int
+    combinations_truncated: int
 
 
 @dataclass(frozen=True)
@@ -93,6 +134,42 @@ class InumModel:
         query: BoundQuery,
         config: PlannerConfig | None = None,
         max_combinations: int = 32,
+        cost_cache: "CostCache | None" = None,
+    ) -> None:
+        self._init_common(catalog, query, config, max_combinations, cost_cache)
+        self._build_cache()
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        catalog: Catalog,
+        query: BoundQuery,
+        config: PlannerConfig | None = None,
+        *,
+        snapshot: InumSnapshot,
+        max_combinations: int = 32,
+        cost_cache: "CostCache | None" = None,
+    ) -> "InumModel":
+        """Rehydrate a model from a snapshot built in another process.
+
+        Skips every optimizer call; the resulting model estimates
+        bit-identically to the one the snapshot was taken from.
+        """
+        model = cls.__new__(cls)
+        model._init_common(catalog, query, config, max_combinations, cost_cache)
+        model._entries = list(snapshot.entries)
+        model.stats.optimizer_calls = snapshot.optimizer_calls
+        model.stats.combinations_truncated = snapshot.combinations_truncated
+        model.stats.cache_entries = len(model._entries)
+        return model
+
+    def _init_common(
+        self,
+        catalog: Catalog,
+        query: BoundQuery,
+        config: PlannerConfig | None,
+        max_combinations: int,
+        cost_cache: "CostCache | None",
     ) -> None:
         self._catalog = catalog
         self._query = query
@@ -102,17 +179,38 @@ class InumModel:
         # design INUM should see.
         self._config = base.with_flags(enable_parameterized_paths=False)
         self._max_combinations = max_combinations
+        self._cost_cache = cost_cache
+        self._config_fp = (
+            cost_cache.fingerprint(self._config) if cost_cache is not None else None
+        )
         self.stats = InumStatistics()
 
-        planner = Planner(catalog, self._strip_indexes(self._config))
+        self._stripped = self._strip_indexes(self._config)
+        planner = Planner(catalog, self._stripped)
         self._prepared: PreparedQuery = planner.prepare(query)
         self._seq_costs: dict[str, float] = {}
         for alias, rel in self._prepared.base_rels.items():
-            self._seq_costs[alias] = seqscan_path(self._config, rel).total_cost
+            self._seq_costs[alias] = self._seq_cost(rel)
         self._orders = self._interesting_orders()
+        self._tables = frozenset(entry.table.name for entry in query.rels)
         self._entries: list[CacheEntry] = []
         self._access_cache: dict[tuple[str, tuple[str, ...]], _AccessInfo] = {}
-        self._build_cache()
+        self._estimate_cache: dict[tuple, tuple[float, dict[str, str | None]]] = {}
+        # id()-keyed front for the estimate memo: advisors re-estimate
+        # configurations built from a fixed candidate pool, so the tuple
+        # of object ids is a cheap stable key (objects are pinned below
+        # so an id can never be recycled while the model lives).
+        self._fast_estimates: dict[tuple[int, ...], tuple[float, dict[str, str | None]]] = {}
+        self._pinned_indexes: dict[int, Index] = {}
+        # Per-entry (internal, ((alias, order, loops), ...)) rows,
+        # compiled lazily on first estimate (entries may come from a
+        # snapshot after __init__).
+        self._compiled: list[tuple[float, tuple[tuple[str, str | None, float], ...]]] | None = None
+        self._rel_keys: dict[str, tuple] = (
+            {a: self._rel_signature(r) for a, r in self._prepared.base_rels.items()}
+            if cost_cache is not None
+            else {}
+        )
 
     # ------------------------------------------------------------------
     # Cache construction
@@ -131,6 +229,40 @@ class InumModel:
             )
 
         return config.with_hook(hook)
+
+    def _seq_cost(self, rel: BaseRel) -> float:
+        if self._cost_cache is None:
+            return seqscan_path(self._config, rel).total_cost
+        return self._cost_cache.seq_cost(
+            self._catalog,
+            self._config_fp,
+            rel.table_name,
+            len(rel.restrictions),
+            lambda: seqscan_path(self._config, rel).total_cost,
+        )
+
+    def _rel_signature(self, rel: BaseRel) -> tuple:
+        """What per-relation access costs depend on, besides the index.
+
+        Restriction order matters (index matching takes the first
+        equality per column), so the signature preserves it.
+        """
+        return (
+            self._catalog.cache_key,
+            self._config_fp,
+            rel.table_name,
+            tuple(repr(c.expr) for c in rel.restrictions),
+            tuple(sorted(rel.required_columns)),
+        )
+
+    def _index_pages(self, info: RelationInfo, index: Index) -> int:
+        if self._cost_cache is None:
+            return estimate_index_pages(
+                info.table, index, info.row_count, info.column_stats
+            )
+        return self._cost_cache.index_pages(
+            self._catalog, info.table, index, info.row_count, info.column_stats
+        )
 
     def _interesting_orders(self) -> dict[str, list[str]]:
         """Per-alias order columns worth caching plans for."""
@@ -157,13 +289,19 @@ class InumModel:
     def _combinations(self) -> list[tuple[tuple[str, str | None], ...]]:
         aliases = sorted(self._query.aliases)
         per_alias: list[list[str | None]] = []
+        total = 1
         for alias in aliases:
-            per_alias.append([None] + self._orders[alias])
+            values: list[str | None] = [None] + self._orders[alias]
+            per_alias.append(values)
+            total *= len(values)
         combos = []
         for values in itertools.product(*per_alias):
             combos.append(tuple(zip(aliases, values)))
             if len(combos) >= self._max_combinations:
                 break
+        # Record degraded fidelity instead of capping silently: a
+        # truncated order space means estimates over-approximate.
+        self.stats.combinations_truncated = total - len(combos)
         return combos
 
     def _build_cache(self) -> None:
@@ -191,35 +329,50 @@ class InumModel:
                 )
             )
 
-        stripped = self._strip_indexes(self._config)
-        base_hook = stripped.relation_info_hook
-
-        def hook(cfg: PlannerConfig, catalog: Catalog, table_name: str) -> RelationInfo:
-            info = base_hook(cfg, catalog, table_name)
+        # Reuse the prepared state (classification, selectivities, row
+        # estimates are index-independent); swap in the synthetic
+        # indexes that deliver this combination's orders.
+        base_rels: dict[str, BaseRel] = {}
+        for alias, rel in self._prepared.base_rels.items():
             extra = []
-            for index in synth.get(table_name, []):
-                leaf_pages = estimate_index_pages(
-                    info.table, index, info.row_count, info.column_stats
-                )
+            for index in synth.get(rel.table_name, []):
                 extra.append(
                     IndexInfo(
                         definition=index,
-                        leaf_pages=leaf_pages,
+                        leaf_pages=self._index_pages(rel.info, index),
                         height=1,
-                        index_tuples=info.row_count,
+                        index_tuples=rel.info.row_count,
                     )
                 )
-            return RelationInfo(
-                table=info.table,
-                row_count=info.row_count,
-                page_count=info.page_count,
-                indexes=tuple(extra),
-                column_stats=info.column_stats,
-            )
+            if extra:
+                info = rel.info
+                base_rels[alias] = BaseRel(
+                    alias=rel.alias,
+                    info=RelationInfo(
+                        table=info.table,
+                        row_count=info.row_count,
+                        page_count=info.page_count,
+                        indexes=tuple(extra),
+                        column_stats=info.column_stats,
+                    ),
+                    restrictions=rel.restrictions,
+                    required_columns=rel.required_columns,
+                    rows=rel.rows,
+                    width=rel.width,
+                )
+            else:
+                base_rels[alias] = rel
+        prepared = PreparedQuery(
+            base_rels=base_rels,
+            restrictions=self._prepared.restrictions,
+            join_clauses=self._prepared.join_clauses,
+        )
 
-        config = stripped.with_hook(hook).with_flags(enable_nestloop=nestloop)
+        config = self._stripped.with_flags(enable_nestloop=nestloop)
         try:
-            plan = Planner(self._catalog, config).plan(self._query)
+            plan = Planner(self._catalog, config).plan_prepared(
+                self._query, prepared
+            )
         except PlannerError:
             return None
         self.stats.optimizer_calls += 1
@@ -243,13 +396,24 @@ class InumModel:
         key = (alias, index.columns)
         cached = self._access_cache.get(key)
         if cached is not None:
+            self.stats.access_cache_hits += 1
             return cached
+        self.stats.access_cache_misses += 1
 
+        if self._cost_cache is not None:
+            shared_key = (self._rel_keys[alias], index_signature(index))
+            result = self._cost_cache.access_info(
+                shared_key, lambda: self._compute_access_info(alias, index)
+            )
+        else:
+            result = self._compute_access_info(alias, index)
+        self._access_cache[key] = result
+        return result
+
+    def _compute_access_info(self, alias: str, index: Index) -> _AccessInfo:
         rel: BaseRel = self._prepared.base_rels[alias]
         info = rel.info
-        leaf_pages = estimate_index_pages(
-            info.table, index, info.row_count, info.column_stats
-        )
+        leaf_pages = self._index_pages(info, index)
         index_info = IndexInfo(
             definition=index,
             leaf_pages=leaf_pages,
@@ -278,9 +442,7 @@ class InumModel:
             cost = float("inf")
 
         provides = self._orders_provided(rel, index_info)
-        result = _AccessInfo(cost=cost, provides=provides, rows=rel.rows)
-        self._access_cache[key] = result
-        return result
+        return _AccessInfo(cost=cost, provides=provides, rows=rel.rows)
 
     def _orders_provided(self, rel: BaseRel, index: IndexInfo) -> frozenset[str]:
         """Order columns this index can deliver for this query: a column
@@ -315,25 +477,58 @@ class InumModel:
         """INUM cost plus which configuration index serves each relation
         (None = sequential scan) in the winning cache entry."""
         self.stats.estimates_served += 1
-        per_alias_best, per_alias_ordered = self._best_access(config_indexes)
+        fast_key = tuple(map(id, config_indexes))
+        cached = self._fast_estimates.get(fast_key)
+        if cached is not None:
+            self.stats.estimate_cache_hits += 1
+            cost, detail = cached
+            return cost, dict(detail)
+        for index in config_indexes:
+            self._pinned_indexes[id(index)] = index
 
-        best = float("inf")
+        # Indexes on tables this query never references cannot change
+        # the estimate; dropping them up front also folds all such
+        # configurations onto one memo entry.
+        relevant = [
+            ix for ix in config_indexes if ix.table_name in self._tables
+        ]
+        memo_key = tuple(sorted(index_signature(ix) for ix in relevant))
+        cached = self._estimate_cache.get(memo_key)
+        if cached is not None:
+            self.stats.estimate_cache_hits += 1
+            self._fast_estimates[fast_key] = cached
+            cost, detail = cached
+            return cost, dict(detail)
+
+        per_alias_best, per_alias_ordered = self._best_access(relevant)
+
+        if self._compiled is None:
+            self._compiled = [
+                (
+                    entry.internal_cost,
+                    tuple(
+                        (alias, order, entry.loops_of(alias))
+                        for alias, order in entry.order_vector
+                    ),
+                )
+                for entry in self._entries
+            ]
+
+        inf = float("inf")
+        best = inf
         best_detail: dict[str, str | None] = {}
-        for entry in self._entries:
-            total = entry.internal_cost
+        for internal, steps in self._compiled:
+            total = internal
             usable = True
             detail: dict[str, str | None] = {}
-            for alias, order in entry.order_vector:
-                loops = entry.loops_of(alias)
+            for alias, order, loops in steps:
                 if order is None:
-                    access, chosen = per_alias_best.get(
-                        alias, (self._seq_costs[alias], None)
-                    )
+                    access, chosen = per_alias_best[alias]
                 else:
                     access, chosen = per_alias_ordered.get(
-                        (alias, order), (float("inf"), None)
+                        (alias, order), (inf, None)
                     )
-                    if access == float("inf"):
+                    if access == inf:
                         usable = False
                         break
                 detail[alias] = chosen
@@ -341,7 +536,10 @@ class InumModel:
             if usable and total < best:
                 best = total
                 best_detail = detail
-        return best, best_detail
+        result = (best, best_detail)
+        self._estimate_cache[memo_key] = result
+        self._fast_estimates[fast_key] = result
+        return best, dict(best_detail)
 
     def _best_access(
         self, config_indexes
@@ -355,11 +553,16 @@ class InumModel:
 
         best: dict[str, tuple[float, str | None]] = {}
         ordered: dict[tuple[str, str], tuple[float, str | None]] = {}
+        access_cache = self._access_cache
         for entry in self._query.rels:
             alias = entry.alias
             best[alias] = (self._seq_costs[alias], None)
             for index in by_table.get(entry.table.name, []):
-                info = self._access_info(alias, index)
+                info = access_cache.get((alias, index.columns))
+                if info is not None:
+                    self.stats.access_cache_hits += 1
+                else:
+                    info = self._access_info(alias, index)
                 if info.cost < best[alias][0]:
                     best[alias] = (info.cost, index.name)
                 for order_col in info.provides:
@@ -404,6 +607,14 @@ class InumModel:
         plan = Planner(self._catalog, config).plan(self._query)
         return plan.total_cost
 
+    def snapshot(self) -> InumSnapshot:
+        """The picklable core of this model (see :class:`InumSnapshot`)."""
+        return InumSnapshot(
+            entries=tuple(self._entries),
+            optimizer_calls=self.stats.optimizer_calls,
+            combinations_truncated=self.stats.combinations_truncated,
+        )
+
     @property
     def entries(self) -> list[CacheEntry]:
         return list(self._entries)
@@ -411,6 +622,12 @@ class InumModel:
     @property
     def query(self) -> BoundQuery:
         return self._query
+
+    @property
+    def tables(self) -> frozenset[str]:
+        """Table names the query references; indexes elsewhere are
+        invisible to this model's estimates."""
+        return self._tables
 
     @property
     def base_cost(self) -> float:

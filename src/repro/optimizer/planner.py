@@ -106,8 +106,17 @@ class Planner:
         )
 
     def plan(self, query: BoundQuery) -> Plan:
+        return self.plan_prepared(query, self.prepare(query))
+
+    def plan_prepared(self, query: BoundQuery, prepared: PreparedQuery) -> Plan:
+        """Plan ``query`` from an existing :class:`PreparedQuery`.
+
+        Classification and restriction selectivities do not depend on
+        the available indexes or the enable_* flags, so INUM reuses one
+        prepared state across all of its per-combination optimizer
+        calls, swapping only the synthetic index lists in ``base_rels``.
+        """
         config = self._config
-        prepared = self.prepare(query)
         base_rels = prepared.base_rels
         join_clauses = prepared.join_clauses
 

@@ -1,0 +1,28 @@
+"""Parallel workload evaluation: shared cost caches and model fan-out.
+
+The advisor stack prices a workload by building one INUM model per
+query and then evaluating thousands of configurations against those
+models. Each per-query cache build is independent, and large parts of
+the arithmetic (Equation-1 index sizes, sequential-scan costs, access
+costs for identical restriction sets) are recomputed per query. This
+package provides:
+
+* :class:`~repro.parallel.caches.CostCache` — a thread-safe,
+  catalog-versioned memoization layer shared across queries and
+  advisors, with per-section hit/miss counters.
+* :class:`~repro.parallel.engine.EvaluationEngine` and
+  :func:`~repro.parallel.engine.build_inum_models` — serial-by-default
+  fan-out of per-query INUM cache construction over thread or process
+  pools. ``workers=1`` (the default) is strictly serial;
+  ``workers=N`` is an opt-in that produces bit-identical results.
+"""
+
+from repro.parallel.caches import CostCache, SectionCounters
+from repro.parallel.engine import EvaluationEngine, build_inum_models
+
+__all__ = [
+    "CostCache",
+    "SectionCounters",
+    "EvaluationEngine",
+    "build_inum_models",
+]

@@ -1,0 +1,239 @@
+"""Shared, catalog-versioned cost caches.
+
+Every entry is keyed by :attr:`Catalog.cache_key` — a (catalog
+identity, version) pair that changes on any DDL or re-ANALYZE — so
+invalidation is automatic: a stale entry can never be served because
+its key can never be produced again. Values are pure functions of their
+keys, which is what makes sharing the cache across threads (and across
+queries, advisors, and repeated ``recommend`` calls) safe: a racing
+recompute produces the identical value.
+
+Sections:
+
+``index_pages``
+    Equation-1 leaf-page counts, keyed by (table, key columns, row
+    count, fillfactor). Recomputed today by every hook invocation and
+    every candidate sizing.
+``seq_cost``
+    Sequential-scan total costs, keyed by (relation, qual count) —
+    ``cost_seqscan`` depends on nothing else.
+``access``
+    INUM per-relation access costs, keyed by the relation's restriction
+    signature plus the index signature — shared across queries with
+    identical predicates on a table.
+``bind``
+    Bound queries keyed by SQL text; binding only depends on the
+    catalog schema.
+``inum``
+    Whole INUM plan-cache snapshots keyed by (catalog version, config
+    fingerprint, SQL, combination cap). A hit rebuilds an
+    estimation-ready model without a single optimizer call — this is
+    what makes repeated ``recommend`` / what-if rounds against an
+    unchanged catalog cheap, and models rehydrated from a snapshot
+    estimate bit-identically to freshly built ones.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import Index, Table
+from repro.catalog.sizing import BTREE_LEAF_FILLFACTOR, estimate_index_pages
+from repro.catalog.statistics import ColumnStats
+from repro.sql.binder import BoundQuery, bind
+from repro.sql.parser import parse_select
+
+SECTIONS = ("index_pages", "seq_cost", "access", "bind", "inum")
+
+
+@dataclass
+class SectionCounters:
+    """Hit/miss bookkeeping for one cache section."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class CostCache:
+    """A thread-safe memoization layer shared across per-query models.
+
+    One instance is typically created per advisor ``recommend()`` call
+    (or handed in by the caller to share across calls); the same
+    instance may be read and written concurrently by worker threads
+    building INUM models.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._data: dict[str, dict[Any, Any]] = {s: {} for s in SECTIONS}
+        self._counters: dict[str, SectionCounters] = {
+            s: SectionCounters() for s in SECTIONS
+        }
+        # Hooks referenced by config fingerprints are pinned so their
+        # id() — part of the fingerprint — cannot be reused after GC.
+        self._pinned_hooks: list[object] = []
+
+    # ------------------------------------------------------------------
+    # Generic lookup
+
+    _MISS = object()
+
+    def lookup(self, section: str, key: Any, compute: Callable[[], Any]) -> Any:
+        """Return the cached value for ``key``, computing it on a miss.
+
+        Lock-free: dict get/set are atomic under the GIL, values are
+        pure functions of their keys (a racing duplicate computation is
+        benign), and counter increments that race merely undercount —
+        counters are diagnostics, not part of the determinism contract.
+        """
+        store = self._data[section]
+        counter = self._counters[section]
+        value = store.get(key, CostCache._MISS)
+        if value is not CostCache._MISS:
+            counter.hits += 1
+            return value
+        counter.misses += 1
+        value = compute()
+        store[key] = value
+        return value
+
+    # ------------------------------------------------------------------
+    # Typed helpers
+
+    def index_pages(
+        self,
+        catalog: Catalog,
+        table: Table,
+        index: Index,
+        row_count: float,
+        column_stats: Mapping[str, ColumnStats] | None = None,
+        fillfactor: float = BTREE_LEAF_FILLFACTOR,
+    ) -> int:
+        """Memoized :func:`~repro.catalog.sizing.estimate_index_pages`.
+
+        Column widths come from the catalog's statistics, so the
+        catalog cache key (bumped by re-ANALYZE) completes the key.
+        """
+        key = (catalog.cache_key, table.name, index.columns, row_count, fillfactor)
+        return self.lookup(
+            "index_pages",
+            key,
+            lambda: estimate_index_pages(
+                table, index, row_count, column_stats, fillfactor
+            ),
+        )
+
+    def seq_cost(
+        self,
+        catalog: Catalog,
+        config_fp: tuple,
+        table_name: str,
+        qual_count: int,
+        compute: Callable[[], float],
+    ) -> float:
+        """Memoized sequential-scan total cost for one relation.
+
+        ``cost_seqscan`` depends only on the relation's page/row counts
+        (catalog key), the cost constants (config fingerprint), and the
+        number of quals evaluated per tuple.
+        """
+        key = (catalog.cache_key, config_fp, table_name, qual_count)
+        return self.lookup("seq_cost", key, compute)
+
+    def access_info(self, key: Any, compute: Callable[[], Any]) -> Any:
+        """Memoized INUM access info, shared across queries whose
+        restriction signature on the relation is identical."""
+        return self.lookup("access", key, compute)
+
+    def bound_query(self, catalog: Catalog, sql: str) -> BoundQuery:
+        """Parse+bind ``sql`` once per catalog version."""
+        key = (catalog.cache_key, sql)
+        return self.lookup(
+            "bind", key, lambda: bind(catalog, parse_select(sql))
+        )
+
+    def inum_snapshot(
+        self,
+        catalog: Catalog,
+        config_fp: tuple,
+        sql: str,
+        max_combinations: int,
+        compute: Callable[[], Any],
+    ) -> Any:
+        """Memoized INUM plan-cache snapshot for one query.
+
+        The snapshot is a pure function of (catalog version, planner
+        config, SQL, combination cap): every optimizer call it embeds
+        is. A hit turns model construction into rehydration.
+        """
+        key = (catalog.cache_key, config_fp, sql, max_combinations)
+        return self.lookup("inum", key, compute)
+
+    def contains(self, section: str, key: Any) -> bool:
+        """Whether ``key`` is cached (no counter side effects)."""
+        return key in self._data[section]
+
+    # ------------------------------------------------------------------
+    # Config fingerprinting
+
+    def fingerprint(self, config) -> tuple:
+        """A hashable digest of every cost-relevant config field.
+
+        The relation-info hook is represented by its ``id()`` (and
+        pinned against garbage collection): models built from the same
+        config object share cache entries, while differently-hooked
+        configs can never collide.
+        """
+        hook = config.relation_info_hook
+        with self._lock:
+            if all(h is not hook for h in self._pinned_hooks):
+                self._pinned_hooks.append(hook)
+        fields = tuple(
+            (f.name, getattr(config, f.name))
+            for f in dataclasses.fields(config)
+            if f.name != "relation_info_hook"
+        )
+        return fields + (("relation_info_hook", id(hook)),)
+
+    # ------------------------------------------------------------------
+    # Introspection
+
+    @property
+    def counters(self) -> dict[str, SectionCounters]:
+        return dict(self._counters)
+
+    @property
+    def hits(self) -> int:
+        return sum(c.hits for c in self._counters.values())
+
+    @property
+    def misses(self) -> int:
+        return sum(c.misses for c in self._counters.values())
+
+    def stats(self) -> dict[str, dict[str, float]]:
+        """JSON-friendly per-section counters (for benchmark reports)."""
+        return {
+            section: {
+                "hits": counter.hits,
+                "misses": counter.misses,
+                "hit_rate": round(counter.hit_rate, 4),
+            }
+            for section, counter in self._counters.items()
+        }
+
+    def clear(self) -> None:
+        with self._lock:
+            for store in self._data.values():
+                store.clear()

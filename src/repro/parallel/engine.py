@@ -1,0 +1,258 @@
+"""The parallel workload-evaluation engine.
+
+Per-query INUM cache construction is embarrassingly parallel: each
+model issues its own optimizer calls against a read-only catalog. The
+engine fans those builds out over a thread pool (cheap, shares the
+:class:`~repro.parallel.caches.CostCache`) or a process pool (true
+parallelism on multi-core machines; models come back as picklable
+snapshots and are rehydrated in the parent).
+
+Determinism guarantee: ``workers=1`` (the default) runs strictly
+serially. ``workers=N`` must — and does — produce bit-identical
+results: every model build is a pure function of (catalog, query,
+config), results are collected in workload order, and shared-cache
+values are pure functions of their keys. The only observable
+differences are timing and cache hit/miss counters.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro.catalog.catalog import Catalog
+from repro.errors import ReproError
+from repro.inum.model import InumModel, InumSnapshot
+from repro.optimizer.config import PlannerConfig
+from repro.parallel.caches import CostCache
+from repro.sql.binder import BoundQuery, bind
+from repro.sql.parser import parse_select
+from repro.workloads.workload import Workload
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+# Below this many tasks a pool's startup cost outweighs any overlap.
+_MIN_TASKS_FOR_POOL = 2
+
+
+class EvaluationEngine:
+    """Deterministic fan-out of independent evaluation tasks.
+
+    Args:
+        workers: Pool width. ``1`` (default) means strictly serial
+            execution on the calling thread.
+        mode: ``"thread"``, ``"process"``, or ``"auto"``. Auto picks
+            processes only when the machine has enough cores for them
+            to pay off (>2), threads on a dual-core machine, and plain
+            serial execution on a single core — where any pool is pure
+            overhead and results are identical by construction. Process
+            mode requires picklable payloads and falls back to threads
+            when pickling fails.
+    """
+
+    def __init__(self, workers: int = 1, mode: str = "auto") -> None:
+        if mode not in ("auto", "thread", "process"):
+            raise ReproError(f"unknown parallel mode {mode!r}")
+        self.workers = max(1, int(workers))
+        self.mode = mode
+
+    def resolve_mode(self) -> str:
+        if self.mode != "auto":
+            return self.mode
+        cores = os.cpu_count() or 1
+        if cores > 2:
+            return "process"
+        return "thread" if cores == 2 else "serial"
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        """``[fn(x) for x in items]`` with optional thread fan-out.
+
+        Results are returned in input order regardless of completion
+        order. Closures are allowed (this path never pickles), so this
+        is the workhorse for in-process parallelism; use
+        :func:`build_inum_models` for the process-pool path.
+        """
+        items = list(items)
+        if (
+            self.workers == 1
+            or len(items) < _MIN_TASKS_FOR_POOL
+            or self.resolve_mode() == "serial"
+        ):
+            return [fn(item) for item in items]
+        with ThreadPoolExecutor(max_workers=min(self.workers, len(items))) as pool:
+            return list(pool.map(fn, items))
+
+
+# ----------------------------------------------------------------------
+# INUM model fan-out
+
+
+def build_inum_models(
+    catalog: Catalog,
+    workload: Workload,
+    config: PlannerConfig | None = None,
+    *,
+    workers: int = 1,
+    mode: str = "auto",
+    max_combinations: int = 32,
+    cost_cache: CostCache | None = None,
+    bound: dict[str, BoundQuery] | None = None,
+) -> dict[str, InumModel]:
+    """One INUM model per workload query, built serially or in parallel.
+
+    Queries are bound up front (through the shared ``cost_cache`` when
+    given) and models are returned keyed by query name, in workload
+    order. ``workers=1`` is the serial reference path; any ``workers``
+    value yields bit-identical models.
+    """
+    config = config or PlannerConfig()
+    if bound is None:
+        bound = bind_workload(catalog, workload, cost_cache)
+    sql_of = {query.name: query.sql for query in workload}
+    config_fp = cost_cache.fingerprint(config) if cost_cache is not None else None
+
+    def build(name: str) -> InumModel:
+        if cost_cache is None:
+            return InumModel(
+                catalog,
+                bound[name],
+                config,
+                max_combinations=max_combinations,
+                cost_cache=cost_cache,
+            )
+        # Serve the whole plan cache from the shared cache when this
+        # (catalog version, config, SQL) was modeled before: rehydration
+        # estimates bit-identically and costs zero optimizer calls.
+        built: list[InumModel] = []
+
+        def compute() -> InumSnapshot:
+            model = InumModel(
+                catalog,
+                bound[name],
+                config,
+                max_combinations=max_combinations,
+                cost_cache=cost_cache,
+            )
+            built.append(model)
+            return model.snapshot()
+
+        snapshot = cost_cache.inum_snapshot(
+            catalog, config_fp, sql_of[name], max_combinations, compute
+        )
+        if built:
+            return built[0]
+        return InumModel.from_snapshot(
+            catalog,
+            bound[name],
+            config,
+            snapshot=snapshot,
+            max_combinations=max_combinations,
+            cost_cache=cost_cache,
+        )
+
+    names = [query.name for query in workload]
+    engine = EvaluationEngine(workers=workers, mode=mode)
+    resolved = engine.resolve_mode()
+    all_snapshots_cached = cost_cache is not None and all(
+        cost_cache.contains(
+            "inum",
+            (catalog.cache_key, config_fp, sql_of[name], max_combinations),
+        )
+        for name in names
+    )
+    if (
+        engine.workers == 1
+        or len(names) < _MIN_TASKS_FOR_POOL
+        or resolved == "serial"
+        or all_snapshots_cached  # rehydration only: pools are overhead
+    ):
+        return {name: build(name) for name in names}
+
+    if resolved == "process":
+        models = _build_in_processes(
+            catalog, workload, config, engine.workers, max_combinations,
+            bound, cost_cache,
+        )
+        if models is not None:
+            return models
+        # Unpicklable payload (e.g. a closure hook): threads still work.
+
+    built = engine.map(build, names)
+    return dict(zip(names, built))
+
+
+def bind_workload(
+    catalog: Catalog,
+    workload: Workload,
+    cost_cache: CostCache | None = None,
+) -> dict[str, BoundQuery]:
+    """Bind every workload query once, via the shared cache when given."""
+    out: dict[str, BoundQuery] = {}
+    for query in workload:
+        if cost_cache is not None:
+            out[query.name] = cost_cache.bound_query(catalog, query.sql)
+        else:
+            out[query.name] = query.bind(catalog)
+    return out
+
+
+def _build_in_processes(
+    catalog: Catalog,
+    workload: Workload,
+    config: PlannerConfig,
+    workers: int,
+    max_combinations: int,
+    bound: dict[str, BoundQuery],
+    cost_cache: CostCache | None,
+) -> dict[str, InumModel] | None:
+    """Build snapshots in worker processes; None when not picklable.
+
+    Workers rebuild the full model and ship back only the plan-cache
+    snapshot; the parent rehydrates an estimation-ready model around
+    its own bound query. Worker-side cache counters are not propagated.
+    """
+    payloads = [
+        (catalog, query.sql, config, max_combinations) for query in workload
+    ]
+    try:
+        pickle.dumps(payloads[0])
+    except Exception:
+        return None
+    names = [query.name for query in workload]
+    try:
+        with ProcessPoolExecutor(max_workers=min(workers, len(names))) as pool:
+            snapshots = list(pool.map(_snapshot_worker, payloads))
+    except (OSError, pickle.PicklingError):
+        return None
+    if cost_cache is not None:
+        # Future builds against this catalog version rehydrate for free.
+        config_fp = cost_cache.fingerprint(config)
+        for query, snapshot in zip(workload, snapshots):
+            cost_cache.inum_snapshot(
+                catalog, config_fp, query.sql, max_combinations,
+                lambda snap=snapshot: snap,
+            )
+    models: dict[str, InumModel] = {}
+    for name, snapshot in zip(names, snapshots):
+        models[name] = InumModel.from_snapshot(
+            catalog,
+            bound[name],
+            config,
+            snapshot=snapshot,
+            max_combinations=max_combinations,
+            cost_cache=cost_cache,
+        )
+    return models
+
+
+def _snapshot_worker(
+    payload: tuple[Catalog, str, PlannerConfig, int]
+) -> InumSnapshot:
+    """Process-pool entry point: build one model, return its snapshot."""
+    catalog, sql, config, max_combinations = payload
+    query = bind(catalog, parse_select(sql))
+    model = InumModel(catalog, query, config, max_combinations=max_combinations)
+    return model.snapshot()

@@ -18,6 +18,7 @@ PARINDA §3.3:
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -28,6 +29,7 @@ from repro.catalog.sizing import BLOCK_SIZE, column_width
 from repro.errors import AdvisorError
 from repro.optimizer.config import PlannerConfig
 from repro.optimizer.planner import Planner
+from repro.parallel.engine import EvaluationEngine
 from repro.partitioning.fragments import (
     atomic_fragments,
     attribute_usage,
@@ -96,6 +98,8 @@ class AutoPartAdvisor:
         max_iterations: int = 10,
         tables: list[str] | None = None,
         candidates_per_iteration: int = 24,
+        workers: int = 1,
+        parallel_mode: str = "auto",
     ) -> None:
         """Args:
         replication_limit: Extra storage allowed for replicated
@@ -104,6 +108,10 @@ class AutoPartAdvisor:
             "maximum space taken by replicated columns" constraint.
         tables: Restrict partitioning to these tables (default: every
             table the workload references).
+        workers: Pool width for candidate-layout what-if pricing within
+            one selection step. ``1`` (default) is strictly serial; any
+            ``N`` yields the identical layout — candidates are priced
+            independently and the winner is picked in candidate order.
         """
         if replication_limit < 0:
             raise AdvisorError("replication limit must be non-negative")
@@ -113,6 +121,7 @@ class AutoPartAdvisor:
         self._max_iterations = max_iterations
         self._only_tables = set(tables) if tables is not None else None
         self._candidates_per_iteration = candidates_per_iteration
+        self._engine = EvaluationEngine(workers=workers, mode=parallel_mode)
 
     # ------------------------------------------------------------------
 
@@ -141,6 +150,10 @@ class AutoPartAdvisor:
 
         self._evaluations = 0
         self._cost_cache: dict[tuple, float] = {}
+        self._cache_lock = threading.Lock()
+        # Bind each query once; every layout evaluation starts from the
+        # same bound form (rewrites re-bind against the shell catalog).
+        self._bound = {q.name: q.bind(self._catalog) for q in workload}
         self._query_tables = self._tables_per_query(workload)
 
         cost_before = self._workload_cost(workload, _Layout())
@@ -184,7 +197,7 @@ class AutoPartAdvisor:
         current_cost: float,
     ):
         candidates = self._generate_candidates(layout, atomics, usage)
-        best: tuple[_Layout, float] | None = None
+        trials: list[_Layout] = []
         for _score, table_name, composite in candidates:
             trial = layout.copy()
             trial_frags = [
@@ -203,7 +216,16 @@ class AutoPartAdvisor:
             trial.fragments[table_name] = trial_frags
             if not self._replication_ok(table_name, trial_frags):
                 continue
-            cost = self._workload_cost(workload, trial)
+            trials.append(trial)
+
+        # Candidate layouts are priced independently (fanned out when
+        # workers > 1); the winner is then picked serially in candidate
+        # order, so the chosen layout never depends on worker count.
+        costs = self._engine.map(
+            lambda trial: self._workload_cost(workload, trial), trials
+        )
+        best: tuple[_Layout, float] | None = None
+        for trial, cost in zip(trials, costs):
             if cost < current_cost - _MIN_IMPROVEMENT and (
                 best is None or cost < best[1]
             ):
@@ -293,7 +315,7 @@ class AutoPartAdvisor:
     def _tables_per_query(self, workload: Workload) -> dict[str, frozenset[str]]:
         out = {}
         for query in workload:
-            bound = query.bind(self._catalog)
+            bound = self._bound[query.name]
             out[query.name] = frozenset(e.table.name for e in bound.rels)
         return out
 
@@ -302,13 +324,17 @@ class AutoPartAdvisor:
         total = 0.0
         for query in workload:
             signature = layout.signature(self._query_tables[query.name])
-            cached = self._cost_cache.get((query.name, signature))
+            with self._cache_lock:
+                cached = self._cost_cache.get((query.name, signature))
             if cached is not None:
                 total += cached * query.weight
                 continue
+            # Costs are pure functions of (query, layout signature): a
+            # racing duplicate computation outside the lock is benign.
             cost = self._query_cost(query, session, rewriter)
-            self._cost_cache[(query.name, signature)] = cost
-            self._evaluations += 1
+            with self._cache_lock:
+                self._cost_cache[(query.name, signature)] = cost
+                self._evaluations += 1
             total += cost * query.weight
         return total
 
@@ -339,7 +365,7 @@ class AutoPartAdvisor:
         session: WhatIfSession,
         rewriter: PartitionRewriter | None,
     ) -> float:
-        bound = query.bind(self._catalog)
+        bound = self._bound[query.name]
         if rewriter is None:
             return Planner(self._catalog, self._config).plan(bound).total_cost
         rewritten = rewriter.rewrite(bound)
@@ -371,7 +397,7 @@ class AutoPartAdvisor:
         rewritten_sql: dict[str, str] = {}
         baseline_planner = Planner(self._catalog, self._config)
         for query in workload:
-            bound = query.bind(self._catalog)
+            bound = self._bound[query.name]
             before = baseline_planner.plan(bound).total_cost * query.weight
             if rewriter is None:
                 after = before

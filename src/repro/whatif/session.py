@@ -5,6 +5,14 @@ the binder sees them) and installs a relation-info hook that appends
 hypothetical index metadata — leaf pages from Equation 1 — to whatever
 the base hook reports. Planning through the session is therefore
 byte-for-byte the same code path as planning against real structures.
+
+Incremental invalidation: plans produced through :meth:`plan` are
+cached under a *design fingerprint* — the catalog version, the join-flag
+epoch, and a per-table epoch bumped whenever a hypothetical index on
+that table is added or dropped. Adding an index on ``specobj`` therefore
+replans only the queries that reference ``specobj``; every other
+cached plan keeps serving hits. Bound queries are likewise cached per
+catalog version, so interactive loops re-parse nothing.
 """
 
 from __future__ import annotations
@@ -44,6 +52,15 @@ class WhatIfSession:
         base_hook = base_config.relation_info_hook
         self._config = base_config.with_hook(self._make_hook(base_hook))
         self._simulation_seconds = 0.0
+        # Incremental-invalidation state: per-table design epochs plus a
+        # flags epoch; together with the catalog version they form the
+        # design fingerprint each cached plan is keyed by.
+        self._table_epochs: dict[str, int] = {}
+        self._flags_epoch = 0
+        self._bound_cache: dict[tuple, BoundQuery] = {}
+        self._plan_cache: dict[object, tuple[BoundQuery, tuple, Plan]] = {}
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
 
     # ------------------------------------------------------------------
     # What-if indexes
@@ -89,6 +106,7 @@ class WhatIfSession:
                 "in this session"
             )
         existing.append(index)
+        self._touch(table_name)
         self._simulation_seconds += time.perf_counter() - started
         return index
 
@@ -97,10 +115,13 @@ class WhatIfSession:
             for index in indexes:
                 if index.name == name:
                     indexes.remove(index)
+                    self._touch(table_name)
                     return
         raise WhatIfError(f"no hypothetical index named {name!r}")
 
     def clear_indexes(self) -> None:
+        for table_name in list(self._hypothetical):
+            self._touch(table_name)
         self._hypothetical.clear()
 
     @property
@@ -162,6 +183,8 @@ class WhatIfSession:
         if unknown:
             raise WhatIfError(f"unknown planner flags: {sorted(unknown)}")
         self._config = self._config.with_flags(**flags)
+        # Flags affect every plan: global epoch rather than per-table.
+        self._flags_epoch += 1
 
     # ------------------------------------------------------------------
     # Planning
@@ -183,12 +206,48 @@ class WhatIfSession:
         return Planner(self._catalog, self._config)
 
     def bind_sql(self, sql: str) -> BoundQuery:
-        return bind(self._catalog, parse_select(sql))
+        """Parse+bind ``sql``, cached per catalog version."""
+        key = (self._catalog.cache_key, sql)
+        cached = self._bound_cache.get(key)
+        if cached is None:
+            cached = bind(self._catalog, parse_select(sql))
+            self._bound_cache[key] = cached
+        return cached
+
+    def design_fingerprint(self, query: BoundQuery) -> tuple:
+        """What a cached plan for ``query`` depends on: the catalog
+        version, the join-flag epoch, and the design epochs of exactly
+        the tables the query references. A hypothetical index on any
+        other table leaves this fingerprint — and the cached plan —
+        untouched."""
+        tables = sorted({entry.table.name for entry in query.rels})
+        return (
+            self._catalog.cache_key,
+            self._flags_epoch,
+            tuple((t, self._table_epochs.get(t, 0)) for t in tables),
+        )
 
     def plan(self, query: BoundQuery | str) -> Plan:
         if isinstance(query, str):
+            key: object = query
             query = self.bind_sql(query)
-        return self.planner().plan(query)
+        else:
+            # The cache entry pins the bound query, so its id cannot be
+            # reused while the entry is alive; identity check below.
+            key = id(query)
+        fingerprint = self.design_fingerprint(query)
+        entry = self._plan_cache.get(key)
+        if entry is not None:
+            cached_query, cached_fp, cached_plan = entry
+            if cached_fp == fingerprint and (
+                isinstance(key, str) or cached_query is query
+            ):
+                self.plan_cache_hits += 1
+                return cached_plan
+        self.plan_cache_misses += 1
+        plan = self.planner().plan(query)
+        self._plan_cache[key] = (query, fingerprint, plan)
+        return plan
 
     def cost(self, query: BoundQuery | str) -> float:
         return self.plan(query).total_cost
@@ -202,6 +261,9 @@ class WhatIfSession:
         )
 
     # ------------------------------------------------------------------
+
+    def _touch(self, table_name: str) -> None:
+        self._table_epochs[table_name] = self._table_epochs.get(table_name, 0) + 1
 
     def _make_hook(self, base_hook):
         def hook(config: PlannerConfig, catalog: Catalog, table_name: str) -> RelationInfo:

@@ -1,0 +1,274 @@
+"""The parallel evaluation engine: determinism, caches, invalidation.
+
+The contract under test: ``workers=N`` produces bit-identical results
+to the serial ``workers=1`` path — same index sets, same costs, same
+per-query benefits — and the shared caches / incremental invalidation
+only change timings and counters, never outcomes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.advisor.ilp_advisor import IlpIndexAdvisor
+from repro.baselines.greedy import GreedyIndexAdvisor
+from repro.catalog.schema import Index
+from repro.core.parinda import Parinda
+from repro.errors import ReproError
+from repro.inum.model import InumModel
+from repro.parallel import CostCache, EvaluationEngine, build_inum_models
+from repro.whatif.session import WhatIfSession
+from repro.workloads.sdss import build_sdss_database, sdss_workload
+
+
+@pytest.fixture(scope="module")
+def sdss_db():
+    return build_sdss_database(photo_rows=3000, seed=11)
+
+
+@pytest.fixture(scope="module")
+def sdss_wl():
+    return sdss_workload()
+
+
+def _result_signature(result):
+    return (
+        [(ix.table_name, ix.columns) for ix in result.indexes],
+        result.cost_before,
+        result.cost_after,
+        [(q.name, q.cost_before, q.cost_after, q.indexes_used)
+         for q in result.per_query],
+    )
+
+
+# ----------------------------------------------------------------------
+# Determinism: workers=N is bit-identical to workers=1
+
+
+def test_ilp_advisor_parallel_identical_sdss(sdss_db, sdss_wl):
+    workload = sdss_wl.subset(8)
+    serial = IlpIndexAdvisor(sdss_db.catalog, workers=1).recommend(
+        workload, budget_pages=500
+    )
+    parallel = IlpIndexAdvisor(sdss_db.catalog, workers=4).recommend(
+        workload, budget_pages=500
+    )
+    assert _result_signature(serial) == _result_signature(parallel)
+
+
+def test_ilp_advisor_parallel_identical_star(star_db, star_wl):
+    serial = IlpIndexAdvisor(star_db.catalog, workers=1).recommend(
+        star_wl, budget_pages=400
+    )
+    parallel = IlpIndexAdvisor(star_db.catalog, workers=4).recommend(
+        star_wl, budget_pages=400
+    )
+    assert _result_signature(serial) == _result_signature(parallel)
+
+
+def test_greedy_advisor_parallel_identical(star_db, star_wl):
+    serial = GreedyIndexAdvisor(star_db.catalog, workers=1).recommend(
+        star_wl, budget_pages=400
+    )
+    parallel = GreedyIndexAdvisor(star_db.catalog, workers=4).recommend(
+        star_wl, budget_pages=400
+    )
+    assert _result_signature(serial) == _result_signature(parallel)
+
+
+def test_parinda_suggest_indexes_workers(sdss_db, sdss_wl):
+    workload = sdss_wl.subset(6)
+    serial = Parinda(sdss_db).suggest_indexes(
+        workload, budget_pages=400, workers=1
+    )
+    parallel = Parinda(sdss_db).suggest_indexes(
+        workload, budget_pages=400, workers=4
+    )
+    assert _result_signature(serial) == _result_signature(parallel)
+
+
+def test_build_inum_models_parallel_identical(sdss_db, sdss_wl):
+    workload = sdss_wl.subset(10)
+    catalog = sdss_db.catalog
+    serial = build_inum_models(catalog, workload, workers=1)
+    parallel = build_inum_models(
+        catalog, workload, workers=4, cost_cache=CostCache()
+    )
+    probe = Index(
+        name="probe", table_name="photoobj", columns=("ra", "dec"),
+        hypothetical=True,
+    )
+    assert list(serial) == list(parallel)  # same queries, same order
+    for name in serial:
+        assert serial[name].base_cost == parallel[name].base_cost
+        assert serial[name].estimate([probe]) == parallel[name].estimate([probe])
+        assert len(serial[name].entries) == len(parallel[name].entries)
+
+
+def test_snapshot_roundtrip(sdss_db, sdss_wl):
+    catalog = sdss_db.catalog
+    query = sdss_wl.query("q01_box_search").bind(catalog)
+    model = InumModel(catalog, query)
+    clone = InumModel.from_snapshot(catalog, query, snapshot=model.snapshot())
+    probe = Index(
+        name="probe", table_name="photoobj", columns=("ra",), hypothetical=True
+    )
+    assert clone.base_cost == model.base_cost
+    assert clone.estimate([probe]) == model.estimate([probe])
+    assert clone.stats.optimizer_calls == model.stats.optimizer_calls
+
+
+def test_engine_rejects_unknown_mode():
+    with pytest.raises(ReproError):
+        EvaluationEngine(workers=2, mode="fibers")
+
+
+def test_engine_map_preserves_order():
+    engine = EvaluationEngine(workers=4, mode="thread")
+    assert engine.map(lambda x: x * x, range(20)) == [x * x for x in range(20)]
+
+
+# ----------------------------------------------------------------------
+# Cache counters
+
+
+def test_estimate_memo_hits_increase(sdss_db, sdss_wl):
+    catalog = sdss_db.catalog
+    query = sdss_wl.query("q01_box_search").bind(catalog)
+    model = InumModel(catalog, query)
+    probe = Index(
+        name="probe", table_name="photoobj", columns=("ra",), hypothetical=True
+    )
+    first = model.estimate([probe])
+    hits_before = model.stats.estimate_cache_hits
+    second = model.estimate([probe])
+    third = model.estimate([probe])
+    assert first == second == third
+    assert model.stats.estimate_cache_hits >= hits_before + 2
+    assert model.stats.estimates_served >= 3
+
+
+def test_cost_cache_hits_across_models(sdss_db, sdss_wl):
+    catalog = sdss_db.catalog
+    cache = CostCache()
+    build_inum_models(catalog, sdss_wl.subset(8), cost_cache=cache)
+    assert cache.hits > 0
+    counters = cache.counters
+    assert counters["index_pages"].hits > 0
+    # Repeating the same build is almost all hits.
+    misses_before = cache.misses
+    build_inum_models(catalog, sdss_wl.subset(8), cost_cache=cache)
+    assert cache.misses == misses_before  # every key already present
+    assert cache.stats()["index_pages"]["hit_rate"] >= 0.5
+    # The rebuild was served wholesale from the snapshot section.
+    assert cache.counters["inum"].hits > 0
+
+
+def test_inum_snapshot_cache_rehydrates(sdss_db, sdss_wl):
+    catalog = sdss_db.catalog
+    cache = CostCache()
+    probe = Index(
+        name="probe", table_name="photoobj", columns=("ra", "dec"),
+        hypothetical=True,
+    )
+    first = build_inum_models(catalog, sdss_wl.subset(8), cost_cache=cache)
+    calls_before = sum(m.stats.optimizer_calls for m in first.values())
+    assert calls_before > 0
+    second = build_inum_models(catalog, sdss_wl.subset(8), cost_cache=cache)
+    # Rehydrated from the shared snapshot section: the plan caches were
+    # not rebuilt, yet estimates are bit-identical.
+    assert cache.counters["inum"].hits == len(second)
+    for name, model in second.items():
+        assert model.estimate() == first[name].estimate()
+        assert model.estimate([probe]) == first[name].estimate([probe])
+
+
+def test_advisor_result_surfaces_counters(sdss_db, sdss_wl):
+    result = IlpIndexAdvisor(sdss_db.catalog, workers=2).recommend(
+        sdss_wl.subset(6), budget_pages=400
+    )
+    assert result.cache_hits > 0
+    assert result.cache_misses > 0
+    assert set(result.cache_stats) == {
+        "index_pages", "seq_cost", "access", "bind", "inum"
+    }
+    assert result.combinations_truncated == 0
+
+
+def test_combinations_truncated_surfaced(sdss_db, sdss_wl):
+    catalog = sdss_db.catalog
+    # A join query's order-combination product exceeds a cap of 2.
+    query = sdss_wl.query("q15_spec_redshift_join")
+    model = InumModel(catalog, query.bind(catalog), max_combinations=2)
+    assert model.stats.combinations_truncated > 0
+    assert len(model.entries) <= 4
+
+
+def test_catalog_version_invalidates_cache(sdss_db):
+    catalog = sdss_db.catalog
+    key_before = catalog.cache_key
+    index = Index(
+        name="tmp_ver", table_name="specobj", columns=("z",), hypothetical=False
+    )
+    catalog.add_index(index)
+    try:
+        assert catalog.cache_key != key_before
+    finally:
+        catalog.drop_index("tmp_ver")
+    assert catalog.cache_key != key_before  # drops bump too
+
+
+# ----------------------------------------------------------------------
+# Incremental what-if invalidation
+
+
+def test_whatif_plan_cache_targeted_invalidation(sdss_db, sdss_wl):
+    session = WhatIfSession(sdss_db.catalog)
+    for query in sdss_wl:
+        session.cost(query.sql)
+    first_misses = session.plan_cache_misses
+    # Second pass: all hits.
+    for query in sdss_wl:
+        session.cost(query.sql)
+    assert session.plan_cache_misses == first_misses
+
+    session.add_index("specobj", ("z",))
+    for query in sdss_wl:
+        session.cost(query.sql)
+    replans = session.plan_cache_misses - first_misses
+    affected = sum(1 for q in sdss_wl if "specobj" in q.sql)
+    assert 0 < affected < len(list(sdss_wl))
+    assert replans == affected
+
+
+def test_whatif_drop_and_flags_invalidate(sdss_db, sdss_wl):
+    session = WhatIfSession(sdss_db.catalog)
+    sql = sdss_wl.query("q15_spec_redshift_join").sql
+    base = session.cost(sql)
+    index = session.add_index("specobj", ("z",))
+    with_index = session.cost(sql)
+    session.drop_index(index.name)
+    assert session.cost(sql) == base  # replanned, back to baseline
+    session.add_index("specobj", ("z",))
+    assert session.cost(sql) == with_index
+    misses = session.plan_cache_misses
+    session.set_join_flags(enable_nestloop=False)
+    session.cost(sql)
+    assert session.plan_cache_misses == misses + 1  # flags epoch bump
+
+
+def test_parinda_workload_cost_cached(sdss_db, sdss_wl):
+    parinda = Parinda(sdss_db)
+    workload = sdss_wl.subset(6)
+    first = parinda.workload_cost(workload)
+    assert parinda.workload_cost(workload) == first
+    # A real catalog change invalidates exactly via the version key.
+    sdss_db.create_index(
+        Index(name="tmp_wc", table_name="specobj", columns=("z",))
+    )
+    try:
+        changed = parinda.workload_cost(workload)
+        assert changed <= first  # an extra index never hurts plan cost
+    finally:
+        sdss_db.drop_index("tmp_wc")
+    assert parinda.workload_cost(workload) == first
