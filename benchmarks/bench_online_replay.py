@@ -1,0 +1,299 @@
+#!/usr/bin/env python
+"""Deterministic replay harness for the online tuning subsystem.
+
+Replays an SDSS statement stream through :class:`OnlineTuner` three
+ways and checks the subsystem's core claims:
+
+* **drift replay** — a pre-shift query mix abruptly replaced by a
+  post-shift mix mid-stream (literals varied per statement, so template
+  canonicalization is doing real work). The tuner must detect the
+  shift, and its final recommendation must be **bit-identical** to the
+  batch ``IlpIndexAdvisor`` run on the same window snapshot; its design
+  must also match the batch advisor's answer for the plain post-shift
+  workload.
+* **stable replay** — the same mix throughout. After the warmup advise
+  there must be zero drift events and zero re-advises.
+* **bounded cache** — the drift replay under a small ``CostCache``
+  bound; every section's peak entry count must respect the bound, with
+  evictions actually occurring.
+
+The drift replay additionally asserts the steady-state warm path: a
+forced re-advise at end of stream (every window template already
+modeled) must not miss the INUM snapshot cache — i.e. no raw optimizer
+calls.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_online_replay.py          # full
+    PYTHONPATH=src python benchmarks/bench_online_replay.py --smoke  # CI
+
+Writes ``BENCH_ONLINE.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.advisor.ilp_advisor import IlpIndexAdvisor  # noqa: E402
+from repro.catalog.schema import index_signature  # noqa: E402
+from repro.online.monitor import render_statement  # noqa: E402
+from repro.online.tuner import OnlineTuner  # noqa: E402
+from repro.sql.tokenizer import Token, TokenType, tokenize  # noqa: E402
+from repro.workloads.sdss import build_sdss_database, sdss_workload  # noqa: E402
+from repro.workloads.workload import Workload  # noqa: E402
+
+PRE_SHIFT = ("q01_box_search", "q05_star_colors", "q15_spec_redshift_join")
+POST_SHIFT = ("q11_qso_color_cut", "q17_qso_spectra", "q26_field_objects")
+BUDGET_PAGES = 500
+WINDOW = 30
+CHECK_INTERVAL = 15
+BUILD_COST_PER_PAGE = 0.5
+CACHE_BOUND = 16
+
+
+def vary_literals(sql: str, salt: int) -> str:
+    """A literal-varied instance of ``sql``, same template.
+
+    Every float literal is nudged by a tiny salt-dependent epsilon —
+    enough that no two stream statements are textually equal, small
+    enough that the statement stays semantically sensible. Integer
+    literals are left alone (they are often LIMITs or categorical
+    codes). Deterministic in (sql, salt).
+    """
+    out: list[Token] = []
+    occurrence = 0
+    for token in tokenize(sql):
+        if token.type is TokenType.NUMBER and "." in token.value:
+            occurrence += 1
+            nudged = float(token.value) + (salt * 31 + occurrence) * 1e-7
+            token = Token(TokenType.NUMBER, repr(nudged), token.position)
+        out.append(token)
+    return render_statement(out)
+
+
+def make_stream(
+    names: tuple[str, ...], rounds: int, salt0: int = 0
+) -> list[str]:
+    workload = sdss_workload()
+    sql_of = {name: workload.query(name).sql.strip() for name in names}
+    stream = []
+    for round_no in range(rounds):
+        for name in names:
+            stream.append(vary_literals(sql_of[name], salt0 + round_no))
+    return stream
+
+
+def signature(result) -> tuple:
+    return (
+        tuple((ix.table_name, ix.columns) for ix in result.indexes),
+        round(result.cost_before, 6),
+        round(result.cost_after, 6),
+        tuple(
+            (q.name, round(q.cost_before, 6), round(q.cost_after, 6))
+            for q in result.per_query
+        ),
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small database and shorter streams (CI)",
+    )
+    parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_ONLINE.json"))
+    args = parser.parse_args()
+
+    photo_rows = 3000 if args.smoke else 12000
+    pre_rounds = 12 if args.smoke else 30
+    post_rounds = 25 if args.smoke else 60
+
+    print(f"building SDSS database (photo_rows={photo_rows}) ...")
+    db = build_sdss_database(photo_rows=photo_rows, seed=42)
+    checks: list[tuple[str, bool, str]] = []
+
+    def check(name: str, ok: bool, detail: str) -> None:
+        checks.append((name, bool(ok), detail))
+        print(f"  [{'ok' if ok else 'FAIL'}] {name}: {detail}")
+
+    # ------------------------------------------------------------------
+    # 1. Drift replay: pre-shift mix, then an abrupt post-shift mix.
+    print("drift replay ...")
+    stream = make_stream(PRE_SHIFT, pre_rounds) + make_stream(
+        POST_SHIFT, post_rounds, salt0=1000
+    )
+    tuner = OnlineTuner(
+        db.catalog,
+        budget_pages=BUDGET_PAGES,
+        window_size=WINDOW,
+        check_interval=CHECK_INTERVAL,
+        build_cost_per_page=BUILD_COST_PER_PAGE,
+    )
+    started = time.perf_counter()
+    tuner.run(stream)
+    drift_seconds = time.perf_counter() - started
+    counts = dict(tuner.event_counts)
+
+    check(
+        "shift detected",
+        counts["drifted"] >= 1,
+        f"{counts['drifted']} drift event(s), "
+        f"{counts['re-advised']} re-advise(s)",
+    )
+    check(
+        "templates canonicalized",
+        len(tuner.monitor.templates) == len(PRE_SHIFT) + len(POST_SHIFT),
+        f"{tuner.monitor.observed} varied statements -> "
+        f"{len(tuner.monitor.templates)} templates",
+    )
+
+    # Steady state at end of stream: every template in the window was
+    # modeled by the last drift re-advise, so a forced re-advise must be
+    # served entirely from cached INUM snapshots — zero optimizer calls.
+    inum_misses_before = tuner.cache.counters["inum"].misses
+    final = tuner.readvise(reason="final")
+    inum_misses_after = tuner.cache.counters["inum"].misses
+    check(
+        "warm re-advise makes no optimizer calls",
+        inum_misses_after == inum_misses_before,
+        f"inum snapshot misses {inum_misses_before} -> {inum_misses_after}",
+    )
+
+    # The batch advisor on the identical window snapshot must agree
+    # bit-for-bit (indexes, costs, per-query benefits).
+    batch_snapshot = IlpIndexAdvisor(db.catalog).recommend(
+        tuner.monitor.snapshot(), BUDGET_PAGES
+    )
+    check(
+        "bit-identical to batch on the window snapshot",
+        signature(final) == signature(batch_snapshot),
+        f"{len(final.indexes)} indexes, cost_after {final.cost_after:,.0f}",
+    )
+
+    # And the adopted design must be the batch answer for the plain
+    # post-shift workload (the window holds only post-shift templates).
+    post_workload = Workload(
+        queries=[sdss_workload().query(name) for name in POST_SHIFT],
+        name="post-shift",
+    )
+    batch_post = IlpIndexAdvisor(db.catalog).recommend(
+        post_workload, BUDGET_PAGES
+    )
+    # The *adopted* design, not just the last proposal: drop-only
+    # switches are free, so after the final re-advise the standing
+    # design must have shed every pre-shift index.
+    tuner_signatures = {index_signature(ix) for ix in tuner.design}
+    batch_signatures = {index_signature(ix) for ix in batch_post.indexes}
+    if tuner_signatures == batch_signatures:
+        detail = ", ".join(
+            "{}({})".format(table, ", ".join(columns))
+            for table, columns in sorted(batch_signatures)
+        )
+    else:
+        detail = (
+            f"tuner {sorted(tuner_signatures)} != "
+            f"batch {sorted(batch_signatures)}"
+        )
+    check(
+        "converged to the batch post-shift design",
+        tuner_signatures == batch_signatures,
+        detail,
+    )
+
+    # ------------------------------------------------------------------
+    # 2. Stable replay: no drift, no re-advising after warmup.
+    print("stable replay ...")
+    stable = OnlineTuner(
+        db.catalog,
+        budget_pages=BUDGET_PAGES,
+        window_size=WINDOW,
+        check_interval=CHECK_INTERVAL,
+        build_cost_per_page=BUILD_COST_PER_PAGE,
+    )
+    stable.run(make_stream(PRE_SHIFT, pre_rounds + post_rounds))
+    check(
+        "stable stream stays quiet",
+        stable.event_counts["drifted"] == 0 and stable.readvise_count == 1,
+        f"{stable.event_counts['drifted']} drift(s), "
+        f"{stable.readvise_count} re-advise(s) (warmup only)",
+    )
+
+    # ------------------------------------------------------------------
+    # 3. Bounded cache: the same drift replay must respect a small bound.
+    print("bounded-cache replay ...")
+    bounded = OnlineTuner(
+        db.catalog,
+        budget_pages=BUDGET_PAGES,
+        window_size=WINDOW,
+        check_interval=CHECK_INTERVAL,
+        build_cost_per_page=BUILD_COST_PER_PAGE,
+        cache_max_entries=CACHE_BOUND,
+    )
+    bounded.run(stream)
+    stats = bounded.cache.stats()
+    peak = {section: entry["peak_size"] for section, entry in stats.items()}
+    evictions = sum(entry["evictions"] for entry in stats.values())
+    check(
+        "cache bound respected",
+        all(size <= CACHE_BOUND for size in peak.values()) and evictions > 0,
+        f"peak sizes {peak}, {evictions} eviction(s), bound {CACHE_BOUND}",
+    )
+
+    # ------------------------------------------------------------------
+    report = {
+        "benchmark": "online tuning replay",
+        "photo_rows": photo_rows,
+        "budget_pages": BUDGET_PAGES,
+        "window_size": WINDOW,
+        "check_interval": CHECK_INTERVAL,
+        "stream": {
+            "pre_shift": list(PRE_SHIFT),
+            "post_shift": list(POST_SHIFT),
+            "statements": len(stream),
+        },
+        "drift_replay": {
+            "seconds": round(drift_seconds, 3),
+            "events": counts,
+            "final_design": [
+                f"{ix.table_name}({', '.join(ix.columns)})"
+                for ix in final.indexes
+            ],
+            "cache": tuner.cache.stats(),
+        },
+        "stable_replay": {"events": dict(stable.event_counts)},
+        "bounded_replay": {
+            "bound": CACHE_BOUND,
+            "peak_sizes": peak,
+            "evictions": evictions,
+        },
+        "checks": [
+            {"name": name, "ok": ok, "detail": detail}
+            for name, ok, detail in checks
+        ],
+        "environment": {
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+        },
+    }
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    failed = [name for name, ok, _ in checks if not ok]
+    print(f"wrote {args.output}")
+    if failed:
+        print(f"ERROR: {len(failed)} check(s) failed: {failed}", file=sys.stderr)
+        return 1
+    print(f"all {len(checks)} checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

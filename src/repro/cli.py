@@ -9,10 +9,16 @@ instead of connecting somewhere::
     python -m repro evaluate --index photoobj:ra,dec --index specobj:z
     python -m repro explain  --sql "SELECT ra FROM photoobj WHERE ra < 1" \
                              --index photoobj:ra
+    python -m repro tune --stream queries.sql   # or: --stream - (stdin)
 
 ``--workload FILE`` accepts a semicolon-separated SQL file (the demo's
 "workload file" input); by default the built-in 30-query survey
-workload is used.
+workload is used. ``tune --stream`` runs the online tuning loop over a
+statement stream instead of a fixed workload.
+
+Diagnostics that degrade result fidelity (truncated INUM order
+combinations, recommendations held back by hysteresis) are surfaced as
+``warning:`` lines on stderr, not buried in result objects.
 """
 
 from __future__ import annotations
@@ -22,11 +28,27 @@ import sys
 
 from repro.bench.reporting import ResultTable
 from repro.core.parinda import Parinda
+from repro.errors import ReproError
 from repro.optimizer.explain import explain
 from repro.storage.database import Database
 from repro.workloads.sdss import build_sdss_database, sdss_workload
 from repro.workloads.star import build_star_database, star_workload
-from repro.workloads.workload import Workload
+from repro.workloads.workload import Workload, iter_statements
+
+
+def _warn(message: str) -> None:
+    print(f"warning: {message}", file=sys.stderr)
+
+
+def _warn_truncation(result) -> None:
+    """Surface degraded INUM fidelity as a user-facing warning."""
+    truncated = getattr(result, "combinations_truncated", 0)
+    if truncated:
+        _warn(
+            f"{truncated} interesting-order combination(s) were dropped "
+            "(max_combinations cap); INUM estimates may over-approximate "
+            "for the affected queries"
+        )
 
 
 def _load_database(spec: str) -> Database:
@@ -99,6 +121,7 @@ def cmd_suggest_indexes(args: argparse.Namespace) -> int:
     for index in result.indexes:
         print(f"  CREATE INDEX ON {index.table_name} "
               f"({', '.join(index.columns)});")
+    _warn_truncation(result)
     if args.verbose:
         _per_query_table("Per-query benefit", result.per_query).emit()
     if args.create:
@@ -162,6 +185,75 @@ def cmd_suggest_combined(args: argparse.Namespace) -> int:
         f"Combined workload cost {result.cost_before:,.0f} -> "
         f"{result.cost_after:,.0f} ({result.speedup:.2f}x)."
     )
+    _warn_truncation(result.indexes)
+    return 0
+
+
+def cmd_tune(args: argparse.Namespace) -> int:
+    db = _load_database(args.db)
+    parinda = Parinda(db, cache_max_entries=args.cache_entries)
+
+    def listener(event) -> None:
+        if event.kind == "observed":
+            return
+        if event.kind == "held":
+            _warn(f"[{event.sequence}] recommendation held: {event.detail}")
+            return
+        print(f"[{event.sequence}] {event.kind}: {event.detail}")
+        if event.kind == "re-advised" and event.result is not None:
+            _warn_truncation(event.result)
+
+    skipped = 0
+    with parinda.online(
+        budget_pages=max(1, int(args.budget_mb * 1024 * 1024) // 8192),
+        window_size=args.window,
+        check_interval=args.check_interval,
+        warmup=args.warmup,
+        build_cost_per_page=args.build_cost_per_page,
+        workers=args.workers,
+        listener=listener,
+    ) as tuner:
+        for statement in iter_statements(args.stream):
+            try:
+                tuner.observe(statement)
+            except ReproError as exc:
+                skipped += 1
+                _warn(f"skipped unparseable statement: {exc}")
+        if tuner.last_result is None and tuner.monitor.observed:
+            # Short streams can end inside the warmup window; still give
+            # the user an answer for what was seen.
+            tuner.readvise(reason="end of stream")
+
+    counts = tuner.event_counts
+    print(
+        f"\nStream done: {tuner.monitor.observed} statements, "
+        f"{len(tuner.monitor.templates)} templates"
+        + (f", {skipped} skipped" if skipped else "")
+        + f"; {counts['drifted']} drift(s), {counts['re-advised']} "
+        f"re-advise(s), {counts['recommended']} adopted, "
+        f"{counts['held']} held."
+    )
+    if tuner.design:
+        print(f"Standing design ({len(tuner.design)} indexes):")
+        for index in tuner.design:
+            print(f"  CREATE INDEX ON {index.table_name} "
+                  f"({', '.join(index.columns)});")
+    else:
+        print("Standing design: no indexes adopted.")
+    if args.verbose:
+        stats = tuner.cache.stats()
+        table = ResultTable(
+            "Cost-cache", ["section", "hits", "misses", "evictions", "size"]
+        )
+        for section, entry in sorted(stats.items()):
+            table.add_row(
+                section,
+                entry["hits"],
+                entry["misses"],
+                entry["evictions"],
+                entry["size"],
+            )
+        table.emit()
     return 0
 
 
@@ -243,6 +335,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--budget-mb", type=float, default=16.0)
     p.add_argument("--replication", type=float, default=0.25)
     p.set_defaults(func=cmd_suggest_combined)
+
+    p = sub.add_parser(
+        "tune", help="scenario 4: online tuning over a statement stream"
+    )
+    p.add_argument("--stream", default="-", metavar="FILE",
+                   help="semicolon-separated SQL stream; '-' reads stdin")
+    p.add_argument("--budget-mb", type=float, default=16.0)
+    p.add_argument("--window", type=int, default=128,
+                   help="sliding-window size (statements)")
+    p.add_argument("--check-interval", type=int, default=32,
+                   help="statements between drift checks")
+    p.add_argument("--warmup", type=int, default=None,
+                   help="statements before the first advise (default: window)")
+    p.add_argument("--build-cost-per-page", type=float, default=4.0,
+                   help="hysteresis: per-page cost charged to new indexes")
+    p.add_argument("--workers", type=int, default=1)
+    p.add_argument("--cache-entries", type=int, default=4096,
+                   help="per-section CostCache bound (LRU)")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="print cost-cache statistics at the end")
+    p.set_defaults(func=cmd_tune)
 
     p = sub.add_parser("evaluate", help="scenario 1: interactive what-if")
     p.add_argument("--workload", help="semicolon-separated SQL file")

@@ -14,6 +14,7 @@ from repro.advisor.ilp_advisor import AdvisorResult, IlpIndexAdvisor
 from repro.baselines.greedy import GreedyIndexAdvisor
 from repro.catalog.sizing import BLOCK_SIZE
 from repro.core.interactive import InteractiveDesigner
+from repro.online.tuner import OnlineTuner
 from repro.optimizer.config import PlannerConfig
 from repro.optimizer.planner import Planner
 from repro.parallel.caches import CostCache
@@ -41,13 +42,26 @@ class CombinedResult:
 class Parinda:
     """PARtition and INDex Advisor over one database."""
 
-    def __init__(self, database: Database, config: PlannerConfig | None = None) -> None:
+    def __init__(
+        self,
+        database: Database,
+        config: PlannerConfig | None = None,
+        cache_max_entries: int | None = None,
+    ) -> None:
+        """Args:
+        cache_max_entries: Per-section bound on the facade's shared
+            :class:`CostCache` (LRU, stale catalog versions evicted
+            first). ``None`` keeps it unbounded — fine for one-shot
+            scripts, not for a long-lived process; :meth:`online`
+            defaults it to a bound when unset.
+        """
         self._db = database
         self._config = config or PlannerConfig()
         # Shared across every advisor call made through this facade:
         # bound queries, Equation-1 sizes, and scan costs carry over
         # between suggest_* calls as long as the catalog version holds.
-        self._cost_cache = CostCache()
+        self._cost_cache = CostCache(max_entries=cache_max_entries)
+        self._cache_bounded = cache_max_entries is not None
         self._planner = Planner(self._db.catalog, self._config)
         self._plan_cost_cache: dict[tuple, float] = {}
 
@@ -61,6 +75,46 @@ class Parinda:
     def interactive(self) -> InteractiveDesigner:
         """A fresh interactive what-if designer session."""
         return InteractiveDesigner(self._db)
+
+    # ------------------------------------------------------------------
+    # Scenario 4: continuous (online) tuning
+
+    def online(
+        self,
+        budget_pages: int | None = None,
+        budget_bytes: int | None = None,
+        **knobs,
+    ) -> OnlineTuner:
+        """An online tuning session over this database's catalog.
+
+        Returns an :class:`~repro.online.tuner.OnlineTuner` usable as a
+        context manager::
+
+            with parinda.online(budget_bytes=16 << 20) as tuner:
+                for sql in statement_stream:
+                    tuner.observe(sql)
+                print(tuner.design)
+
+        When this facade's cache was constructed with a bound, the
+        tuner shares it (re-advises reuse everything suggest_* calls
+        cached, and vice versa); an unbounded facade cache is unsafe
+        for a long-lived loop, so the tuner then gets its own bounded
+        cache. ``knobs`` pass through to :class:`OnlineTuner`
+        (``window_size``, ``check_interval``, ``build_cost_per_page``,
+        ``workers``, ``listener``, ...).
+        """
+        if budget_pages is None:
+            if budget_bytes is None:
+                raise ValueError("provide budget_bytes or budget_pages")
+            budget_pages = max(1, budget_bytes // BLOCK_SIZE)
+        if self._cache_bounded:
+            knobs.setdefault("cost_cache", self._cost_cache)
+        return OnlineTuner(
+            self._db.catalog,
+            self._config,
+            budget_pages=budget_pages,
+            **knobs,
+        )
 
     # ------------------------------------------------------------------
     # Scenario 2: automatic partition suggestion

@@ -403,7 +403,9 @@ class InumModel:
         if self._cost_cache is not None:
             shared_key = (self._rel_keys[alias], index_signature(index))
             result = self._cost_cache.access_info(
-                shared_key, lambda: self._compute_access_info(alias, index)
+                shared_key,
+                lambda: self._compute_access_info(alias, index),
+                catalog_key=self._catalog.cache_key,
             )
         else:
             result = self._compute_access_info(alias, index)

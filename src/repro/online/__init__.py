@@ -1,0 +1,43 @@
+"""Online tuning: streaming workload monitor + incremental advisor loop.
+
+The batch stack (PARINDA's advisors) answers "given this workload, what
+design?"; this package keeps that answer current while the workload is
+a live statement stream:
+
+* :class:`~repro.online.monitor.WorkloadMonitor` — canonicalizes
+  statements into literal-stripped templates, tracks a sliding window
+  and a decayed long-term profile, and emits ordinary ``Workload``
+  snapshots so nothing downstream changes.
+* :class:`~repro.online.drift.DriftDetector` — decides whether the
+  active window has genuinely diverged from the distribution the
+  standing recommendation was computed for.
+* :class:`~repro.online.tuner.OnlineTuner` — the daemon loop: on drift,
+  re-run the ILP advisor through the shared
+  :class:`~repro.parallel.caches.CostCache` (warm re-advises rehydrate
+  INUM snapshots and make no raw optimizer calls), apply a build-cost
+  hysteresis, and log typed :class:`~repro.online.tuner.TuningEvent`\\ s.
+
+Entry points: ``Parinda.online(...)`` on the facade, and
+``python -m repro tune --stream FILE`` on the CLI.
+"""
+
+from repro.online.drift import DriftDetector, DriftReport
+from repro.online.monitor import (
+    QueryTemplate,
+    WorkloadMonitor,
+    canonicalize,
+    render_statement,
+)
+from repro.online.tuner import EVENT_KINDS, OnlineTuner, TuningEvent
+
+__all__ = [
+    "DriftDetector",
+    "DriftReport",
+    "QueryTemplate",
+    "WorkloadMonitor",
+    "canonicalize",
+    "render_statement",
+    "EVENT_KINDS",
+    "OnlineTuner",
+    "TuningEvent",
+]

@@ -1,0 +1,227 @@
+"""Streaming workload observation: templates, windows, profiles.
+
+The batch advisors consume a :class:`~repro.workloads.workload.Workload`
+— a fixed set of weighted queries. A live system instead produces an
+endless stream of statements whose *shapes* repeat while their literals
+vary. The monitor bridges the two worlds:
+
+* every observed statement is canonicalized into a **template** — the
+  token stream with literals stripped — so ``ra < 180.1`` and
+  ``ra < 12.9`` count as the same query;
+* a **sliding window** of the last N observations tracks what the
+  system is running *right now* (template frequencies over the window);
+* an **exponentially decayed profile** tracks the long-term mix, so a
+  burst does not erase history and history does not drown a real shift;
+* :meth:`WorkloadMonitor.snapshot` converts the active window back into
+  a plain ``Workload`` (one query per template, weighted by window
+  frequency, using the template's first observed statement as the
+  representative SQL), so the entire advisor stack downstream is
+  unchanged.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.sql.tokenizer import Token, TokenType, tokenize
+from repro.workloads.workload import Query, Workload
+
+# Renormalize the decayed profile before per-observation weights can
+# approach float overflow; the distribution is scale-invariant.
+_RENORM_THRESHOLD = 1e12
+
+
+def canonicalize(sql: str) -> str:
+    """The literal-stripped fingerprint of one SQL statement.
+
+    Tokenizes with the production tokenizer (so comments, case folding,
+    and quoting behave exactly as in the parser) and replaces every
+    number and string literal with ``?``. Whitespace and literal values
+    never influence the result; identifiers and structure always do.
+    """
+    parts: list[str] = []
+    for token in tokenize(sql):
+        if token.type is TokenType.EOF:
+            break
+        if token.type in (TokenType.NUMBER, TokenType.STRING):
+            parts.append("?")
+        else:
+            parts.append(token.value)
+    # A trailing statement terminator is presentation, not shape.
+    while parts and parts[-1] == ";":
+        parts.pop()
+    if not parts:
+        raise ReproError("cannot canonicalize an empty statement")
+    return " ".join(parts)
+
+
+def render_statement(tokens: list[Token]) -> str:
+    """Re-emit a token list as parseable SQL text.
+
+    Used by replay harnesses to produce literal-varied instances of a
+    template; string literals regain their quotes (with embedded quotes
+    re-doubled) and everything is space-separated, which the tokenizer
+    treats identically to the original spacing.
+    """
+    parts = []
+    for token in tokens:
+        if token.type is TokenType.EOF:
+            break
+        if token.type is TokenType.STRING:
+            parts.append("'" + token.value.replace("'", "''") + "'")
+        else:
+            parts.append(token.value)
+    return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class QueryTemplate:
+    """One canonical query shape seen on the stream."""
+
+    template_id: str  # stable, ordered name: t003_9f2a1c
+    fingerprint: str  # the canonical (literal-stripped) text
+    example_sql: str  # first concrete statement observed
+    sequence: int  # first-seen order, 1-based
+
+
+class WorkloadMonitor:
+    """Ingests statements one at a time; answers "what runs here?".
+
+    Args:
+        window_size: Number of most recent statements the active window
+            holds. The window is what :meth:`snapshot` and drift
+            detection see.
+        decay: Per-observation retention of the long-term profile. Each
+            new statement carries weight 1 while all prior history is
+            effectively multiplied by ``decay`` — e.g. 0.995 gives a
+            half-life of ~139 statements.
+    """
+
+    def __init__(self, window_size: int = 128, decay: float = 0.995) -> None:
+        if window_size <= 0:
+            raise ReproError("window_size must be positive")
+        if not 0.0 < decay <= 1.0:
+            raise ReproError("decay must be in (0, 1]")
+        self.window_size = window_size
+        self.decay = decay
+        self._templates: dict[str, QueryTemplate] = {}
+        self._window: deque[str] = deque(maxlen=window_size)
+        self._window_counts: dict[str, int] = {}
+        self._profile: dict[str, float] = {}
+        self._profile_weight = 1.0  # weight the next observation carries
+        self._observed = 0
+
+    # ------------------------------------------------------------------
+    # Ingestion
+
+    def observe(self, sql: str) -> QueryTemplate:
+        """Ingest one statement; returns its template."""
+        fingerprint = canonicalize(sql)
+        template = self._templates.get(fingerprint)
+        if template is None:
+            digest = hashlib.sha1(fingerprint.encode()).hexdigest()[:6]
+            sequence = len(self._templates) + 1
+            template = QueryTemplate(
+                template_id=f"t{sequence:03d}_{digest}",
+                fingerprint=fingerprint,
+                example_sql=sql.strip().rstrip(";"),
+                sequence=sequence,
+            )
+            self._templates[fingerprint] = template
+        self._observed += 1
+
+        # Sliding window: deque handles expiry; counts track membership.
+        if len(self._window) == self.window_size:
+            expired = self._window[0]
+            remaining = self._window_counts[expired] - 1
+            if remaining:
+                self._window_counts[expired] = remaining
+            else:
+                del self._window_counts[expired]
+        self._window.append(fingerprint)
+        self._window_counts[fingerprint] = (
+            self._window_counts.get(fingerprint, 0) + 1
+        )
+
+        # Decayed profile: rather than multiplying every stored value by
+        # `decay` per observation (O(templates)), grow the weight of new
+        # observations by 1/decay — same distribution, O(1) per event.
+        self._profile[fingerprint] = (
+            self._profile.get(fingerprint, 0.0) + self._profile_weight
+        )
+        if self.decay < 1.0:
+            self._profile_weight /= self.decay
+            if self._profile_weight > _RENORM_THRESHOLD:
+                scale = self._profile_weight
+                for key in self._profile:
+                    self._profile[key] /= scale
+                self._profile_weight = 1.0
+        return template
+
+    # ------------------------------------------------------------------
+    # Introspection
+
+    @property
+    def observed(self) -> int:
+        """Total statements ingested since construction."""
+        return self._observed
+
+    @property
+    def templates(self) -> dict[str, QueryTemplate]:
+        """Every template ever seen, keyed by fingerprint."""
+        return dict(self._templates)
+
+    def template(self, fingerprint: str) -> QueryTemplate:
+        try:
+            return self._templates[fingerprint]
+        except KeyError:
+            raise ReproError(f"unknown template {fingerprint!r}") from None
+
+    @property
+    def window_counts(self) -> dict[str, int]:
+        """Per-template statement counts over the active window."""
+        return dict(self._window_counts)
+
+    def window_distribution(self) -> dict[str, float]:
+        """Normalized template shares over the active window."""
+        total = len(self._window)
+        if not total:
+            return {}
+        return {fp: c / total for fp, c in self._window_counts.items()}
+
+    def profile_distribution(self) -> dict[str, float]:
+        """Normalized template shares of the decayed long-term profile."""
+        total = sum(self._profile.values())
+        if not total:
+            return {}
+        return {fp: v / total for fp, v in self._profile.items()}
+
+    # ------------------------------------------------------------------
+    # Bridge back to the batch stack
+
+    def snapshot(self, name: str | None = None) -> Workload:
+        """The active window as a plain, advisor-ready ``Workload``.
+
+        One query per template currently in the window, in first-seen
+        order (deterministic for a deterministic stream), weighted by
+        its window count and carrying the template's first observed
+        statement as the concrete SQL.
+        """
+        templates = sorted(
+            (self._templates[fp] for fp in self._window_counts),
+            key=lambda t: t.sequence,
+        )
+        queries = [
+            Query(
+                name=t.template_id,
+                sql=t.example_sql,
+                weight=float(self._window_counts[t.fingerprint]),
+            )
+            for t in templates
+        ]
+        return Workload(
+            queries=queries, name=name or f"online@{self._observed}"
+        )

@@ -1,0 +1,311 @@
+"""The online tuner: observe → detect drift → re-advise → apply or hold.
+
+A daemon-style loop over the streaming pieces: statements flow into a
+:class:`~repro.online.monitor.WorkloadMonitor`; every ``check_interval``
+statements the :class:`~repro.online.drift.DriftDetector` compares the
+active window against the distribution the standing recommendation was
+computed for; on drift the batch :class:`IlpIndexAdvisor` re-runs over
+the window snapshot **through the shared CostCache**, so steady-state
+re-advising rehydrates INUM models from cached snapshots and performs
+no raw optimizer calls for templates it has already modeled.
+
+Hysteresis: a new design is only *adopted* ("recommended") when its
+projected per-window benefit over the standing design exceeds the
+estimated cost of building the new indexes — Equation-1 leaf pages
+times a configurable per-page write cost. Otherwise the result is
+logged as "held": the advisor's opinion is recorded, the design stands,
+and no build is suggested. This is what keeps a production loop from
+thrashing indexes on marginal improvements. One exception: a switch
+that builds *nothing* (the proposal only drops indexes the new window
+no longer uses) is free, so it is adopted whenever it does not lose
+cost — that is how the standing design sheds stale indexes and
+converges to the batch answer after a workload shift. Re-adding a
+dropped index later pays full build cost, so drop-then-rebuild cycles
+cannot oscillate for free.
+
+Every step emits a typed :class:`TuningEvent`
+(``observed``/``drifted``/``re-advised``/``recommended``/``held``)
+consumable by tests, benchmarks, and the CLI.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.advisor.ilp_advisor import AdvisorResult, IlpIndexAdvisor
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import Index, index_signature
+from repro.errors import ReproError
+from repro.online.drift import DriftDetector, DriftReport
+from repro.online.monitor import QueryTemplate, WorkloadMonitor
+from repro.optimizer.config import PlannerConfig
+from repro.parallel.caches import CostCache
+
+EVENT_KINDS = ("observed", "drifted", "re-advised", "recommended", "held")
+
+
+@dataclass(frozen=True)
+class TuningEvent:
+    """One step of the tuning loop, as seen from outside."""
+
+    kind: str  # one of EVENT_KINDS
+    sequence: int  # monitor.observed at emission time
+    detail: str = ""
+    result: AdvisorResult | None = field(
+        default=None, repr=False, compare=False
+    )
+
+
+class OnlineTuner:
+    """Continuous index tuning over a statement stream.
+
+    Usable as a context manager (``with parinda.online(...) as tuner:``);
+    entering/exiting carries no side effects — the context form simply
+    scopes the tuning session in caller code.
+
+    Args:
+        catalog: The catalog to advise against (never mutated).
+        config: Planner configuration shared with the advisor.
+        budget_pages: Storage budget handed to every re-advise.
+        monitor / detector: Injectable for tests; defaults are built
+            from ``window_size``/``decay`` and the drift thresholds.
+        check_interval: Statements between drift checks once warm.
+        warmup: Statements before the first (unconditional) advise;
+            defaults to ``window_size`` so the first snapshot is a full
+            window.
+        build_cost_per_page: Hysteresis write cost per Equation-1 index
+            page; the projected per-window benefit of switching designs
+            must exceed ``new pages × this`` for adoption.
+        cost_cache: Share a :class:`CostCache` (e.g. the Parinda
+            facade's); by default a bounded private cache is created —
+            a long-lived tuner must not grow without limit.
+        cache_max_entries: Bound for the private cache when
+            ``cost_cache`` is not supplied.
+        listener: Optional callback invoked with every
+            :class:`TuningEvent` as it is emitted (the CLI streams
+            these); exceptions propagate to the observe() caller.
+        max_events: Ring-buffer size of the retained event log
+            (counters in :attr:`event_counts` are never truncated).
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        config: PlannerConfig | None = None,
+        *,
+        budget_pages: int,
+        monitor: WorkloadMonitor | None = None,
+        detector: DriftDetector | None = None,
+        window_size: int = 128,
+        decay: float = 0.995,
+        check_interval: int = 32,
+        warmup: int | None = None,
+        build_cost_per_page: float = 4.0,
+        workers: int = 1,
+        parallel_mode: str = "auto",
+        cost_cache: CostCache | None = None,
+        cache_max_entries: int = 4096,
+        listener: Callable[[TuningEvent], None] | None = None,
+        max_events: int = 10000,
+    ) -> None:
+        if budget_pages <= 0:
+            raise ReproError("budget_pages must be positive")
+        if check_interval <= 0:
+            raise ReproError("check_interval must be positive")
+        if build_cost_per_page < 0:
+            raise ReproError("build_cost_per_page must be non-negative")
+        self._catalog = catalog
+        self._config = config or PlannerConfig()
+        self.budget_pages = budget_pages
+        self.monitor = monitor or WorkloadMonitor(
+            window_size=window_size, decay=decay
+        )
+        self.detector = detector or DriftDetector()
+        self.check_interval = check_interval
+        self.warmup = warmup if warmup is not None else self.monitor.window_size
+        self.build_cost_per_page = build_cost_per_page
+        self.cache = (
+            cost_cache
+            if cost_cache is not None
+            else CostCache(max_entries=cache_max_entries)
+        )
+        self._advisor = IlpIndexAdvisor(
+            catalog,
+            self._config,
+            workers=workers,
+            parallel_mode=parallel_mode,
+            cost_cache=self.cache,
+        )
+        self._listener = listener
+        self._events: deque[TuningEvent] = deque(maxlen=max_events)
+        self.event_counts: dict[str, int] = {k: 0 for k in EVENT_KINDS}
+        # The distribution the standing recommendation was computed for
+        # (None until the warmup advise) and the design in force.
+        self._baseline: dict[str, float] | None = None
+        self._last_check = 0
+        self.design: list[Index] = []
+        self.last_result: AdvisorResult | None = None
+        self.last_drift: DriftReport | None = None
+        self.readvise_count = 0
+
+    # ------------------------------------------------------------------
+    # Context-manager sugar
+
+    def __enter__(self) -> "OnlineTuner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+    # ------------------------------------------------------------------
+    # The loop
+
+    def observe(self, sql: str) -> QueryTemplate:
+        """Ingest one statement; drift checks and re-advising happen
+        here, synchronously, so callers control the cadence."""
+        template = self.monitor.observe(sql)
+        sequence = self.monitor.observed
+        self._emit("observed", sequence, template.template_id)
+
+        if self._baseline is None:
+            if sequence >= self.warmup:
+                self.readvise(reason="warmup")
+            return template
+
+        if sequence - self._last_check >= self.check_interval:
+            self._last_check = sequence
+            report = self.detector.compare(
+                self._baseline, self.monitor.window_distribution()
+            )
+            self.last_drift = report
+            if report.drifted:
+                self._emit("drifted", sequence, report.reason)
+                self.readvise(reason=report.reason)
+        return template
+
+    def run(self, statements: Iterable[str]) -> AdvisorResult | None:
+        """Feed a whole stream; returns the last advisor result."""
+        for sql in statements:
+            self.observe(sql)
+        return self.last_result
+
+    def readvise(self, reason: str = "forced") -> AdvisorResult:
+        """Re-run the batch advisor over the current window snapshot.
+
+        Normally invoked by :meth:`observe` on warmup/drift; public so
+        callers (and tests) can force a re-advise. Emits ``re-advised``
+        followed by ``recommended`` (design adopted) or ``held``
+        (projected benefit below the build-cost threshold).
+        """
+        if not self.monitor.observed:
+            raise ReproError("nothing observed yet; stream statements first")
+        sequence = self.monitor.observed
+        workload = self.monitor.snapshot()
+        result = self._advisor.recommend(workload, self.budget_pages)
+        self.readvise_count += 1
+        self.last_result = result
+        self._baseline = self.monitor.window_distribution()
+        self._last_check = sequence
+        self._emit(
+            "re-advised",
+            sequence,
+            f"{reason}; {len(workload)} templates, "
+            f"{len(result.indexes)} indexes proposed",
+            result,
+        )
+        self._apply_hysteresis(sequence, workload, result)
+        return result
+
+    # ------------------------------------------------------------------
+    # Hysteresis
+
+    def _apply_hysteresis(
+        self, sequence: int, workload, result: AdvisorResult
+    ) -> None:
+        old_signatures = {index_signature(ix) for ix in self.design}
+        new_signatures = {index_signature(ix) for ix in result.indexes}
+        if new_signatures == old_signatures:
+            self._emit("held", sequence, "design unchanged")
+            return
+
+        # Per-window benefit of switching: price the standing design and
+        # the proposed one with the same INUM models the advisor used —
+        # all served from the shared cache, zero optimizer calls.
+        models = self._advisor.build_models(workload, cost_cache=self.cache)
+        standing = tuple(self.design)
+        proposed = tuple(result.indexes)
+        cost_standing = sum(
+            models[q.name].estimate(standing) * q.weight for q in workload
+        )
+        cost_proposed = sum(
+            models[q.name].estimate(proposed) * q.weight for q in workload
+        )
+        benefit = cost_standing - cost_proposed
+
+        build_pages = sum(
+            self._index_pages(ix)
+            for ix in result.indexes
+            if index_signature(ix) not in old_signatures
+        )
+        build_cost = build_pages * self.build_cost_per_page
+
+        # A drop-only switch (no pages to build) releases storage for
+        # free; adopt it as long as it does not cost anything.
+        free_switch = build_pages == 0 and benefit >= 0
+        if benefit > build_cost or free_switch:
+            self.design = list(result.indexes)
+            self._emit(
+                "recommended",
+                sequence,
+                "drop-only switch, no builds needed"
+                if free_switch and benefit <= build_cost
+                else f"benefit {benefit:.0f} > build {build_cost:.0f} "
+                f"({build_pages} new pages)",
+                result,
+            )
+        else:
+            self._emit(
+                "held",
+                sequence,
+                f"benefit {benefit:.0f} <= build {build_cost:.0f} "
+                f"({build_pages} new pages)",
+                result,
+            )
+
+    def _index_pages(self, index: Index) -> int:
+        """Equation-1 size of one proposed index, via the shared cache."""
+        table = self._catalog.table(index.table_name)
+        stats = self._catalog.statistics(index.table_name)
+        return self.cache.index_pages(
+            self._catalog, table, index, stats.table.row_count, stats.columns
+        )
+
+    # ------------------------------------------------------------------
+    # Event log
+
+    def _emit(
+        self,
+        kind: str,
+        sequence: int,
+        detail: str,
+        result: AdvisorResult | None = None,
+    ) -> None:
+        event = TuningEvent(
+            kind=kind, sequence=sequence, detail=detail, result=result
+        )
+        self.event_counts[kind] += 1
+        self._events.append(event)
+        if self._listener is not None:
+            self._listener(event)
+
+    @property
+    def events(self) -> list[TuningEvent]:
+        """The retained event log (most recent ``max_events``)."""
+        return list(self._events)
+
+    def events_of(self, kind: str) -> list[TuningEvent]:
+        if kind not in EVENT_KINDS:
+            raise ReproError(f"unknown event kind {kind!r}")
+        return [e for e in self._events if e.kind == kind]

@@ -31,12 +31,24 @@ Sections:
     what makes repeated ``recommend`` / what-if rounds against an
     unchanged catalog cheap, and models rehydrated from a snapshot
     estimate bit-identically to freshly built ones.
+
+Bounding
+    By default sections grow without limit, which is fine for one-shot
+    advisor calls but not for a long-lived process (the online tuner, a
+    long interactive session): every DDL strands the previous catalog
+    version's entries, unreachable but retained. Pass ``max_entries``
+    to cap each section; insertion past the cap evicts entries tagged
+    with a *stale* catalog version first (they can never be served
+    again) and falls back to plain LRU among current-version entries.
+    Eviction never changes results — values are pure functions of their
+    keys, so an evicted entry is simply recomputed on the next lookup.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Mapping
 
@@ -44,6 +56,7 @@ from repro.catalog.catalog import Catalog
 from repro.catalog.schema import Index, Table
 from repro.catalog.sizing import BTREE_LEAF_FILLFACTOR, estimate_index_pages
 from repro.catalog.statistics import ColumnStats
+from repro.errors import ReproError
 from repro.sql.binder import BoundQuery, bind
 from repro.sql.parser import parse_select
 
@@ -52,10 +65,12 @@ SECTIONS = ("index_pages", "seq_cost", "access", "bind", "inum")
 
 @dataclass
 class SectionCounters:
-    """Hit/miss bookkeeping for one cache section."""
+    """Hit/miss/eviction bookkeeping for one cache section."""
 
     hits: int = 0
     misses: int = 0
+    evictions: int = 0
+    peak_size: int = 0
 
     @property
     def lookups(self) -> int:
@@ -73,14 +88,42 @@ class CostCache:
     (or handed in by the caller to share across calls); the same
     instance may be read and written concurrently by worker threads
     building INUM models.
+
+    Args:
+        max_entries: Per-section entry cap. ``None`` (default) means
+            unbounded; an int applies to every section; a mapping caps
+            individual sections (missing sections stay unbounded).
+            Long-lived owners (the online tuner, the Parinda facade in
+            a daemon) should set a bound so stale catalog versions are
+            evicted instead of accreting forever.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_entries: int | Mapping[str, int] | None = None) -> None:
         self._lock = threading.Lock()
-        self._data: dict[str, dict[Any, Any]] = {s: {} for s in SECTIONS}
+        self._data: dict[str, OrderedDict[Any, Any]] = {
+            s: OrderedDict() for s in SECTIONS
+        }
         self._counters: dict[str, SectionCounters] = {
             s: SectionCounters() for s in SECTIONS
         }
+        if max_entries is None:
+            self._bounds: dict[str, int | None] = {s: None for s in SECTIONS}
+        elif isinstance(max_entries, int):
+            if max_entries <= 0:
+                raise ReproError("max_entries must be positive")
+            self._bounds = {s: max_entries for s in SECTIONS}
+        else:
+            unknown = set(max_entries) - set(SECTIONS)
+            if unknown:
+                raise ReproError(f"unknown cache sections: {sorted(unknown)}")
+            if any(v is not None and v <= 0 for v in max_entries.values()):
+                raise ReproError("per-section max_entries must be positive")
+            self._bounds = {s: max_entries.get(s) for s in SECTIONS}
+        # Which catalog version each entry was computed against, and the
+        # most recent version seen per section — bounded sections evict
+        # stale-version entries (unreachable after any DDL) first.
+        self._entry_catalog: dict[str, dict[Any, Any]] = {s: {} for s in SECTIONS}
+        self._latest_catalog: dict[str, Any] = {}
         # Hooks referenced by config fingerprints are pinned so their
         # id() — part of the fingerprint — cannot be reused after GC.
         self._pinned_hooks: list[object] = []
@@ -90,24 +133,86 @@ class CostCache:
 
     _MISS = object()
 
-    def lookup(self, section: str, key: Any, compute: Callable[[], Any]) -> Any:
+    def lookup(
+        self,
+        section: str,
+        key: Any,
+        compute: Callable[[], Any],
+        catalog_key: Any = None,
+    ) -> Any:
         """Return the cached value for ``key``, computing it on a miss.
 
-        Lock-free: dict get/set are atomic under the GIL, values are
-        pure functions of their keys (a racing duplicate computation is
-        benign), and counter increments that race merely undercount —
-        counters are diagnostics, not part of the determinism contract.
+        ``catalog_key`` tags the entry with the catalog version it was
+        computed against; bounded sections use it to evict stale
+        versions first.
+
+        Unbounded sections are lock-free: dict get/set are atomic under
+        the GIL, values are pure functions of their keys (a racing
+        duplicate computation is benign), and counter increments that
+        race merely undercount — counters are diagnostics, not part of
+        the determinism contract. Bounded sections take the lock around
+        bookkeeping because LRU reordering and eviction mutate shared
+        ordering state.
         """
         store = self._data[section]
         counter = self._counters[section]
-        value = store.get(key, CostCache._MISS)
-        if value is not CostCache._MISS:
-            counter.hits += 1
+        bound = self._bounds[section]
+        if bound is None:
+            value = store.get(key, CostCache._MISS)
+            if value is not CostCache._MISS:
+                counter.hits += 1
+                return value
+            counter.misses += 1
+            value = compute()
+            store[key] = value
+            if len(store) > counter.peak_size:
+                counter.peak_size = len(store)
             return value
-        counter.misses += 1
+
+        with self._lock:
+            if catalog_key is not None:
+                self._latest_catalog[section] = catalog_key
+            value = store.get(key, CostCache._MISS)
+            if value is not CostCache._MISS:
+                counter.hits += 1
+                store.move_to_end(key)
+                return value
+            counter.misses += 1
+        # Compute outside the lock: values are pure functions of their
+        # keys, so a racing duplicate computation yields the same value.
         value = compute()
-        store[key] = value
+        with self._lock:
+            if key not in store:
+                store[key] = value
+                self._entry_catalog[section][key] = catalog_key
+                while len(store) > bound:
+                    self._evict_one(section, store, counter)
+                # Peak is observed after trimming: a bounded section
+                # never reports a peak above its bound.
+                if len(store) > counter.peak_size:
+                    counter.peak_size = len(store)
         return value
+
+    def _evict_one(
+        self, section: str, store: OrderedDict, counter: SectionCounters
+    ) -> None:
+        """Evict one entry: stale catalog versions first, then LRU.
+
+        Caller holds ``self._lock``; ``store`` is non-empty.
+        """
+        tags = self._entry_catalog[section]
+        latest = self._latest_catalog.get(section)
+        victim = None
+        if latest is not None:
+            for key in store:  # iterates LRU → MRU
+                if tags.get(key) != latest:
+                    victim = key
+                    break
+        if victim is None:
+            victim = next(iter(store))
+        del store[victim]
+        tags.pop(victim, None)
+        counter.evictions += 1
 
     # ------------------------------------------------------------------
     # Typed helpers
@@ -133,6 +238,7 @@ class CostCache:
             lambda: estimate_index_pages(
                 table, index, row_count, column_stats, fillfactor
             ),
+            catalog_key=catalog.cache_key,
         )
 
     def seq_cost(
@@ -150,18 +256,25 @@ class CostCache:
         number of quals evaluated per tuple.
         """
         key = (catalog.cache_key, config_fp, table_name, qual_count)
-        return self.lookup("seq_cost", key, compute)
+        return self.lookup(
+            "seq_cost", key, compute, catalog_key=catalog.cache_key
+        )
 
-    def access_info(self, key: Any, compute: Callable[[], Any]) -> Any:
+    def access_info(
+        self, key: Any, compute: Callable[[], Any], catalog_key: Any = None
+    ) -> Any:
         """Memoized INUM access info, shared across queries whose
         restriction signature on the relation is identical."""
-        return self.lookup("access", key, compute)
+        return self.lookup("access", key, compute, catalog_key=catalog_key)
 
     def bound_query(self, catalog: Catalog, sql: str) -> BoundQuery:
         """Parse+bind ``sql`` once per catalog version."""
         key = (catalog.cache_key, sql)
         return self.lookup(
-            "bind", key, lambda: bind(catalog, parse_select(sql))
+            "bind",
+            key,
+            lambda: bind(catalog, parse_select(sql)),
+            catalog_key=catalog.cache_key,
         )
 
     def inum_snapshot(
@@ -179,7 +292,9 @@ class CostCache:
         is. A hit turns model construction into rehydration.
         """
         key = (catalog.cache_key, config_fp, sql, max_combinations)
-        return self.lookup("inum", key, compute)
+        return self.lookup(
+            "inum", key, compute, catalog_key=catalog.cache_key
+        )
 
     def contains(self, section: str, key: Any) -> bool:
         """Whether ``key`` is cached (no counter side effects)."""
@@ -229,11 +344,24 @@ class CostCache:
                 "hits": counter.hits,
                 "misses": counter.misses,
                 "hit_rate": round(counter.hit_rate, 4),
+                "evictions": counter.evictions,
+                "size": len(self._data[section]),
+                "peak_size": counter.peak_size,
             }
             for section, counter in self._counters.items()
         }
+
+    def section_size(self, section: str) -> int:
+        """Current entry count of one section."""
+        return len(self._data[section])
+
+    @property
+    def evictions(self) -> int:
+        return sum(c.evictions for c in self._counters.values())
 
     def clear(self) -> None:
         with self._lock:
             for store in self._data.values():
                 store.clear()
+            for tags in self._entry_catalog.values():
+                tags.clear()

@@ -50,7 +50,11 @@ class EvaluationEngine:
             serial execution on a single core — where any pool is pure
             overhead and results are identical by construction. Process
             mode requires picklable payloads and falls back to threads
-            when pickling fails.
+            when pickling fails. The ``REPRO_PARALLEL_MODE`` environment
+            variable (``serial``/``thread``/``process``) overrides the
+            auto heuristic — CI uses it to force the process-pool
+            snapshot transport path on any machine; an explicit ``mode``
+            argument still wins over the environment.
     """
 
     def __init__(self, workers: int = 1, mode: str = "auto") -> None:
@@ -62,6 +66,9 @@ class EvaluationEngine:
     def resolve_mode(self) -> str:
         if self.mode != "auto":
             return self.mode
+        forced = os.environ.get("REPRO_PARALLEL_MODE", "").strip().lower()
+        if forced in ("serial", "thread", "process"):
+            return forced
         cores = os.cpu_count() or 1
         if cores > 2:
             return "process"

@@ -14,6 +14,16 @@ PARINDA §3.3:
    constraint* (total fragment size vs. original table size) allows.
 4. Iterate until no candidate improves the workload; suggest the final
    layout with per-query benefits and the rewritten workload.
+
+Prepared-state sharing: candidate layouts within (and across) composite
+steps overlap almost entirely — one trial changes one table's fragments
+and leaves everything else alone. One ``recommend`` call therefore
+shares three things across its trial sessions instead of rebuilding
+them per trial: fragment *shells* and their derived statistics (keyed
+by the physical fragment), rewritten-and-rebound query forms (keyed by
+the query and its layout signature, valid across sessions because the
+shells are shared objects), and what-if costs. ``shells_shared`` /
+``rebinds_shared`` on the result report how often reuse hit.
 """
 
 from __future__ import annotations
@@ -40,6 +50,7 @@ from repro.partitioning.rewrite import PartitionRewriter
 from repro.sql.binder import bind
 from repro.sql.printer import to_sql
 from repro.whatif.session import WhatIfSession
+from repro.whatif.tables import derive_partition_stats, make_partition_shell
 from repro.workloads.workload import Workload
 
 _MIN_IMPROVEMENT = 1e-6
@@ -58,6 +69,8 @@ class PartitionAdvisorResult:
     evaluations: int
     elapsed_seconds: float
     replication_limit: float
+    shells_shared: int = 0
+    rebinds_shared: int = 0
 
     @property
     def speedup(self) -> float:
@@ -150,6 +163,12 @@ class AutoPartAdvisor:
 
         self._evaluations = 0
         self._cost_cache: dict[tuple, float] = {}
+        # Prepared state shared across every trial session of this call:
+        # fragment shells + derived stats, and rewritten+rebound queries.
+        self._shell_cache: dict[tuple, tuple] = {}
+        self._rebind_cache: dict[tuple, tuple] = {}
+        self._shells_shared = 0
+        self._rebinds_shared = 0
         self._cache_lock = threading.Lock()
         # Bind each query once; every layout evaluation starts from the
         # same bound form (rewrites re-bind against the shell catalog).
@@ -183,6 +202,8 @@ class AutoPartAdvisor:
         )
         result.elapsed_seconds = time.perf_counter() - started
         result.evaluations = self._evaluations
+        result.shells_shared = self._shells_shared
+        result.rebinds_shared = self._rebinds_shared
         return result
 
     # ------------------------------------------------------------------
@@ -331,7 +352,7 @@ class AutoPartAdvisor:
                 continue
             # Costs are pure functions of (query, layout signature): a
             # racing duplicate computation outside the lock is benign.
-            cost = self._query_cost(query, session, rewriter)
+            cost = self._query_cost(query, session, rewriter, signature)
             with self._cache_lock:
                 self._cost_cache[(query.name, signature)] = cost
                 self._evaluations += 1
@@ -351,25 +372,76 @@ class AutoPartAdvisor:
             scheme = PartitionScheme(table_name=table_name, fragments=physical)
             schemes[table_name] = scheme
             for position in range(len(physical)):
-                session.add_partition_table(
-                    table_name,
-                    physical[position],
-                    scheme.fragment_name(position),
+                shell, stats = self._shell_for(
+                    table_name, physical[position], scheme.fragment_name(position)
                 )
+                session.add_table(shell, stats)
         rewriter = PartitionRewriter(schemes) if schemes else None
         return session, rewriter
+
+    def _shell_for(
+        self, table_name: str, physical: tuple[str, ...], fragment_name: str
+    ) -> tuple:
+        """One shell table + derived statistics per distinct fragment.
+
+        Trial layouts overlap almost entirely, so the same fragment is
+        registered in many sessions; building the shell and deriving its
+        statistics once makes the shell *objects* shared — which is also
+        what lets rebound queries transfer between sessions.
+        """
+        key = (table_name, physical, fragment_name)
+        with self._cache_lock:
+            entry = self._shell_cache.get(key)
+            if entry is not None:
+                self._shells_shared += 1
+                return entry
+        parent = self._catalog.table(table_name)
+        parent_stats = self._catalog.statistics(table_name)
+        shell = make_partition_shell(parent, physical, fragment_name)
+        stats = derive_partition_stats(parent, parent_stats, shell)
+        with self._cache_lock:
+            # A racing duplicate build is benign; keep the first.
+            entry = self._shell_cache.setdefault(key, (shell, stats))
+        return entry
+
+    def _rewritten_for(
+        self,
+        query,
+        signature: tuple,
+        session: WhatIfSession,
+        rewriter: PartitionRewriter,
+    ) -> tuple:
+        """The rewritten AST + rebound form of ``query`` under a layout.
+
+        Keyed by the layout signature restricted to the query's tables:
+        any trial session registering the same fragments for those
+        tables serves the identical shell objects, so one rebound query
+        is valid in all of them (``_finalize`` reuses the forms priced
+        during the search instead of re-rewriting the final layout).
+        """
+        key = (query.name, signature)
+        with self._cache_lock:
+            entry = self._rebind_cache.get(key)
+            if entry is not None:
+                self._rebinds_shared += 1
+                return entry
+        rewritten = rewriter.rewrite(self._bound[query.name])
+        rebound = bind(session.catalog, rewritten)
+        with self._cache_lock:
+            entry = self._rebind_cache.setdefault(key, (rewritten, rebound))
+        return entry
 
     def _query_cost(
         self,
         query,
         session: WhatIfSession,
         rewriter: PartitionRewriter | None,
+        signature: tuple,
     ) -> float:
         bound = self._bound[query.name]
         if rewriter is None:
             return Planner(self._catalog, self._config).plan(bound).total_cost
-        rewritten = rewriter.rewrite(bound)
-        rebound = bind(session.catalog, rewritten)
+        _, rebound = self._rewritten_for(query, signature, session, rewriter)
         return session.planner().plan(rebound).total_cost
 
     # ------------------------------------------------------------------
@@ -396,18 +468,32 @@ class AutoPartAdvisor:
         per_query: list[QueryBenefit] = []
         rewritten_sql: dict[str, str] = {}
         baseline_planner = Planner(self._catalog, self._config)
+        empty = _Layout()
         for query in workload:
             bound = self._bound[query.name]
-            before = baseline_planner.plan(bound).total_cost * query.weight
+            tables = self._query_tables[query.name]
+            base_cost = self._cost_cache.get(
+                (query.name, empty.signature(tables))
+            )
+            if base_cost is None:
+                base_cost = baseline_planner.plan(bound).total_cost
+            before = base_cost * query.weight
             if rewriter is None:
                 after = before
                 rewritten_sql[query.name] = query.sql.strip()
                 used: list[str] = []
             else:
-                rewritten = rewriter.rewrite(bound)
+                # The final layout was priced during the search; both the
+                # rewritten form and its cost come from the shared caches.
+                signature = layout.signature(tables)
+                rewritten, rebound = self._rewritten_for(
+                    query, signature, session, rewriter
+                )
                 rewritten_sql[query.name] = to_sql(rewritten)
-                rebound = bind(session.catalog, rewritten)
-                after = session.planner().plan(rebound).total_cost * query.weight
+                cost = self._cost_cache.get((query.name, signature))
+                if cost is None:
+                    cost = session.planner().plan(rebound).total_cost
+                after = cost * query.weight
                 used = sorted({t.name for t in rewritten.tables if "__frag" in t.name})
             per_query.append(
                 QueryBenefit(

@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import IO, Iterable, Iterator
 
 from repro.catalog.catalog import Catalog
 from repro.errors import ReproError
@@ -89,7 +90,27 @@ class Workload:
         Mirrors the demo GUI's "workload file" input. Lines starting
         with ``--`` are comments.
         """
-        with open(path) as handle:
+        return cls.from_sql(list(iter_statements(path)), name=name or path)
+
+
+def iter_statements(source: str | IO[str] | Iterable[str] | None) -> Iterator[str]:
+    """Yield semicolon-separated SQL statements from ``source``.
+
+    ``source`` may be a file path, ``"-"`` or ``None`` for stdin, an
+    open text stream, or any iterable of text chunks. Statements are
+    stripped; empty ones are dropped. Comments (``--``, ``/* */``) pass
+    through untouched — the tokenizer skips them. This is the single
+    statement reader shared by ``Workload.from_file``, the CLI's
+    ``tune --stream``, and the replay harness.
+    """
+    if source is None or source == "-":
+        text = sys.stdin.read()
+    elif isinstance(source, str):
+        with open(source) as handle:
             text = handle.read()
-        statements = [s.strip() for s in text.split(";") if s.strip()]
-        return cls.from_sql(statements, name=name or path)
+    else:
+        text = "".join(source)
+    for statement in text.split(";"):
+        statement = statement.strip()
+        if statement:
+            yield statement

@@ -126,3 +126,32 @@ class TestFallback:
         advisor = AutoPartAdvisor(db.catalog, max_iterations=3)
         result = advisor.recommend(full_scan)
         assert result.cost_after <= result.cost_before * 1.0001
+
+
+class TestPreparedStateSharing:
+    """Shells, statistics, and rebound queries are built once per
+    distinct fragment / (query, layout) pair, then shared across every
+    trial session of one recommend() call."""
+
+    def test_sharing_counters_populated(self, result):
+        assert result.shells_shared > 0
+        assert result.rebinds_shared > 0
+
+    def test_sharing_does_not_change_the_answer(self, db, result):
+        parallel = AutoPartAdvisor(
+            db.catalog, replication_limit=0.25, max_iterations=6, workers=4
+        ).recommend(WORKLOAD)
+        assert parallel.schemes == result.schemes
+        assert parallel.cost_before == result.cost_before
+        assert parallel.cost_after == result.cost_after
+        assert parallel.rewritten_sql == result.rewritten_sql
+        assert [
+            (b.name, b.cost_before, b.cost_after) for b in parallel.per_query
+        ] == [(b.name, b.cost_before, b.cost_after) for b in result.per_query]
+
+    def test_final_layout_reuses_trial_state(self, result):
+        # Finalization re-renders every query of the final layout; all
+        # of those forms were already built while pricing trials, so
+        # each rewritten query contributes at least one shared rebind.
+        assert result.schemes  # every query's table is partitioned
+        assert result.rebinds_shared >= len(result.per_query)

@@ -1,0 +1,412 @@
+"""Online tuning subsystem: monitor, drift detection, tuner loop, CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.advisor.ilp_advisor import IlpIndexAdvisor
+from repro.catalog.schema import index_signature
+from repro.cli import main as cli_main
+from repro.core.parinda import Parinda
+from repro.errors import ReproError
+from repro.online import (
+    DriftDetector,
+    OnlineTuner,
+    WorkloadMonitor,
+    canonicalize,
+    render_statement,
+)
+from repro.sql.tokenizer import Token, TokenType, tokenize
+from repro.workloads.sdss import build_sdss_database, sdss_workload
+
+PRE = ("q01_box_search", "q05_star_colors", "q15_spec_redshift_join")
+POST = ("q11_qso_color_cut", "q17_qso_spectra", "q26_field_objects")
+BUDGET = 200
+
+
+@pytest.fixture(scope="module")
+def sdss_db():
+    return build_sdss_database(photo_rows=1000, seed=42)
+
+
+@pytest.fixture(scope="module")
+def sdss_wl():
+    return sdss_workload()
+
+
+def vary(sql: str, salt: int) -> str:
+    """A literal-varied instance of ``sql`` (same template)."""
+    out = []
+    occurrence = 0
+    for token in tokenize(sql):
+        if token.type is TokenType.NUMBER and "." in token.value:
+            occurrence += 1
+            nudged = float(token.value) + (salt * 31 + occurrence) * 1e-7
+            token = Token(TokenType.NUMBER, repr(nudged), token.position)
+        out.append(token)
+    return render_statement(out)
+
+
+def stream_of(workload, names, rounds, salt0=0):
+    sql_of = {n: workload.query(n).sql.strip() for n in names}
+    return [
+        vary(sql_of[name], salt0 + r) for r in range(rounds) for name in names
+    ]
+
+
+# ----------------------------------------------------------------------
+# Canonicalization
+
+
+class TestCanonicalize:
+    def test_literals_do_not_matter(self):
+        a = canonicalize("SELECT ra FROM photoobj WHERE ra < 180.5 AND dec > 2")
+        b = canonicalize("select ra from photoobj where ra < 12.25 and dec > 9")
+        assert a == b
+        assert "?" in a
+
+    def test_string_literals_stripped(self):
+        a = canonicalize("SELECT z FROM specobj WHERE specclass = 'qso'")
+        b = canonicalize("SELECT z FROM specobj WHERE specclass = 'star'")
+        assert a == b
+
+    def test_structure_does_matter(self):
+        a = canonicalize("SELECT ra FROM photoobj WHERE ra < 1")
+        b = canonicalize("SELECT dec FROM photoobj WHERE ra < 1")
+        assert a != b
+
+    def test_whitespace_and_case_do_not_matter(self):
+        a = canonicalize("SELECT  ra\nFROM photoobj   WHERE ra < 1")
+        b = canonicalize("select ra from photoobj where ra < 1")
+        assert a == b
+
+    def test_empty_statement_rejected(self):
+        with pytest.raises(ReproError):
+            canonicalize("   -- just a comment")
+
+    def test_render_round_trip(self, sdss_wl):
+        for name in PRE:
+            sql = sdss_wl.query(name).sql
+            rendered = render_statement(list(tokenize(sql)))
+            assert canonicalize(rendered) == canonicalize(sql)
+
+    def test_varied_instances_share_template(self):
+        sql = "SELECT objid FROM photoobj WHERE ra < 180.5 AND dec > 20.25"
+        fingerprints = {canonicalize(vary(sql, salt)) for salt in range(5)}
+        assert len(fingerprints) == 1
+        # ... while the concrete statements genuinely differ.
+        assert len({vary(sql, salt) for salt in range(5)}) == 5
+
+    def test_trailing_semicolon_ignored(self):
+        assert canonicalize("SELECT ra FROM photoobj WHERE ra < 1.5;") == (
+            canonicalize("SELECT ra FROM photoobj WHERE ra < 9.25")
+        )
+
+
+# ----------------------------------------------------------------------
+# The monitor
+
+
+class TestWorkloadMonitor:
+    A = "SELECT ra FROM photoobj WHERE ra < 1.5"
+    B = "SELECT dec FROM photoobj WHERE dec < 1.5"
+
+    def test_window_slides(self):
+        monitor = WorkloadMonitor(window_size=4)
+        for salt in range(4):
+            monitor.observe(vary(self.A, salt))
+        for salt in range(3):
+            monitor.observe(vary(self.B, salt))
+        counts = monitor.window_counts
+        a_fp, b_fp = canonicalize(self.A), canonicalize(self.B)
+        assert counts == {a_fp: 1, b_fp: 3}
+        assert monitor.observed == 7
+
+    def test_window_distribution_normalized(self):
+        monitor = WorkloadMonitor(window_size=8)
+        monitor.observe(self.A)
+        monitor.observe(self.B)
+        monitor.observe(self.B)
+        dist = monitor.window_distribution()
+        assert dist[canonicalize(self.A)] == pytest.approx(1 / 3)
+        assert dist[canonicalize(self.B)] == pytest.approx(2 / 3)
+        assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_profile_decays_toward_recent(self):
+        monitor = WorkloadMonitor(window_size=100, decay=0.5)
+        for _ in range(3):
+            monitor.observe(self.A)
+        for _ in range(3):
+            monitor.observe(self.B)
+        profile = monitor.profile_distribution()
+        # Same observation counts, but B is more recent: with decay 0.5
+        # it must dominate the long-term profile.
+        assert profile[canonicalize(self.B)] > 2 * profile[canonicalize(self.A)]
+
+    def test_profile_renormalization_is_scale_invariant(self):
+        monitor = WorkloadMonitor(window_size=8, decay=0.01)
+        for _ in range(12):  # forces several renormalizations
+            monitor.observe(self.A)
+        monitor.observe(self.B)
+        profile = monitor.profile_distribution()
+        assert profile[canonicalize(self.B)] > profile[canonicalize(self.A)]
+
+    def test_snapshot_is_an_ordinary_workload(self):
+        monitor = WorkloadMonitor(window_size=8)
+        first = "SELECT ra FROM photoobj WHERE ra < 42.0;"
+        monitor.observe(first)
+        monitor.observe(vary(self.A, 9))
+        monitor.observe(self.B)
+        snapshot = monitor.snapshot()
+        # Template ids are first-seen ordered and stable in shape.
+        names = [q.name for q in snapshot]
+        assert len(names) == 2
+        assert names[0].startswith("t001_") and names[1].startswith("t002_")
+        # The representative SQL is the FIRST observed instance, without
+        # the trailing semicolon, and the weight is the window count.
+        assert snapshot.queries[0].sql == first.rstrip(";")
+        assert snapshot.queries[0].weight == 2.0
+        assert snapshot.queries[1].weight == 1.0
+        assert snapshot.name == "online@3"
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ReproError):
+            WorkloadMonitor(window_size=0)
+        with pytest.raises(ReproError):
+            WorkloadMonitor(decay=0.0)
+        with pytest.raises(ReproError):
+            WorkloadMonitor(decay=1.5)
+
+
+# ----------------------------------------------------------------------
+# Drift detection
+
+
+class TestDriftDetector:
+    def test_identical_distributions_are_stable(self):
+        detector = DriftDetector()
+        dist = {"a": 0.6, "b": 0.4}
+        report = detector.compare(dist, dict(dist))
+        assert not report.drifted
+        assert report.reason == "stable"
+        assert report.total_variation == pytest.approx(0.0)
+
+    def test_small_shift_below_threshold(self):
+        detector = DriftDetector(weight_threshold=0.2)
+        report = detector.compare({"a": 0.6, "b": 0.4}, {"a": 0.5, "b": 0.5})
+        assert not report.drifted
+        assert report.total_variation == pytest.approx(0.1)
+
+    def test_weight_shift_drifts(self):
+        detector = DriftDetector(weight_threshold=0.2)
+        report = detector.compare({"a": 0.9, "b": 0.1}, {"a": 0.3, "b": 0.7})
+        assert report.drifted
+        assert report.total_variation == pytest.approx(0.6)
+        assert "weight shift" in report.reason
+
+    def test_new_template_drifts(self):
+        detector = DriftDetector(weight_threshold=0.9, new_template_share=0.05)
+        report = detector.compare({"a": 1.0}, {"a": 0.8, "b": 0.2})
+        assert report.drifted
+        assert report.new_templates == ("b",)
+
+    def test_tiny_new_template_ignored(self):
+        detector = DriftDetector(weight_threshold=0.9, new_template_share=0.05)
+        report = detector.compare({"a": 1.0}, {"a": 0.99, "b": 0.01})
+        assert not report.drifted
+
+    def test_vanished_template_drifts(self):
+        detector = DriftDetector(
+            weight_threshold=0.9, vanished_template_share=0.05
+        )
+        report = detector.compare({"a": 0.8, "b": 0.2}, {"a": 1.0})
+        assert report.drifted
+        assert report.vanished_templates == ("b",)
+
+
+# ----------------------------------------------------------------------
+# The tuner loop
+
+
+class TestOnlineTuner:
+    def make_tuner(self, db, **kwargs):
+        kwargs.setdefault("budget_pages", BUDGET)
+        kwargs.setdefault("window_size", 9)
+        kwargs.setdefault("check_interval", 3)
+        kwargs.setdefault("build_cost_per_page", 0.25)
+        return OnlineTuner(db.catalog, **kwargs)
+
+    def test_stable_stream_never_readvises(self, sdss_db, sdss_wl):
+        tuner = self.make_tuner(sdss_db)
+        tuner.run(stream_of(sdss_wl, PRE, 12))
+        assert tuner.readvise_count == 1  # warmup only
+        assert tuner.event_counts["drifted"] == 0
+        assert tuner.last_drift is not None and not tuner.last_drift.drifted
+
+    def test_shift_is_detected_and_design_converges(self, sdss_db, sdss_wl):
+        tuner = self.make_tuner(sdss_db)
+        tuner.run(
+            stream_of(sdss_wl, PRE, 6) + stream_of(sdss_wl, POST, 8, salt0=100)
+        )
+        assert tuner.event_counts["drifted"] >= 1
+        assert tuner.readvise_count >= 2
+
+        # Bit-identical to the batch advisor on the same window snapshot.
+        final = tuner.readvise(reason="test")
+        batch = IlpIndexAdvisor(sdss_db.catalog).recommend(
+            tuner.monitor.snapshot(), BUDGET
+        )
+        assert final.indexes == batch.indexes
+        assert final.cost_before == batch.cost_before
+        assert final.cost_after == batch.cost_after
+        assert [
+            (b.name, b.cost_before, b.cost_after) for b in final.per_query
+        ] == [(b.name, b.cost_before, b.cost_after) for b in batch.per_query]
+
+        # The window is pure post-shift: the adopted design must match
+        # the batch answer for the plain post-shift workload.
+        post = type(sdss_wl)(
+            queries=[sdss_wl.query(n) for n in POST], name="post"
+        )
+        batch_post = IlpIndexAdvisor(sdss_db.catalog).recommend(post, BUDGET)
+        assert {index_signature(ix) for ix in tuner.design} == {
+            index_signature(ix) for ix in batch_post.indexes
+        }
+
+    def test_warm_readvise_makes_no_optimizer_calls(self, sdss_db, sdss_wl):
+        tuner = self.make_tuner(sdss_db)
+        tuner.run(stream_of(sdss_wl, PRE, 3))
+        assert tuner.readvise_count == 1
+        misses_before = tuner.cache.counters["inum"].misses
+        assert misses_before == len(PRE)
+        tuner.readvise(reason="warm")
+        tuner.readvise(reason="warm again")
+        # Same templates, same catalog version: every INUM model is
+        # rehydrated from its cached snapshot — zero new builds, hence
+        # zero raw optimizer calls.
+        assert tuner.cache.counters["inum"].misses == misses_before
+        assert tuner.cache.counters["inum"].hits >= 2 * len(PRE)
+
+    def test_hysteresis_holds_marginal_designs(self, sdss_db, sdss_wl):
+        tuner = self.make_tuner(sdss_db, build_cost_per_page=1e9)
+        tuner.run(stream_of(sdss_wl, PRE, 3))
+        assert tuner.readvise_count == 1
+        assert tuner.event_counts["held"] == 1
+        assert tuner.event_counts["recommended"] == 0
+        assert tuner.design == []  # proposal recorded, nothing adopted
+        assert tuner.last_result is not None
+        assert len(tuner.last_result.indexes) > 0
+
+    def test_unchanged_design_is_held_not_readopted(self, sdss_db, sdss_wl):
+        tuner = self.make_tuner(sdss_db)
+        tuner.run(stream_of(sdss_wl, PRE, 3))
+        adopted = tuner.event_counts["recommended"]
+        tuner.readvise(reason="same window")
+        assert tuner.event_counts["recommended"] == adopted
+        held = tuner.events_of("held")
+        assert held and held[-1].detail == "design unchanged"
+
+    def test_cache_bound_respected(self, sdss_db, sdss_wl):
+        tuner = self.make_tuner(sdss_db, cache_max_entries=8)
+        tuner.run(
+            stream_of(sdss_wl, PRE, 4) + stream_of(sdss_wl, POST, 5, salt0=50)
+        )
+        stats = tuner.cache.stats()
+        assert all(entry["peak_size"] <= 8 for entry in stats.values())
+        assert sum(entry["evictions"] for entry in stats.values()) > 0
+
+    def test_event_log_and_listener_agree(self, sdss_db, sdss_wl):
+        seen = []
+        tuner = self.make_tuner(sdss_db, listener=seen.append)
+        tuner.run(stream_of(sdss_wl, PRE, 3))
+        assert seen == tuner.events
+        assert tuner.event_counts["observed"] == 9
+        readvised = tuner.events_of("re-advised")
+        assert readvised and readvised[0].result is tuner.last_result
+
+    def test_context_manager_form(self, sdss_db, sdss_wl):
+        with self.make_tuner(sdss_db) as tuner:
+            for sql in stream_of(sdss_wl, PRE, 3):
+                tuner.observe(sql)
+        assert tuner.readvise_count == 1
+
+    def test_parameter_validation(self, sdss_db):
+        with pytest.raises(ReproError):
+            OnlineTuner(sdss_db.catalog, budget_pages=0)
+        with pytest.raises(ReproError):
+            OnlineTuner(sdss_db.catalog, budget_pages=10, check_interval=0)
+        with pytest.raises(ReproError):
+            OnlineTuner(
+                sdss_db.catalog, budget_pages=10, build_cost_per_page=-1.0
+            )
+        tuner = OnlineTuner(sdss_db.catalog, budget_pages=10)
+        with pytest.raises(ReproError):
+            tuner.readvise()  # nothing observed yet
+        with pytest.raises(ReproError):
+            tuner.events_of("no-such-kind")
+
+
+# ----------------------------------------------------------------------
+# Facade + CLI wiring
+
+
+class TestFacadeAndCli:
+    def test_parinda_online_converts_budget(self, sdss_db):
+        parinda = Parinda(sdss_db)
+        tuner = parinda.online(budget_bytes=16 << 20, window_size=4)
+        assert tuner.budget_pages == (16 << 20) // 8192
+        with pytest.raises(ValueError):
+            parinda.online()
+
+    def test_bounded_facade_shares_its_cache(self, sdss_db):
+        parinda = Parinda(sdss_db, cache_max_entries=512)
+        tuner = parinda.online(budget_pages=BUDGET)
+        assert tuner.cache is parinda._cost_cache
+        # An unbounded facade cache must NOT be handed to a long-lived
+        # loop; the tuner then brings its own bounded cache.
+        unbounded = Parinda(sdss_db)
+        tuner2 = unbounded.online(budget_pages=BUDGET)
+        assert tuner2.cache is not unbounded._cost_cache
+
+    def test_tune_subcommand(self, capsys, tmp_path, sdss_wl):
+        path = tmp_path / "stream.sql"
+        statements = stream_of(sdss_wl, PRE, 4) + stream_of(
+            sdss_wl, POST, 5, salt0=50
+        )
+        path.write_text(";\n".join(statements) + ";\n")
+        code = cli_main(
+            [
+                "--db", "sdss:800",
+                "tune",
+                "--stream", str(path),
+                "--budget-mb", "1.6",
+                "--window", "9",
+                "--check-interval", "3",
+                "--build-cost-per-page", "0.25",
+                "-v",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "Stream done" in captured.out
+        assert "re-advised" in captured.out
+        assert "Standing design" in captured.out
+        assert "Cost-cache" in captured.out
+
+    def test_tune_skips_bad_statements(self, capsys, tmp_path, sdss_wl):
+        path = tmp_path / "stream.sql"
+        good = stream_of(sdss_wl, PRE, 4)
+        path.write_text(";\n".join(good[:6] + ["@@ not sql @@"] + good[6:]) + ";\n")
+        code = cli_main(
+            [
+                "--db", "sdss:800",
+                "tune",
+                "--stream", str(path),
+                "--window", "6",
+                "--check-interval", "3",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "1 skipped" in captured.out
+        assert "skipped unparseable statement" in captured.err

@@ -272,3 +272,101 @@ def test_parinda_workload_cost_cached(sdss_db, sdss_wl):
     finally:
         sdss_db.drop_index("tmp_wc")
     assert parinda.workload_cost(workload) == first
+
+
+# ----------------------------------------------------------------------
+# Forced parallel mode (CI knob) and bounded-cache behavior
+
+
+def test_env_var_overrides_auto_mode(monkeypatch):
+    engine = EvaluationEngine(workers=4, mode="auto")
+    for forced in ("serial", "thread", "process"):
+        monkeypatch.setenv("REPRO_PARALLEL_MODE", forced)
+        assert engine.resolve_mode() == forced
+    monkeypatch.setenv("REPRO_PARALLEL_MODE", "bogus")
+    assert engine.resolve_mode() in ("serial", "thread", "process")
+    # An explicit mode always wins over the environment.
+    monkeypatch.setenv("REPRO_PARALLEL_MODE", "serial")
+    assert EvaluationEngine(workers=4, mode="thread").resolve_mode() == "thread"
+
+
+def test_forced_mode_keeps_recommendations_identical(
+    monkeypatch, sdss_db, sdss_wl
+):
+    workload = sdss_wl.subset(4)
+    baseline = IlpIndexAdvisor(sdss_db.catalog, workers=1).recommend(
+        workload, budget_pages=300
+    )
+    for forced in ("serial", "thread", "process"):
+        monkeypatch.setenv("REPRO_PARALLEL_MODE", forced)
+        result = IlpIndexAdvisor(
+            sdss_db.catalog, workers=2, parallel_mode="auto"
+        ).recommend(workload, budget_pages=300)
+        assert _result_signature(result) == _result_signature(baseline)
+
+
+def test_cost_cache_bound_lru_eviction():
+    cache = CostCache(max_entries=3)
+    for i in range(5):
+        cache.lookup("access", i, lambda i=i: i * 10)
+    stats = cache.stats()["access"]
+    assert stats["size"] == 3
+    assert stats["peak_size"] == 3
+    assert stats["evictions"] == 2
+    # Oldest entries were evicted; recent ones survive.
+    assert cache.lookup("access", 4, lambda: -1) == 40
+    assert cache.lookup("access", 0, lambda: -1) == -1  # recomputed
+
+
+def test_cost_cache_lru_refresh_on_hit():
+    cache = CostCache(max_entries=2)
+    cache.lookup("access", "a", lambda: 1)
+    cache.lookup("access", "b", lambda: 2)
+    cache.lookup("access", "a", lambda: -1)  # refresh "a"
+    cache.lookup("access", "c", lambda: 3)  # evicts "b", not "a"
+    assert cache.lookup("access", "a", lambda: -1) == 1
+    assert cache.lookup("access", "b", lambda: -2) == -2
+
+
+def test_cost_cache_evicts_stale_catalog_first():
+    cache = CostCache(max_entries={"access": 3})
+    cache.lookup("access", "old1", lambda: 1, catalog_key="v1")
+    cache.lookup("access", "new1", lambda: 2, catalog_key="v2")
+    cache.lookup("access", "new2", lambda: 3, catalog_key="v2")
+    # "new1" is the LRU head, but "old1" belongs to a stale catalog
+    # version: it must be the victim.
+    cache.lookup("access", "new3", lambda: 4, catalog_key="v2")
+    assert cache.lookup("access", "new1", lambda: -1, catalog_key="v2") == 2
+    assert cache.lookup("access", "old1", lambda: -1, catalog_key="v2") == -1
+
+
+def test_cost_cache_per_section_bounds():
+    cache = CostCache(max_entries={"access": 2})
+    for i in range(6):
+        cache.lookup("access", i, lambda i=i: i)
+        cache.lookup("seq_cost", i, lambda i=i: i)  # unbounded section
+    assert cache.section_size("access") == 2
+    assert cache.section_size("seq_cost") == 6
+    assert cache.evictions == 4
+
+
+def test_cost_cache_rejects_bad_bounds():
+    with pytest.raises(ReproError):
+        CostCache(max_entries=0)
+    with pytest.raises(ReproError):
+        CostCache(max_entries={"no_such_section": 5})
+
+
+def test_bounded_cache_advisor_identical(sdss_db, sdss_wl):
+    workload = sdss_wl.subset(4)
+    unbounded = IlpIndexAdvisor(
+        sdss_db.catalog, cost_cache=CostCache()
+    ).recommend(workload, budget_pages=300)
+    tight = CostCache(max_entries=8)
+    bounded = IlpIndexAdvisor(sdss_db.catalog, cost_cache=tight).recommend(
+        workload, budget_pages=300
+    )
+    assert _result_signature(bounded) == _result_signature(unbounded)
+    stats = tight.stats()
+    assert all(entry["peak_size"] <= 8 for entry in stats.values())
+    assert sum(entry["evictions"] for entry in stats.values()) > 0
