@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Emit a semicolon-separated SDSS statement stream for durable-tune runs.
+
+CI's kill/restart check needs a stream long enough that a SIGKILL lands
+mid-run, and the resumed ``tune --state`` invocation must then produce
+exactly the design an uninterrupted run produces. The stream interleaves
+survey query shapes with literal-perturbed instances — the canonicalizer
+collapses them back into stable templates — shifts the query mix halfway
+through so the drift detector actually fires, and sprinkles UPDATE
+statements so per-table update rates reach the advisor's maintenance
+model. Output is deterministic: same arguments, same bytes.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/make_tune_stream.py stream.sql
+    PYTHONPATH=src python benchmarks/make_tune_stream.py --rounds 40 -
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.online.monitor import render_statement  # noqa: E402
+from repro.sql.tokenizer import Token, TokenType, tokenize  # noqa: E402
+from repro.workloads.sdss import sdss_workload  # noqa: E402
+
+FIRST_HALF = ("q01_box_search", "q15_spec_redshift_join")
+SECOND_HALF = ("q15_spec_redshift_join", "q26_field_objects")
+UPDATE_EVERY = 5
+UPDATE_SQL = "UPDATE photoobj SET status = 1 WHERE objid = {objid}"
+
+
+def vary(sql: str, salt: int) -> str:
+    """A literal-perturbed instance of ``sql`` (same template)."""
+    out = []
+    occurrence = 0
+    for token in tokenize(sql):
+        if token.type is TokenType.NUMBER and "." in token.value:
+            occurrence += 1
+            nudged = float(token.value) + (salt * 31 + occurrence) * 1e-7
+            token = Token(TokenType.NUMBER, repr(nudged), token.position)
+        out.append(token)
+    return render_statement(out)
+
+
+def build_stream(rounds: int) -> list[str]:
+    workload = sdss_workload()
+    sql_of = {
+        name: workload.query(name).sql.strip()
+        for name in set(FIRST_HALF) | set(SECOND_HALF)
+    }
+    statements = []
+    for salt in range(rounds):
+        names = FIRST_HALF if salt < rounds // 2 else SECOND_HALF
+        for name in names:
+            statements.append(vary(sql_of[name], salt))
+            if len(statements) % UPDATE_EVERY == 0:
+                statements.append(UPDATE_SQL.format(objid=1000 + salt))
+    return statements
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("output", help="target file, or '-' for stdout")
+    parser.add_argument("--rounds", type=int, default=30,
+                        help="mix rounds; ~2.4 statements each (default 30)")
+    args = parser.parse_args()
+    text = ";\n".join(build_stream(args.rounds)) + ";\n"
+    if args.output == "-":
+        sys.stdout.write(text)
+    else:
+        Path(args.output).write_text(text)
+        count = text.count(";")
+        print(f"wrote {count} statements to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,11 +24,13 @@ combinations, recommendations held back by hysteresis) are surfaced as
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 
 from repro.bench.reporting import ResultTable
 from repro.core.parinda import Parinda
-from repro.errors import ReproError
+from repro.errors import CanonicalizeError, ReproError, TokenizeError
 from repro.optimizer.explain import explain
 from repro.storage.database import Database
 from repro.workloads.sdss import build_sdss_database, sdss_workload
@@ -189,46 +191,107 @@ def cmd_suggest_combined(args: argparse.Namespace) -> int:
     return 0
 
 
+def _save_tuner_state(path: str, tuner, position: int) -> None:
+    """Atomically persist the tuner plus the stream read position.
+
+    ``drain=False`` keeps autosaves off the advisor's critical path in
+    background mode; a checkpoint in flight at save time is simply
+    re-detected as drift after a resume. The write goes through a
+    temp file + ``os.replace`` so a kill mid-save can never leave a
+    truncated state file behind.
+    """
+    state = tuner.save_state(drain=False)
+    state["stream_position"] = position
+    tmp = f"{path}.tmp"
+    with open(tmp, "w") as handle:
+        json.dump(state, handle)
+    os.replace(tmp, path)
+
+
 def cmd_tune(args: argparse.Namespace) -> int:
+    if args.state_interval <= 0:
+        raise SystemExit("--state-interval must be positive")
     db = _load_database(args.db)
     parinda = Parinda(db, cache_max_entries=args.cache_entries)
 
     def listener(event) -> None:
         if event.kind == "observed":
             return
-        if event.kind == "held":
-            _warn(f"[{event.sequence}] recommendation held: {event.detail}")
+        if event.kind in ("held", "quarantined"):
+            label = "recommendation held" if event.kind == "held" else event.kind
+            _warn(f"[{event.sequence}] {label}: {event.detail}")
             return
         print(f"[{event.sequence}] {event.kind}: {event.detail}")
         if event.kind == "re-advised" and event.result is not None:
             _warn_truncation(event.result)
 
+    # A saved state also records how far into the stream it got, so a
+    # restarted file-stream run skips what the previous run already
+    # observed. Stdin is not replayable, so the position is ignored
+    # there — the caller feeds whatever is new.
+    resume_position = 0
+    if args.state and args.stream != "-" and os.path.exists(args.state):
+        with open(args.state) as handle:
+            resume_position = int(json.load(handle).get("stream_position", 0))
+
     skipped = 0
+    position = 0
     with parinda.online(
         budget_pages=max(1, int(args.budget_mb * 1024 * 1024) // 8192),
+        state_file=args.state,
         window_size=args.window,
         check_interval=args.check_interval,
         warmup=args.warmup,
         build_cost_per_page=args.build_cost_per_page,
         workers=args.workers,
+        background=args.background,
         listener=listener,
     ) as tuner:
+        if resume_position:
+            print(
+                f"Resuming from {args.state}: {tuner.monitor.observed} "
+                f"statements already observed; skipping {resume_position} "
+                "stream statement(s)."
+            )
         for statement in iter_statements(args.stream):
+            position += 1
+            if position <= resume_position:
+                continue
             try:
                 tuner.observe(statement)
-            except ReproError as exc:
+            except (TokenizeError, CanonicalizeError) as exc:
+                # Not even a template: drop it. Statements that DO
+                # template but fail the parser or binder are quarantined
+                # by the tuner instead, so one bad shape cannot fail
+                # every future snapshot re-advise.
                 skipped += 1
-                _warn(f"skipped unparseable statement: {exc}")
-        if tuner.last_result is None and tuner.monitor.observed:
+                _warn(f"skipped untemplatable statement: {exc}")
+            if args.state and position % args.state_interval == 0:
+                _save_tuner_state(args.state, tuner, position)
+        if tuner.readvise_count == 0 and tuner.monitor.observed:
             # Short streams can end inside the warmup window; still give
             # the user an answer for what was seen.
             tuner.readvise(reason="end of stream")
+
+    # The context manager has drained; persist the settled final state.
+    if args.state:
+        _save_tuner_state(args.state, tuner, position)
 
     counts = tuner.event_counts
     print(
         f"\nStream done: {tuner.monitor.observed} statements, "
         f"{len(tuner.monitor.templates)} templates"
         + (f", {skipped} skipped" if skipped else "")
+        + (
+            f", {counts['quarantined']} quarantined"
+            if counts["quarantined"]
+            else ""
+        )
+        + (
+            f", {tuner.coalesced} checkpoint(s) coalesced"
+            if tuner.coalesced
+            else ""
+        )
         + f"; {counts['drifted']} drift(s), {counts['re-advised']} "
         f"re-advise(s), {counts['recommended']} adopted, "
         f"{counts['held']} held."
@@ -341,6 +404,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--stream", default="-", metavar="FILE",
                    help="semicolon-separated SQL stream; '-' reads stdin")
+    p.add_argument("--state", metavar="FILE",
+                   help="resume from and periodically checkpoint the tuner "
+                        "state to this JSON file (survives restarts)")
+    p.add_argument("--state-interval", type=int, default=32,
+                   help="statements between --state checkpoints")
+    p.add_argument("--background", action="store_true",
+                   help="run drift checks and re-advising on a background "
+                        "thread so observation never blocks")
     p.add_argument("--budget-mb", type=float, default=16.0)
     p.add_argument("--window", type=int, default=128,
                    help="sliding-window size (statements)")

@@ -8,6 +8,8 @@ advisor.
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass
 
 from repro.advisor.ilp_advisor import AdvisorResult, IlpIndexAdvisor
@@ -83,12 +85,13 @@ class Parinda:
         self,
         budget_pages: int | None = None,
         budget_bytes: int | None = None,
+        state_file: str | None = None,
         **knobs,
     ) -> OnlineTuner:
         """An online tuning session over this database's catalog.
 
         Returns an :class:`~repro.online.tuner.OnlineTuner` usable as a
-        context manager::
+        context manager (``__exit__`` drains any background work)::
 
             with parinda.online(budget_bytes=16 << 20) as tuner:
                 for sql in statement_stream:
@@ -99,9 +102,13 @@ class Parinda:
         tuner shares it (re-advises reuse everything suggest_* calls
         cached, and vice versa); an unbounded facade cache is unsafe
         for a long-lived loop, so the tuner then gets its own bounded
-        cache. ``knobs`` pass through to :class:`OnlineTuner`
-        (``window_size``, ``check_interval``, ``build_cost_per_page``,
-        ``workers``, ``listener``, ...).
+        cache. ``state_file`` names a JSON file written by
+        ``OnlineTuner.save_state``; when it exists, the tuner resumes
+        from it (templates, window, baseline, standing design) instead
+        of starting cold — saving is the caller's job. ``knobs`` pass
+        through to :class:`OnlineTuner` (``window_size``,
+        ``check_interval``, ``build_cost_per_page``, ``workers``,
+        ``background``, ``listener``, ...).
         """
         if budget_pages is None:
             if budget_bytes is None:
@@ -109,12 +116,16 @@ class Parinda:
             budget_pages = max(1, budget_bytes // BLOCK_SIZE)
         if self._cache_bounded:
             knobs.setdefault("cost_cache", self._cost_cache)
-        return OnlineTuner(
+        tuner = OnlineTuner(
             self._db.catalog,
             self._config,
             budget_pages=budget_pages,
             **knobs,
         )
+        if state_file is not None and os.path.exists(state_file):
+            with open(state_file) as handle:
+                tuner.restore_state(json.load(handle))
+        return tuner
 
     # ------------------------------------------------------------------
     # Scenario 2: automatic partition suggestion

@@ -41,6 +41,16 @@ class ParseError(SQLError):
     """The token stream does not form a statement in the supported grammar."""
 
 
+class CanonicalizeError(SQLError):
+    """A statement cannot be canonicalized into a workload template.
+
+    Raised by the online monitor's canonicalizer for statements that
+    are empty after comment stripping; tokenizer failures surface as
+    :class:`TokenizeError`. Catching these two types is exactly "the
+    statement itself was malformed" — advisor or re-advise failures
+    deliberately do *not* derive from them."""
+
+
 class BindError(SQLError):
     """Name resolution failed (unknown column/table, ambiguous reference)."""
 

@@ -7,12 +7,17 @@ distribution against the distribution the last recommendation was
 computed for, and reports drift only on real change:
 
 * **weight change** — total-variation distance between the two
-  distributions exceeds a threshold (the mix shifted);
+  distributions meets or exceeds a threshold (the mix shifted);
 * **new templates** — a template absent from the baseline now holds a
   non-trivial share of the window (new query shape arrived);
 * **vanished templates** — a template that mattered in the baseline no
   longer appears at all (a query shape went away, so indexes chosen for
   it may be dead weight).
+
+All three comparisons are **inclusive** (``>=``): a distribution
+sitting exactly on a threshold counts as drifted. Boundary behaviour
+is pinned by tests — an exact-threshold stream must re-advise rather
+than silently ride the edge forever.
 
 All three signals are pure functions of the two distributions, so the
 detector is deterministic and trivially testable.
@@ -44,13 +49,15 @@ class DriftDetector:
     """Threshold-based drift detection over template distributions.
 
     Args:
-        weight_threshold: Total-variation distance (0..1) above which
-            the mix counts as shifted even with no new/vanished shapes.
+        weight_threshold: Total-variation distance (0..1) at or above
+            which the mix counts as shifted even with no new/vanished
+            shapes (inclusive: distance == threshold drifts).
         new_template_share: Minimum window share a previously unseen
             template must hold to trigger drift on its own — one stray
-            ad-hoc query is not a regime change.
+            ad-hoc query is not a regime change (inclusive).
         vanished_template_share: Minimum *baseline* share a template
-            must have held for its disappearance to trigger drift.
+            must have held for its disappearance to trigger drift
+            (inclusive).
     """
 
     def __init__(

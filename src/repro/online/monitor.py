@@ -7,16 +7,35 @@ vary. The monitor bridges the two worlds:
 
 * every observed statement is canonicalized into a **template** — the
   token stream with literals stripped — so ``ra < 180.1`` and
-  ``ra < 12.9`` count as the same query;
+  ``ra < 12.9`` count as the same query; runs of stripped literals
+  inside parentheses collapse to a single ``?+`` marker, so ``IN (1,2)``
+  and ``IN (1,2,3)`` share one template instead of exploding the
+  template table per IN-list arity;
 * a **sliding window** of the last N observations tracks what the
   system is running *right now* (template frequencies over the window);
 * an **exponentially decayed profile** tracks the long-term mix, so a
   burst does not erase history and history does not drown a real shift;
+* DML statements (INSERT/UPDATE/DELETE) are first-class templates:
+  they participate in the window and profile (so a write-heavy shift
+  registers as drift) and are aggregated into per-table
+  :meth:`WorkloadMonitor.update_rates` for the advisor's index
+  maintenance model;
 * :meth:`WorkloadMonitor.snapshot` converts the active window back into
-  a plain ``Workload`` (one query per template, weighted by window
-  frequency, using the template's first observed statement as the
-  representative SQL), so the entire advisor stack downstream is
-  unchanged.
+  a plain ``Workload`` (one SELECT query per template, weighted by
+  window frequency, using the template's first observed statement as
+  the representative SQL, with DML rates on
+  ``Workload.update_rates``), so the entire advisor stack downstream
+  is unchanged.
+
+Templates whose example statement tokenizes but does not survive the
+full SELECT parser are **quarantined**: they keep counting in the
+window (they are real traffic) but are excluded from snapshots, so one
+malformed statement cannot fail every future re-advise. The tuner adds
+bind-time failures to the same quarantine.
+
+:meth:`WorkloadMonitor.save` / :meth:`WorkloadMonitor.load` round-trip
+the whole state (templates, window, decayed profile, counters) through
+a versioned JSON-able dict so a restarted daemon resumes warm.
 """
 
 from __future__ import annotations
@@ -25,7 +44,8 @@ import hashlib
 from collections import deque
 from dataclasses import dataclass
 
-from repro.errors import ReproError
+from repro.errors import CanonicalizeError, ParseError, ReproError, SQLError
+from repro.sql.parser import parse_select
 from repro.sql.tokenizer import Token, TokenType, tokenize
 from repro.workloads.workload import Query, Workload
 
@@ -33,17 +53,59 @@ from repro.workloads.workload import Query, Workload
 # approach float overflow; the distribution is scale-invariant.
 _RENORM_THRESHOLD = 1e12
 
+# Serialization format of WorkloadMonitor.save()/load().
+MONITOR_STATE_VERSION = 1
+
+# Statement kinds the classifier distinguishes. "other" covers anything
+# that tokenizes but is neither a SELECT nor a DML write (e.g. a bare
+# EXPLAIN); such statements are observed but never advised on.
+DML_KINDS = ("insert", "update", "delete")
+
+
+def _collapse_placeholder_lists(parts: list[str]) -> list[str]:
+    """Collapse ``( ? , ? , ... )`` runs into a single ``( ?+ )``.
+
+    Applied uniformly to every parenthesized list made only of stripped
+    literals, so template identity never depends on IN-list (or VALUES
+    tuple) arity — a literal-varied IN-list workload maps onto one
+    template instead of one per element count.
+    """
+    out: list[str] = []
+    i = 0
+    while i < len(parts):
+        if parts[i] == "(":
+            j = i + 1
+            expect = "?"
+            while j < len(parts) and parts[j] == expect:
+                expect = "," if expect == "?" else "?"
+                j += 1
+            # A valid run ends right after a "?" and is closed by ")".
+            if expect == "," and j < len(parts) and parts[j] == ")":
+                out.extend(("(", "?+", ")"))
+                i = j + 1
+                continue
+        out.append(parts[i])
+        i += 1
+    return out
+
 
 def canonicalize(sql: str) -> str:
     """The literal-stripped fingerprint of one SQL statement.
 
     Tokenizes with the production tokenizer (so comments, case folding,
     and quoting behave exactly as in the parser) and replaces every
-    number and string literal with ``?``. Whitespace and literal values
-    never influence the result; identifiers and structure always do.
+    number and string literal with ``?``; parenthesized all-literal
+    lists collapse to ``( ?+ )`` regardless of arity. Whitespace and
+    literal values never influence the result; identifiers and
+    structure always do.
     """
+    return canonicalize_tokens(tokenize(sql))
+
+
+def canonicalize_tokens(tokens: list[Token]) -> str:
+    """:func:`canonicalize` over an already-tokenized statement."""
     parts: list[str] = []
-    for token in tokenize(sql):
+    for token in tokens:
         if token.type is TokenType.EOF:
             break
         if token.type in (TokenType.NUMBER, TokenType.STRING):
@@ -54,8 +116,39 @@ def canonicalize(sql: str) -> str:
     while parts and parts[-1] == ";":
         parts.pop()
     if not parts:
-        raise ReproError("cannot canonicalize an empty statement")
-    return " ".join(parts)
+        raise CanonicalizeError("cannot canonicalize an empty statement")
+    return " ".join(_collapse_placeholder_lists(parts))
+
+
+def classify_tokens(tokens: list[Token]) -> tuple[str, str | None]:
+    """``(kind, target_table)`` of one tokenized statement.
+
+    ``kind`` is ``"select"``, one of :data:`DML_KINDS`, or ``"other"``;
+    ``target_table`` is the written table for DML kinds (None when the
+    statement is too malformed to name one — it then degrades to
+    ``"other"``).
+    """
+    words = [t.value for t in tokens if t.type is not TokenType.EOF]
+    if not words:
+        return "other", None
+    head = words[0]
+    if head == "select":
+        return "select", None
+    try:
+        if head == "insert" and words[1] == "into":
+            return "insert", words[2]
+        if head == "update":
+            return "update", words[1]
+        if head == "delete" and words[1] == "from":
+            return "delete", words[2]
+    except IndexError:
+        return "other", None
+    return "other", None
+
+
+def classify_statement(sql: str) -> tuple[str, str | None]:
+    """:func:`classify_tokens` over raw SQL text."""
+    return classify_tokens(tokenize(sql))
 
 
 def render_statement(tokens: list[Token]) -> str:
@@ -85,6 +178,13 @@ class QueryTemplate:
     fingerprint: str  # the canonical (literal-stripped) text
     example_sql: str  # first concrete statement observed
     sequence: int  # first-seen order, 1-based
+    kind: str = "select"  # select / insert / update / delete / other
+    target_table: str | None = None  # written table, DML kinds only
+
+
+def _template_id(fingerprint: str, sequence: int) -> str:
+    digest = hashlib.sha1(fingerprint.encode()).hexdigest()[:6]
+    return f"t{sequence:03d}_{digest}"
 
 
 class WorkloadMonitor:
@@ -108,6 +208,8 @@ class WorkloadMonitor:
         self.window_size = window_size
         self.decay = decay
         self._templates: dict[str, QueryTemplate] = {}
+        self._by_id: dict[str, str] = {}  # template_id -> fingerprint
+        self._quarantined: set[str] = set()  # fingerprints
         self._window: deque[str] = deque(maxlen=window_size)
         self._window_counts: dict[str, int] = {}
         self._profile: dict[str, float] = {}
@@ -119,18 +221,31 @@ class WorkloadMonitor:
 
     def observe(self, sql: str) -> QueryTemplate:
         """Ingest one statement; returns its template."""
-        fingerprint = canonicalize(sql)
+        tokens = tokenize(sql)
+        fingerprint = canonicalize_tokens(tokens)
         template = self._templates.get(fingerprint)
         if template is None:
-            digest = hashlib.sha1(fingerprint.encode()).hexdigest()[:6]
+            kind, target_table = classify_tokens(tokens)
             sequence = len(self._templates) + 1
             template = QueryTemplate(
-                template_id=f"t{sequence:03d}_{digest}",
+                template_id=_template_id(fingerprint, sequence),
                 fingerprint=fingerprint,
                 example_sql=sql.strip().rstrip(";"),
                 sequence=sequence,
+                kind=kind,
+                target_table=target_table,
             )
             self._templates[fingerprint] = template
+            self._by_id[template.template_id] = fingerprint
+            if kind == "select":
+                # Tokenizing succeeded, but only a full parse proves the
+                # statement is advisable; quarantine it otherwise so one
+                # bad statement cannot fail every future snapshot()
+                # re-advise. Checked once per template, not per statement.
+                try:
+                    parse_select(template.example_sql)
+                except (ParseError, SQLError):
+                    self._quarantined.add(fingerprint)
         self._observed += 1
 
         # Sliding window: deque handles expiry; counts track membership.
@@ -160,6 +275,32 @@ class WorkloadMonitor:
                     self._profile[key] /= scale
                 self._profile_weight = 1.0
         return template
+
+    # ------------------------------------------------------------------
+    # Quarantine
+
+    def quarantine(self, key: str) -> QueryTemplate:
+        """Exclude a template from future snapshots; returns it.
+
+        ``key`` is a fingerprint or a template id (snapshot query names
+        are template ids, so advise-time failures can be routed back
+        here directly). The template keeps counting in the window — it
+        is real traffic — it just stops reaching the advisor.
+        """
+        fingerprint = self._by_id.get(key, key)
+        template = self._templates.get(fingerprint)
+        if template is None:
+            raise ReproError(f"unknown template {key!r}")
+        self._quarantined.add(fingerprint)
+        return template
+
+    def is_quarantined(self, key: str) -> bool:
+        return self._by_id.get(key, key) in self._quarantined
+
+    @property
+    def quarantined(self) -> frozenset[str]:
+        """Fingerprints currently excluded from snapshots."""
+        return frozenset(self._quarantined)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -199,19 +340,42 @@ class WorkloadMonitor:
             return {}
         return {fp: v / total for fp, v in self._profile.items()}
 
+    def update_rates(self) -> dict[str, float]:
+        """Weighted DML statements per written table, over the window.
+
+        Statement-level rates (one unit per INSERT/UPDATE/DELETE), in
+        the same units as snapshot query weights — exactly what
+        ``IlpIndexAdvisor.recommend(update_rates=...)`` expects.
+        """
+        rates: dict[str, float] = {}
+        for fingerprint, count in self._window_counts.items():
+            template = self._templates[fingerprint]
+            if template.kind in DML_KINDS and template.target_table:
+                rates[template.target_table] = (
+                    rates.get(template.target_table, 0.0) + float(count)
+                )
+        return rates
+
     # ------------------------------------------------------------------
     # Bridge back to the batch stack
 
     def snapshot(self, name: str | None = None) -> Workload:
         """The active window as a plain, advisor-ready ``Workload``.
 
-        One query per template currently in the window, in first-seen
-        order (deterministic for a deterministic stream), weighted by
-        its window count and carrying the template's first observed
-        statement as the concrete SQL.
+        One query per advisable SELECT template currently in the window
+        (quarantined and non-SELECT templates are excluded), in
+        first-seen order (deterministic for a deterministic stream),
+        weighted by its window count and carrying the template's first
+        observed statement as the concrete SQL. The window's DML
+        traffic rides along as ``Workload.update_rates``.
         """
         templates = sorted(
-            (self._templates[fp] for fp in self._window_counts),
+            (
+                self._templates[fp]
+                for fp in self._window_counts
+                if self._templates[fp].kind == "select"
+                and fp not in self._quarantined
+            ),
             key=lambda t: t.sequence,
         )
         queries = [
@@ -223,5 +387,84 @@ class WorkloadMonitor:
             for t in templates
         ]
         return Workload(
-            queries=queries, name=name or f"online@{self._observed}"
+            queries=queries,
+            name=name or f"online@{self._observed}",
+            update_rates=self.update_rates(),
         )
+
+    # ------------------------------------------------------------------
+    # Durability
+
+    def save(self) -> dict:
+        """The full monitor state as a versioned, JSON-able dict."""
+        return {
+            "version": MONITOR_STATE_VERSION,
+            "window_size": self.window_size,
+            "decay": self.decay,
+            "observed": self._observed,
+            "profile_weight": self._profile_weight,
+            "templates": [
+                {
+                    "fingerprint": t.fingerprint,
+                    "example_sql": t.example_sql,
+                    "sequence": t.sequence,
+                    "kind": t.kind,
+                    "target_table": t.target_table,
+                    "quarantined": t.fingerprint in self._quarantined,
+                }
+                for t in sorted(
+                    self._templates.values(), key=lambda t: t.sequence
+                )
+            ],
+            "window": list(self._window),
+            "profile": dict(self._profile),
+        }
+
+    @classmethod
+    def load(cls, state: dict) -> "WorkloadMonitor":
+        """Rebuild a monitor from :meth:`save` output.
+
+        Template ids are re-derived from (fingerprint, sequence), so a
+        restored monitor emits identical snapshots — and therefore an
+        identical advisor input — to the one that was saved.
+        """
+        version = state.get("version")
+        if version != MONITOR_STATE_VERSION:
+            raise ReproError(
+                f"unsupported monitor state version {version!r} "
+                f"(expected {MONITOR_STATE_VERSION})"
+            )
+        monitor = cls(
+            window_size=int(state["window_size"]),
+            decay=float(state["decay"]),
+        )
+        for entry in state["templates"]:
+            template = QueryTemplate(
+                template_id=_template_id(
+                    entry["fingerprint"], int(entry["sequence"])
+                ),
+                fingerprint=entry["fingerprint"],
+                example_sql=entry["example_sql"],
+                sequence=int(entry["sequence"]),
+                kind=entry.get("kind", "select"),
+                target_table=entry.get("target_table"),
+            )
+            monitor._templates[template.fingerprint] = template
+            monitor._by_id[template.template_id] = template.fingerprint
+            if entry.get("quarantined"):
+                monitor._quarantined.add(template.fingerprint)
+        for fingerprint in state["window"]:
+            if fingerprint not in monitor._templates:
+                raise ReproError(
+                    f"window references unknown template {fingerprint!r}"
+                )
+            monitor._window.append(fingerprint)
+            monitor._window_counts[fingerprint] = (
+                monitor._window_counts.get(fingerprint, 0) + 1
+            )
+        monitor._profile = {
+            fp: float(weight) for fp, weight in state["profile"].items()
+        }
+        monitor._profile_weight = float(state["profile_weight"])
+        monitor._observed = int(state["observed"])
+        return monitor

@@ -7,29 +7,59 @@ active window against the distribution the standing recommendation was
 computed for; on drift the batch :class:`IlpIndexAdvisor` re-runs over
 the window snapshot **through the shared CostCache**, so steady-state
 re-advising rehydrates INUM models from cached snapshots and performs
-no raw optimizer calls for templates it has already modeled.
+no raw optimizer calls for templates it has already modeled. Observed
+INSERT/UPDATE/DELETE statements become per-table ``update_rates`` on
+every snapshot, so a write-heavy shift changes the recommendation too.
+
+Two execution modes share one code path. The loop is factored around
+**checkpoints**: at each boundary (warmup, or ``check_interval``
+statements past the last check) ``observe()`` captures the window
+snapshot and distribution and hands them to the decision core — inline
+by default, or on a single background worker thread
+(``background=True``) with a bounded hand-off queue so ``observe()``
+never blocks on an advisor run. Checkpoints are processed strictly in
+order, and every decision is a pure function of the checkpoint plus
+the in-order tuner state, so a drained background tuner is
+**bit-identical** to the synchronous one on the same stream. When the
+queue overflows (advises slower than checkpoints arrive), the *oldest
+pending* checkpoint is coalesced away — the newest one carries a
+fresher window, and the baseline only moves on adoption, so a real
+drift is re-detected at the next boundary; :attr:`coalesced` counts
+these, and bit-identity is exact whenever it stays zero.
 
 Hysteresis: a new design is only *adopted* ("recommended") when its
-projected per-window benefit over the standing design exceeds the
-estimated cost of building the new indexes — Equation-1 leaf pages
-times a configurable per-page write cost. Otherwise the result is
-logged as "held": the advisor's opinion is recorded, the design stands,
-and no build is suggested. This is what keeps a production loop from
-thrashing indexes on marginal improvements. One exception: a switch
-that builds *nothing* (the proposal only drops indexes the new window
-no longer uses) is free, so it is adopted whenever it does not lose
-cost — that is how the standing design sheds stale indexes and
-converges to the batch answer after a workload shift. Re-adding a
-dropped index later pays full build cost, so drop-then-rebuild cycles
-cannot oscillate for free.
+projected per-window benefit over the standing design (scan costs plus
+index maintenance under the window's DML rates) exceeds the estimated
+cost of building the new indexes — Equation-1 leaf pages times a
+configurable per-page write cost. Otherwise the result is logged as
+"held": the advisor's opinion is recorded, the design stands, and no
+build is suggested. On "held" the baseline **keeps the distribution
+the standing design was computed for** — a gradually worsening shift
+keeps registering as drift until it is either adopted or genuinely
+fades, instead of being absorbed one hold at a time. (The baseline
+does move when the advisor re-confirms the standing design for the
+new mix, and on the first advise, where no prior baseline exists.)
+One exception to the build-cost gate: a switch that builds *nothing*
+(the proposal only drops indexes the new window no longer uses) is
+free, so it is adopted whenever it does not lose cost — that is how
+the standing design sheds stale indexes and converges to the batch
+answer after a workload shift. Re-adding a dropped index later pays
+full build cost, so drop-then-rebuild cycles cannot oscillate for free.
 
-Every step emits a typed :class:`TuningEvent`
-(``observed``/``drifted``/``re-advised``/``recommended``/``held``)
-consumable by tests, benchmarks, and the CLI.
+Durability: :meth:`OnlineTuner.save_state` /
+:meth:`OnlineTuner.restore_state` round-trip everything a restarted
+daemon needs — monitor templates/window/profile, the baseline, the
+standing design, and the event counters — as a versioned JSON-able
+dict (``python -m repro tune --state FILE`` wires this to disk).
+
+Every step emits a typed :class:`TuningEvent` (``observed`` /
+``quarantined`` / ``drifted`` / ``re-advised`` / ``recommended`` /
+``held``) consumable by tests, benchmarks, and the CLI.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
@@ -42,8 +72,20 @@ from repro.online.drift import DriftDetector, DriftReport
 from repro.online.monitor import QueryTemplate, WorkloadMonitor
 from repro.optimizer.config import PlannerConfig
 from repro.parallel.caches import CostCache
+from repro.parallel.engine import BackgroundWorker
+from repro.workloads.workload import Workload
 
-EVENT_KINDS = ("observed", "drifted", "re-advised", "recommended", "held")
+EVENT_KINDS = (
+    "observed",
+    "quarantined",
+    "drifted",
+    "re-advised",
+    "recommended",
+    "held",
+)
+
+# Serialization format of OnlineTuner.save_state()/restore_state().
+TUNER_STATE_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -58,12 +100,29 @@ class TuningEvent:
     )
 
 
+@dataclass(frozen=True)
+class _Checkpoint:
+    """A decision point captured on the observe path.
+
+    Everything the decision core needs is frozen here at the boundary
+    statement — the window snapshot and distribution at that exact
+    sequence — so processing the checkpoint later (on the background
+    worker) sees the same inputs a synchronous tuner saw inline.
+    """
+
+    kind: str  # "warmup" | "check" | "forced"
+    sequence: int
+    snapshot: Workload
+    distribution: dict[str, float]
+    reason: str = ""
+
+
 class OnlineTuner:
     """Continuous index tuning over a statement stream.
 
     Usable as a context manager (``with parinda.online(...) as tuner:``);
-    entering/exiting carries no side effects — the context form simply
-    scopes the tuning session in caller code.
+    ``__exit__`` calls :meth:`close`, which drains any background work
+    so the standing design reflects the whole stream.
 
     Args:
         catalog: The catalog to advise against (never mutated).
@@ -84,10 +143,20 @@ class OnlineTuner:
         cache_max_entries: Bound for the private cache when
             ``cost_cache`` is not supplied.
         listener: Optional callback invoked with every
-            :class:`TuningEvent` as it is emitted (the CLI streams
-            these); exceptions propagate to the observe() caller.
+            :class:`TuningEvent` as it is emitted. In background mode
+            advise-path events fire on the worker thread; the callback
+            must not call back into the tuner. Exceptions propagate to
+            the observe() caller (or to :meth:`drain` in background
+            mode).
         max_events: Ring-buffer size of the retained event log
             (counters in :attr:`event_counts` are never truncated).
+        background: Run drift evaluation and re-advising on a single
+            daemon thread so ``observe()`` never blocks on an advisor
+            run. Checkpoints are processed strictly in order;
+            :meth:`drain` flushes them.
+        max_pending: Bound of the background hand-off queue; overflow
+            coalesces the oldest pending checkpoint (counted in
+            :attr:`coalesced`).
     """
 
     def __init__(
@@ -109,6 +178,8 @@ class OnlineTuner:
         cache_max_entries: int = 4096,
         listener: Callable[[TuningEvent], None] | None = None,
         max_events: int = 10000,
+        background: bool = False,
+        max_pending: int = 32,
     ) -> None:
         if budget_pages <= 0:
             raise ReproError("budget_pages must be positive")
@@ -141,107 +212,273 @@ class OnlineTuner:
         self._listener = listener
         self._events: deque[TuningEvent] = deque(maxlen=max_events)
         self.event_counts: dict[str, int] = {k: 0 for k in EVENT_KINDS}
+        # Guards all state the decision core mutates; RLock because the
+        # core emits events (listener callbacks) while holding it.
+        self._lock = threading.RLock()
         # The distribution the standing recommendation was computed for
-        # (None until the warmup advise) and the design in force.
+        # (None until the first advise) and the design in force.
         self._baseline: dict[str, float] | None = None
+        self._warmed = False
         self._last_check = 0
+        self._quarantine_announced: set[str] = set()
         self.design: list[Index] = []
         self.last_result: AdvisorResult | None = None
         self.last_drift: DriftReport | None = None
         self.readvise_count = 0
+        self.coalesced = 0
+        self.background = background
+        self._worker: BackgroundWorker | None = None
+        if background:
+            self._worker = BackgroundWorker(
+                self._process_checkpoint,
+                max_pending=max_pending,
+                name="repro-online-tuner",
+            )
 
     # ------------------------------------------------------------------
-    # Context-manager sugar
+    # Context-manager / daemon protocol
 
     def __enter__(self) -> "OnlineTuner":
         return self
 
     def __exit__(self, *exc_info) -> None:
+        self.close()
         return None
+
+    def drain(self) -> None:
+        """Block until every pending checkpoint has been processed.
+
+        Re-raises the first error the background worker hit (advisor
+        failures surface here instead of vanishing on a daemon thread).
+        No-op in synchronous mode.
+        """
+        if self._worker is not None:
+            self._worker.drain()
+
+    def close(self) -> None:
+        """Drain and stop the background worker; idempotent.
+
+        After closing, the tuner keeps working synchronously — further
+        ``observe()`` calls process checkpoints inline.
+        """
+        worker, self._worker = self._worker, None
+        if worker is not None:
+            worker.close()
 
     # ------------------------------------------------------------------
     # The loop
 
     def observe(self, sql: str) -> QueryTemplate:
-        """Ingest one statement; drift checks and re-advising happen
-        here, synchronously, so callers control the cadence."""
+        """Ingest one statement; never blocks on an advisor run when
+        ``background=True`` (drift checks and re-advising then happen
+        on the worker, strictly in boundary order)."""
         template = self.monitor.observe(sql)
         sequence = self.monitor.observed
         self._emit("observed", sequence, template.template_id)
-
-        if self._baseline is None:
-            if sequence >= self.warmup:
-                self.readvise(reason="warmup")
-            return template
-
-        if sequence - self._last_check >= self.check_interval:
-            self._last_check = sequence
-            report = self.detector.compare(
-                self._baseline, self.monitor.window_distribution()
+        if (
+            self.monitor.is_quarantined(template.fingerprint)
+            and template.fingerprint not in self._quarantine_announced
+        ):
+            self._quarantine_announced.add(template.fingerprint)
+            self._emit(
+                "quarantined",
+                sequence,
+                f"{template.template_id}: statement tokenizes but does not "
+                "parse as a SELECT; excluded from advising",
             )
-            self.last_drift = report
-            if report.drifted:
-                self._emit("drifted", sequence, report.reason)
-                self.readvise(reason=report.reason)
+
+        checkpoint: _Checkpoint | None = None
+        if not self._warmed:
+            if sequence >= self.warmup:
+                self._warmed = True
+                self._last_check = sequence
+                checkpoint = self._capture("warmup", sequence, reason="warmup")
+        elif sequence - self._last_check >= self.check_interval:
+            self._last_check = sequence
+            checkpoint = self._capture("check", sequence)
+        if checkpoint is not None:
+            self._dispatch(checkpoint)
         return template
 
     def run(self, statements: Iterable[str]) -> AdvisorResult | None:
-        """Feed a whole stream; returns the last advisor result."""
+        """Feed a whole stream (draining any background work at the
+        end); returns the last advisor result."""
         for sql in statements:
             self.observe(sql)
+        self.drain()
         return self.last_result
 
-    def readvise(self, reason: str = "forced") -> AdvisorResult:
+    def readvise(self, reason: str = "forced") -> AdvisorResult | None:
         """Re-run the batch advisor over the current window snapshot.
 
-        Normally invoked by :meth:`observe` on warmup/drift; public so
-        callers (and tests) can force a re-advise. Emits ``re-advised``
-        followed by ``recommended`` (design adopted) or ``held``
-        (projected benefit below the build-cost threshold).
+        Normally driven by :meth:`observe` on warmup/drift; public so
+        callers (and tests) can force a re-advise. Drains pending
+        background work first, then advises synchronously. Emits
+        ``re-advised`` followed by ``recommended`` (design adopted) or
+        ``held`` (projected benefit below the build-cost threshold).
+        Returns None when the window holds no advisable SELECT
+        templates.
         """
         if not self.monitor.observed:
             raise ReproError("nothing observed yet; stream statements first")
+        self.drain()
         sequence = self.monitor.observed
-        workload = self.monitor.snapshot()
-        result = self._advisor.recommend(workload, self.budget_pages)
-        self.readvise_count += 1
-        self.last_result = result
-        self._baseline = self.monitor.window_distribution()
+        self._warmed = True
         self._last_check = sequence
+        checkpoint = self._capture("forced", sequence, reason=reason)
+        return self._process_checkpoint(checkpoint)
+
+    # ------------------------------------------------------------------
+    # Checkpoints: captured on the observe path, processed in order
+
+    def _capture(
+        self, kind: str, sequence: int, reason: str = ""
+    ) -> _Checkpoint:
+        return _Checkpoint(
+            kind=kind,
+            sequence=sequence,
+            snapshot=self.monitor.snapshot(),
+            distribution=self.monitor.window_distribution(),
+            reason=reason,
+        )
+
+    def _dispatch(self, checkpoint: _Checkpoint) -> None:
+        if self._worker is None:
+            self._process_checkpoint(checkpoint)
+        elif not self._worker.submit(checkpoint):
+            with self._lock:
+                self.coalesced += 1
+
+    def _process_checkpoint(
+        self, checkpoint: _Checkpoint
+    ) -> AdvisorResult | None:
+        # Decision state (baseline, design, counters) has exactly ONE
+        # writer — this method, running inline or on the single worker
+        # thread, strictly in checkpoint order — so the processing path
+        # deliberately does not hold ``self._lock`` across the advisor
+        # run: observe()'s event emission and a non-draining
+        # save_state() must never wait out a whole advise. The lock
+        # guards only the event log and the save/restore snapshots.
+        if checkpoint.kind == "check":
+            report = self.detector.compare(
+                self._baseline or {}, checkpoint.distribution
+            )
+            self.last_drift = report
+            if not report.drifted:
+                return None
+            self._emit("drifted", checkpoint.sequence, report.reason)
+            reason = report.reason
+        else:
+            reason = checkpoint.reason or checkpoint.kind
+        return self._advise(checkpoint, reason)
+
+    # ------------------------------------------------------------------
+    # The advise step (single-writer: inline or worker, never both)
+
+    def _advise(
+        self, checkpoint: _Checkpoint, reason: str
+    ) -> AdvisorResult | None:
+        workload = self._advisable(checkpoint)
+        if not workload.queries:
+            self._emit(
+                "held",
+                checkpoint.sequence,
+                "no advisable SELECT templates in the window",
+            )
+            # Nothing to compute a design for; acknowledge the mix so a
+            # DML-only window does not re-trigger drift every interval.
+            with self._lock:
+                self._baseline = dict(checkpoint.distribution)
+            return None
+        result = self._advisor.recommend(
+            workload,
+            self.budget_pages,
+            update_rates=workload.update_rates or None,
+        )
+        with self._lock:
+            self.readvise_count += 1
+            self.last_result = result
         self._emit(
             "re-advised",
-            sequence,
+            checkpoint.sequence,
             f"{reason}; {len(workload)} templates, "
             f"{len(result.indexes)} indexes proposed",
             result,
         )
-        self._apply_hysteresis(sequence, workload, result)
+        outcome = self._apply_hysteresis(checkpoint.sequence, workload, result)
+        # Baseline policy: the baseline is the mix the *standing* design
+        # was computed for. It moves on adoption, on re-confirmation of
+        # the standing design, and on the very first advise — but NOT on
+        # a build-cost hold, so a gradually worsening shift keeps
+        # registering as drift until adopted.
+        if outcome != "held" or self._baseline is None:
+            with self._lock:
+                self._baseline = dict(checkpoint.distribution)
         return result
+
+    def _advisable(self, checkpoint: _Checkpoint) -> Workload:
+        """The checkpoint's snapshot minus anything that fails binding.
+
+        The monitor already quarantines templates that fail the parser;
+        binding failures (e.g. a statement naming an unknown column)
+        can only be seen here, with the catalog in hand. Offenders are
+        quarantined at the monitor so they never reach another advise.
+        """
+        snapshot = checkpoint.snapshot
+        good = []
+        for query in snapshot.queries:
+            try:
+                self.cache.bound_query(self._catalog, query.sql)
+            except ReproError as exc:
+                self.monitor.quarantine(query.name)
+                self._emit(
+                    "quarantined",
+                    checkpoint.sequence,
+                    f"{query.name}: does not bind against the catalog "
+                    f"({exc}); excluded from advising",
+                )
+            else:
+                good.append(query)
+        if len(good) == len(snapshot.queries):
+            return snapshot
+        return Workload(
+            queries=good,
+            name=snapshot.name,
+            update_rates=dict(snapshot.update_rates),
+        )
 
     # ------------------------------------------------------------------
     # Hysteresis
 
     def _apply_hysteresis(
-        self, sequence: int, workload, result: AdvisorResult
-    ) -> None:
+        self, sequence: int, workload: Workload, result: AdvisorResult
+    ) -> str:
+        """Adopt or hold the proposal; returns the outcome.
+
+        ``"recommended"`` — adopted; ``"unchanged"`` — the proposal is
+        the standing design (re-confirmed); ``"held"`` — the projected
+        benefit did not beat the build cost.
+        """
         old_signatures = {index_signature(ix) for ix in self.design}
         new_signatures = {index_signature(ix) for ix in result.indexes}
         if new_signatures == old_signatures:
             self._emit("held", sequence, "design unchanged")
-            return
+            return "unchanged"
 
         # Per-window benefit of switching: price the standing design and
         # the proposed one with the same INUM models the advisor used —
-        # all served from the shared cache, zero optimizer calls.
+        # all served from the shared cache, zero optimizer calls — plus
+        # index maintenance under the window's DML rates, so dropping an
+        # index on a write-hot table is credited with its saved upkeep.
         models = self._advisor.build_models(workload, cost_cache=self.cache)
         standing = tuple(self.design)
         proposed = tuple(result.indexes)
         cost_standing = sum(
             models[q.name].estimate(standing) * q.weight for q in workload
-        )
+        ) + self._maintenance(standing, workload.update_rates)
         cost_proposed = sum(
             models[q.name].estimate(proposed) * q.weight for q in workload
-        )
+        ) + self._maintenance(proposed, workload.update_rates)
         benefit = cost_standing - cost_proposed
 
         build_pages = sum(
@@ -255,7 +492,8 @@ class OnlineTuner:
         # free; adopt it as long as it does not cost anything.
         free_switch = build_pages == 0 and benefit >= 0
         if benefit > build_cost or free_switch:
-            self.design = list(result.indexes)
+            with self._lock:
+                self.design = list(result.indexes)
             self._emit(
                 "recommended",
                 sequence,
@@ -265,14 +503,32 @@ class OnlineTuner:
                 f"({build_pages} new pages)",
                 result,
             )
-        else:
-            self._emit(
-                "held",
-                sequence,
-                f"benefit {benefit:.0f} <= build {build_cost:.0f} "
-                f"({build_pages} new pages)",
-                result,
-            )
+            return "recommended"
+        self._emit(
+            "held",
+            sequence,
+            f"benefit {benefit:.0f} <= build {build_cost:.0f} "
+            f"({build_pages} new pages)",
+            result,
+        )
+        return "held"
+
+    def _maintenance(
+        self, design: tuple[Index, ...], update_rates: dict[str, float]
+    ) -> float:
+        """Per-window upkeep of a design under the window's DML rates.
+
+        Same per-update model as the advisor's objective: each write to
+        a table descends every one of its indexes and dirties a leaf.
+        """
+        if not update_rates:
+            return 0.0
+        per_update = (
+            self._config.random_page_cost + 50 * self._config.cpu_operator_cost
+        )
+        return sum(
+            update_rates.get(ix.table_name, 0.0) * per_update for ix in design
+        )
 
     def _index_pages(self, index: Index) -> int:
         """Equation-1 size of one proposed index, via the shared cache."""
@@ -281,6 +537,89 @@ class OnlineTuner:
         return self.cache.index_pages(
             self._catalog, table, index, stats.table.row_count, stats.columns
         )
+
+    # ------------------------------------------------------------------
+    # Durability
+
+    def save_state(self, drain: bool = True) -> dict:
+        """The tuner's resumable state as a versioned, JSON-able dict.
+
+        Covers everything a restarted daemon needs to continue exactly
+        where this one stopped: the monitor (templates, window, decayed
+        profile), the baseline the standing design was computed for,
+        the standing design itself, and the loop counters. ``drain``
+        flushes background work first for a fully settled snapshot;
+        pass ``drain=False`` for a non-blocking periodic autosave (a
+        checkpoint lost in flight is re-detected as drift on resume).
+        """
+        if drain:
+            self.drain()
+        with self._lock:
+            return {
+                "version": TUNER_STATE_VERSION,
+                "monitor": self.monitor.save(),
+                "baseline": dict(self._baseline)
+                if self._baseline is not None
+                else None,
+                "warmed": self._warmed,
+                "last_check": self._last_check,
+                "design": [
+                    {
+                        "name": ix.name,
+                        "table_name": ix.table_name,
+                        "columns": list(ix.columns),
+                        "unique": ix.unique,
+                        "hypothetical": ix.hypothetical,
+                    }
+                    for ix in self.design
+                ],
+                "readvise_count": self.readvise_count,
+                "coalesced": self.coalesced,
+                "event_counts": dict(self.event_counts),
+            }
+
+    def restore_state(self, state: dict) -> None:
+        """Resume from :meth:`save_state` output.
+
+        Only valid on a fresh tuner (nothing observed yet); the
+        monitor's saved geometry (window size, decay) wins over the
+        constructor's. The retained event *log* starts empty — the
+        counters carry over — and ``last_result``/``last_drift`` are
+        None until the next advise/check.
+        """
+        version = state.get("version")
+        if version != TUNER_STATE_VERSION:
+            raise ReproError(
+                f"unsupported tuner state version {version!r} "
+                f"(expected {TUNER_STATE_VERSION})"
+            )
+        with self._lock:
+            if self.monitor.observed:
+                raise ReproError(
+                    "restore_state requires a fresh tuner "
+                    f"({self.monitor.observed} statements already observed)"
+                )
+            self.monitor = WorkloadMonitor.load(state["monitor"])
+            baseline = state.get("baseline")
+            self._baseline = dict(baseline) if baseline is not None else None
+            self._warmed = bool(state.get("warmed"))
+            self._last_check = int(state.get("last_check", 0))
+            self.design = [
+                Index(
+                    name=entry["name"],
+                    table_name=entry["table_name"],
+                    columns=tuple(entry["columns"]),
+                    unique=bool(entry.get("unique")),
+                    hypothetical=bool(entry.get("hypothetical")),
+                )
+                for entry in state.get("design", ())
+            ]
+            self.readvise_count = int(state.get("readvise_count", 0))
+            self.coalesced = int(state.get("coalesced", 0))
+            for kind, count in state.get("event_counts", {}).items():
+                if kind in self.event_counts:
+                    self.event_counts[kind] = int(count)
+            self._quarantine_announced = set(self.monitor.quarantined)
 
     # ------------------------------------------------------------------
     # Event log
@@ -295,17 +634,19 @@ class OnlineTuner:
         event = TuningEvent(
             kind=kind, sequence=sequence, detail=detail, result=result
         )
-        self.event_counts[kind] += 1
-        self._events.append(event)
-        if self._listener is not None:
-            self._listener(event)
+        with self._lock:
+            self.event_counts[kind] += 1
+            self._events.append(event)
+            if self._listener is not None:
+                self._listener(event)
 
     @property
     def events(self) -> list[TuningEvent]:
         """The retained event log (most recent ``max_events``)."""
-        return list(self._events)
+        with self._lock:
+            return list(self._events)
 
     def events_of(self, kind: str) -> list[TuningEvent]:
         if kind not in EVENT_KINDS:
             raise ReproError(f"unknown event kind {kind!r}")
-        return [e for e in self._events if e.kind == kind]
+        return [e for e in self.events if e.kind == kind]

@@ -15,12 +15,21 @@ package provides:
   fan-out of per-query INUM cache construction over thread or process
   pools. ``workers=1`` (the default) is strictly serial;
   ``workers=N`` is an opt-in that produces bit-identical results.
+* :class:`~repro.parallel.engine.BackgroundWorker` — a single daemon
+  thread draining a bounded, oldest-evicting hand-off queue in strict
+  submission order; the online tuner's non-blocking observe path rides
+  on it.
 """
 
 from repro.parallel.caches import CostCache, SectionCounters
-from repro.parallel.engine import EvaluationEngine, build_inum_models
+from repro.parallel.engine import (
+    BackgroundWorker,
+    EvaluationEngine,
+    build_inum_models,
+)
 
 __all__ = [
+    "BackgroundWorker",
     "CostCache",
     "SectionCounters",
     "EvaluationEngine",

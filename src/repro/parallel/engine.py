@@ -19,8 +19,10 @@ from __future__ import annotations
 
 import os
 import pickle
+import threading
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Callable, Iterable, Sequence, TypeVar
+from typing import Any, Callable, Iterable, Sequence, TypeVar
 
 from repro.catalog.catalog import Catalog
 from repro.errors import ReproError
@@ -91,6 +93,121 @@ class EvaluationEngine:
             return [fn(item) for item in items]
         with ThreadPoolExecutor(max_workers=min(self.workers, len(items))) as pool:
             return list(pool.map(fn, items))
+
+
+# ----------------------------------------------------------------------
+# Background hand-off
+
+
+class BackgroundWorker:
+    """One daemon thread draining a bounded FIFO of hand-off items.
+
+    The counterpart to the pools above for work that must happen *off*
+    the caller's latency path rather than *faster*: the caller submits
+    an item and keeps going; the worker invokes ``handler(item)`` for
+    each item strictly in submission order (single thread, so handler
+    state needs no internal ordering logic).
+
+    Overflow policy — ``submit`` **never blocks**. When the queue is
+    full the *oldest pending* item is evicted to make room and
+    ``submit`` returns ``False``; a pending item is by construction
+    staler than the one replacing it, so this is a coalesce, not a
+    loss of the latest state. The item currently being handled is
+    never evicted.
+
+    Handler exceptions are captured (first one wins) and re-raised on
+    the caller's thread from the next :meth:`submit`, :meth:`drain`,
+    or :meth:`close` call, mirroring where a synchronous caller would
+    have seen them.
+    """
+
+    def __init__(
+        self,
+        handler: Callable[[Any], None],
+        *,
+        max_pending: int = 32,
+        name: str = "repro-background-worker",
+    ) -> None:
+        if max_pending <= 0:
+            raise ReproError("max_pending must be positive")
+        self._handler = handler
+        self.max_pending = max_pending
+        self._pending: deque[Any] = deque()
+        self._cv = threading.Condition()
+        self._busy = False
+        self._closed = False
+        self._error: BaseException | None = None
+        self.evicted = 0
+        self._thread = threading.Thread(target=self._loop, name=name, daemon=True)
+        self._thread.start()
+
+    # -- worker side ---------------------------------------------------
+
+    def _loop(self) -> None:
+        while True:
+            with self._cv:
+                while not self._pending and not self._closed:
+                    self._cv.wait()
+                if not self._pending and self._closed:
+                    return
+                item = self._pending.popleft()
+                self._busy = True
+            try:
+                self._handler(item)
+            except BaseException as exc:  # surfaced on the caller's thread
+                with self._cv:
+                    if self._error is None:
+                        self._error = exc
+            finally:
+                with self._cv:
+                    self._busy = False
+                    self._cv.notify_all()
+
+    # -- caller side ---------------------------------------------------
+
+    def _reraise(self) -> None:
+        error, self._error = self._error, None
+        if error is not None:
+            raise error
+
+    def submit(self, item: Any) -> bool:
+        """Enqueue ``item``; returns False when an older item was evicted."""
+        with self._cv:
+            if self._closed:
+                raise ReproError("cannot submit to a closed BackgroundWorker")
+            self._reraise()
+            coalesced = len(self._pending) >= self.max_pending
+            if coalesced:
+                self._pending.popleft()
+                self.evicted += 1
+            self._pending.append(item)
+            self._cv.notify_all()
+            return not coalesced
+
+    def drain(self) -> None:
+        """Block until the queue is empty and the handler is idle."""
+        with self._cv:
+            self._cv.wait_for(lambda: not self._pending and not self._busy)
+            self._reraise()
+
+    def close(self) -> None:
+        """Drain remaining items, stop the thread, re-raise any error.
+
+        Idempotent; after closing, :meth:`submit` raises.
+        """
+        with self._cv:
+            already = self._closed
+            self._closed = True
+            self._cv.notify_all()
+        if not already:
+            self._thread.join()
+        with self._cv:
+            self._reraise()
+
+    @property
+    def pending(self) -> int:
+        with self._cv:
+            return len(self._pending) + (1 if self._busy else 0)
 
 
 # ----------------------------------------------------------------------

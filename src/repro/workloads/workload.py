@@ -38,10 +38,20 @@ class Query:
 
 @dataclass
 class Workload:
-    """An ordered collection of queries."""
+    """An ordered collection of queries.
+
+    ``update_rates`` carries the write side of the workload: weighted
+    row-update statements per table name, in the same units as query
+    weights. Advisors that model index maintenance
+    (:meth:`IlpIndexAdvisor.recommend`) consume it; everything else
+    ignores it. The online monitor fills it from observed
+    INSERT/UPDATE/DELETE statements so write-heavy shifts reach the
+    advisor.
+    """
 
     queries: list[Query] = field(default_factory=list)
     name: str = "workload"
+    update_rates: dict[str, float] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         names = [q.name for q in self.queries]
@@ -67,7 +77,9 @@ class Workload:
     def subset(self, count: int, name: str | None = None) -> "Workload":
         """The first ``count`` queries (workload-size scaling sweeps)."""
         return Workload(
-            queries=self.queries[:count], name=name or f"{self.name}[:{count}]"
+            queries=self.queries[:count],
+            name=name or f"{self.name}[:{count}]",
+            update_rates=dict(self.update_rates),
         )
 
     def bind_all(self, catalog: Catalog) -> list[BoundQuery]:
