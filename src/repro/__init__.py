@@ -27,6 +27,7 @@ from repro.advisor.ilp_advisor import AdvisorResult, IlpIndexAdvisor, QueryBenef
 from repro.baselines.greedy import GreedyIndexAdvisor
 from repro.errors import ReproError
 from repro.executor.executor import ExecutionResult, execute
+from repro.resilience import DegradedResult, FaultInjector
 from repro.inum.model import InumModel
 from repro.optimizer.config import PlannerConfig
 from repro.optimizer.explain import explain
@@ -49,8 +50,10 @@ __all__ = [
     "Column",
     "CombinedResult",
     "Database",
+    "DegradedResult",
     "DesignEvaluation",
     "ExecutionResult",
+    "FaultInjector",
     "GreedyIndexAdvisor",
     "IlpIndexAdvisor",
     "Index",

@@ -38,13 +38,15 @@ from dataclasses import dataclass, field
 from repro.advisor.candidates import CandidateIndex, generate_candidates
 from repro.catalog.catalog import Catalog
 from repro.catalog.schema import Index
-from repro.errors import AdvisorError
+from repro.errors import AdvisorError, FaultInjected, SolverError
 from repro.ilp.branch_bound import BranchAndBoundSolver
 from repro.ilp.model import LinearProgram, Sense
 from repro.inum.model import InumModel
 from repro.optimizer.config import PlannerConfig
 from repro.parallel.caches import CostCache
 from repro.parallel.engine import bind_workload, build_inum_models
+from repro.resilience.degrade import DegradedResult
+from repro.resilience.faults import FaultInjector
 from repro.sql.binder import BoundQuery
 from repro.workloads.workload import Workload
 
@@ -99,6 +101,9 @@ class AdvisorResult:
     # max_combinations capped the product; nonzero means INUM fidelity
     # was degraded for at least one query.
     combinations_truncated: int = 0
+    # Graceful-degradation records: quarantined queries, solver
+    # fallbacks, abandoned pools. Empty means a fully clean run.
+    degraded: list[DegradedResult] = field(default_factory=list)
 
     @property
     def speedup(self) -> float:
@@ -126,6 +131,8 @@ class IlpIndexAdvisor:
         workers: int = 1,
         parallel_mode: str = "auto",
         cost_cache: CostCache | None = None,
+        solver_deadline: float | None = None,
+        fault_injector: FaultInjector | None = None,
     ) -> None:
         """Args (performance knobs; the rest are search-space knobs):
 
@@ -137,6 +144,12 @@ class IlpIndexAdvisor:
         cost_cache: Share a :class:`CostCache` across advisors or
             repeated ``recommend`` calls; by default each call gets a
             fresh one.
+        solver_deadline: Wall-clock cap (seconds) on one ILP solve.
+            When the branch-and-bound search cannot produce an integer
+            incumbent inside the cap, the advisor falls back to greedy
+            selection over the same benefit matrix instead of raising.
+        fault_injector: Resilience-test harness; see
+            :mod:`repro.resilience`. ``None`` defers to ``REPRO_FAULTS``.
         """
         self._catalog = catalog
         self._config = config or PlannerConfig()
@@ -148,6 +161,8 @@ class IlpIndexAdvisor:
         self._workers = workers
         self._parallel_mode = parallel_mode
         self._cost_cache = cost_cache
+        self._solver_deadline = solver_deadline
+        self._fault_injector = fault_injector
 
     # ------------------------------------------------------------------
 
@@ -190,14 +205,33 @@ class IlpIndexAdvisor:
             bound=bound,
             cost_cache=cache,
         )
-        models = self.build_models(workload, bound=bound, cost_cache=cache)
+        degraded: list[DegradedResult] = []
+        models = self.build_models(
+            workload, bound=bound, cost_cache=cache, degraded=degraded
+        )
+        workload = self._surviving(workload, models, degraded)
         benefits = self._benefit_matrix(workload, models, candidates)
         maintenance = self._maintenance_costs(candidates, update_rates)
 
-        chosen = self._solve(
-            workload, candidates, benefits, budget_pages, maintenance,
-            max_update_cost,
-        )
+        solver_fallback = False
+        try:
+            chosen = self._solve(
+                workload, candidates, benefits, budget_pages, maintenance,
+                max_update_cost,
+            )
+        except (SolverError, FaultInjected) as exc:
+            # Degradation ladder: an exhausted or crashed solver is
+            # replaced by greedy selection over the same benefit
+            # matrix. The refine pass below then polishes with full
+            # INUM estimates, so quality degrades gracefully.
+            degraded.append(
+                DegradedResult("solver.iterate", "ilp", "fallback", str(exc))
+            )
+            chosen = self._greedy_fallback(
+                candidates, benefits, budget_pages, maintenance,
+                max_update_cost,
+            )
+            solver_fallback = True
         if refine:
             chosen = self._refine(
                 workload, models, candidates, chosen, budget_pages,
@@ -216,6 +250,9 @@ class IlpIndexAdvisor:
         result.cache_hits = cache.hits
         result.cache_misses = cache.misses
         result.cache_stats = cache.stats()
+        result.degraded = degraded
+        if solver_fallback:
+            result.solver_status = "greedy-fallback"
         return result
 
     # ------------------------------------------------------------------
@@ -226,8 +263,13 @@ class IlpIndexAdvisor:
         *,
         bound: dict[str, BoundQuery] | None = None,
         cost_cache: CostCache | None = None,
+        degraded: list[DegradedResult] | None = None,
     ) -> dict[str, InumModel]:
-        """One INUM model per workload query (exposed for baselines)."""
+        """One INUM model per workload query (exposed for baselines).
+
+        Failing queries are quarantined (omitted, recorded on
+        ``degraded``) rather than aborting the batch.
+        """
         return build_inum_models(
             self._catalog,
             workload,
@@ -236,6 +278,29 @@ class IlpIndexAdvisor:
             mode=self._parallel_mode,
             cost_cache=cost_cache if cost_cache is not None else self._cost_cache,
             bound=bound,
+            fault_injector=self._fault_injector,
+            degraded=degraded,
+        )
+
+    @staticmethod
+    def _surviving(
+        workload: Workload,
+        models: dict[str, InumModel],
+        degraded: list[DegradedResult],
+    ) -> Workload:
+        """Drop quarantined queries; abort only when nothing is left."""
+        if all(query.name in models for query in workload):
+            return workload
+        kept = [query for query in workload if query.name in models]
+        if not kept:
+            raise AdvisorError(
+                "every workload query failed model construction: "
+                + "; ".join(str(entry) for entry in degraded)
+            )
+        return Workload(
+            queries=kept,
+            name=workload.name,
+            update_rates=dict(workload.update_rates),
         )
 
     def _benefit_matrix(
@@ -292,6 +357,7 @@ class IlpIndexAdvisor:
         max_update_cost: float | None,
     ) -> list[int]:
         """Build and solve the ILP; returns chosen candidate positions."""
+        self._last_solution = None
         if not benefits:
             return []
 
@@ -347,7 +413,12 @@ class IlpIndexAdvisor:
             float(budget_pages),
         )
 
-        solver = BranchAndBoundSolver(max_nodes=self._max_nodes, backend=self._backend)
+        solver = BranchAndBoundSolver(
+            max_nodes=self._max_nodes,
+            backend=self._backend,
+            deadline_seconds=self._solver_deadline,
+            fault_injector=self._fault_injector,
+        )
         solution = solver.solve(program)
         self._last_solution = solution
         if not solution.has_solution:
@@ -357,6 +428,51 @@ class IlpIndexAdvisor:
             for position in useful
             if solution.value(f"x_{position}") > 0.5
         ]
+
+    @staticmethod
+    def _greedy_fallback(
+        candidates: list[CandidateIndex],
+        benefits: dict[tuple[str, int], float],
+        budget_pages: int,
+        maintenance: dict[int, float],
+        max_update_cost: float | None,
+    ) -> list[int]:
+        """Greedy selection over the ILP's own benefit matrix.
+
+        Used when the exact solver cannot deliver: rank candidates by
+        total weighted benefit net of maintenance and take them in
+        order while the storage and update budgets hold. Deterministic
+        (ties broken by candidate position); typically within a few
+        percent of the ILP on the paper's workloads, and the refine
+        pass recovers most of the rest.
+        """
+        total: dict[int, float] = {}
+        for (_query, position), saving in benefits.items():
+            total[position] = total.get(position, 0.0) + saving
+        order = sorted(
+            total,
+            key=lambda p: (-(total[p] - maintenance.get(p, 0.0)), p),
+        )
+        chosen: list[int] = []
+        used_pages = 0
+        upkeep = 0.0
+        for position in order:
+            gain = total[position] - maintenance.get(position, 0.0)
+            if gain <= _MIN_BENEFIT:
+                continue
+            size = candidates[position].size_pages
+            if used_pages + size > budget_pages:
+                continue
+            cost = maintenance.get(position, 0.0)
+            if (
+                max_update_cost is not None
+                and upkeep + cost > max_update_cost + 1e-9
+            ):
+                continue
+            chosen.append(position)
+            used_pages += size
+            upkeep += cost
+        return sorted(chosen)
 
     def _refine(
         self,

@@ -22,6 +22,8 @@ from repro.inum.model import InumModel
 from repro.optimizer.config import PlannerConfig
 from repro.parallel.caches import CostCache
 from repro.parallel.engine import bind_workload, build_inum_models
+from repro.resilience.degrade import DegradedResult
+from repro.resilience.faults import FaultInjector
 from repro.workloads.workload import Workload
 
 _MIN_BENEFIT = 1e-6
@@ -41,6 +43,7 @@ class GreedyIndexAdvisor:
         workers: int = 1,
         parallel_mode: str = "auto",
         cost_cache: CostCache | None = None,
+        fault_injector: FaultInjector | None = None,
     ) -> None:
         self._catalog = catalog
         self._config = config or PlannerConfig()
@@ -51,6 +54,7 @@ class GreedyIndexAdvisor:
         self._workers = workers
         self._parallel_mode = parallel_mode
         self._cost_cache = cost_cache
+        self._fault_injector = fault_injector
 
     def recommend(self, workload: Workload, budget_pages: int) -> AdvisorResult:
         if budget_pages <= 0:
@@ -68,6 +72,7 @@ class GreedyIndexAdvisor:
             bound=bound,
             cost_cache=cache,
         )
+        degraded: list[DegradedResult] = []
         models: dict[str, InumModel] = build_inum_models(
             self._catalog,
             workload,
@@ -76,7 +81,23 @@ class GreedyIndexAdvisor:
             mode=self._parallel_mode,
             cost_cache=cache,
             bound=bound,
+            fault_injector=self._fault_injector,
+            degraded=degraded,
         )
+        if not all(query.name in models for query in workload):
+            # Same quarantine contract as the ILP advisor: failing
+            # queries are dropped from this run, not fatal.
+            kept = [query for query in workload if query.name in models]
+            if not kept:
+                raise AdvisorError(
+                    "every workload query failed model construction: "
+                    + "; ".join(str(entry) for entry in degraded)
+                )
+            workload = Workload(
+                queries=kept,
+                name=workload.name,
+                update_rates=dict(workload.update_rates),
+            )
 
         chosen: list[CandidateIndex] = []
         remaining = list(candidates)
@@ -119,6 +140,7 @@ class GreedyIndexAdvisor:
         result.cache_hits = cache.hits
         result.cache_misses = cache.misses
         result.cache_stats = cache.stats()
+        result.degraded = degraded
         return result
 
     # ------------------------------------------------------------------

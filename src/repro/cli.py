@@ -17,25 +17,44 @@ workload is used. ``tune --stream`` runs the online tuning loop over a
 statement stream instead of a fixed workload.
 
 Diagnostics that degrade result fidelity (truncated INUM order
-combinations, recommendations held back by hysteresis) are surfaced as
-``warning:`` lines on stderr, not buried in result objects.
+combinations, recommendations held back by hysteresis, degraded
+re-advises) are surfaced as ``warning:`` lines on stderr, not buried
+in result objects.
+
+``tune`` is the durable daemon entry point, so it runs with the full
+degradation ladder on: state files are checksummed with last-good
+``.bak`` recovery, a failed re-advise logs and continues, and a stream
+that disappears mid-run (the file deleted, a pipe closed) flushes one
+final checkpoint and exits with the distinct code
+:data:`EXIT_STREAM_LOST` so supervisors can tell "input went away"
+from "the tuner crashed".
 """
 
 from __future__ import annotations
 
 import argparse
-import json
-import os
 import sys
 
 from repro.bench.reporting import ResultTable
 from repro.core.parinda import Parinda
-from repro.errors import CanonicalizeError, ReproError, TokenizeError
+from repro.errors import (
+    CanonicalizeError,
+    FaultInjected,
+    ReproError,
+    StateCorruptError,
+    TokenizeError,
+)
 from repro.optimizer.explain import explain
+from repro.resilience import faults
+from repro.resilience import state as resilience_state
 from repro.storage.database import Database
 from repro.workloads.sdss import build_sdss_database, sdss_workload
 from repro.workloads.star import build_star_database, star_workload
 from repro.workloads.workload import Workload, iter_statements
+
+# ``tune`` exit code when the statement stream became unreadable
+# mid-run; the final state checkpoint is still flushed first.
+EXIT_STREAM_LOST = 3
 
 
 def _warn(message: str) -> None:
@@ -191,21 +210,29 @@ def cmd_suggest_combined(args: argparse.Namespace) -> int:
     return 0
 
 
-def _save_tuner_state(path: str, tuner, position: int) -> None:
-    """Atomically persist the tuner plus the stream read position.
+def _save_tuner_state(path: str, tuner, position: int) -> bool:
+    """Checkpoint the tuner plus the stream read position.
 
     ``drain=False`` keeps autosaves off the advisor's critical path in
     background mode; a checkpoint in flight at save time is simply
-    re-detected as drift after a resume. The write goes through a
-    temp file + ``os.replace`` so a kill mid-save can never leave a
-    truncated state file behind.
+    re-detected as drift after a resume. The write goes through
+    :func:`repro.resilience.state.dump_state`: a checksummed envelope,
+    written atomically, with the previous good file rotated to ``.bak``
+    so even a torn write leaves a recoverable last-good checkpoint.
+
+    A failed save must never kill the tuning loop — the in-memory tuner
+    is still healthy and the next interval retries — so disk errors and
+    injected ``state.write`` faults are reported as warnings and the
+    function returns False instead of raising.
     """
     state = tuner.save_state(drain=False)
     state["stream_position"] = position
-    tmp = f"{path}.tmp"
-    with open(tmp, "w") as handle:
-        json.dump(state, handle)
-    os.replace(tmp, path)
+    try:
+        resilience_state.dump_state(path, state)
+    except (OSError, FaultInjected) as exc:
+        _warn(f"state checkpoint to {path} failed ({exc}); continuing")
+        return False
+    return True
 
 
 def cmd_tune(args: argparse.Namespace) -> int:
@@ -217,7 +244,7 @@ def cmd_tune(args: argparse.Namespace) -> int:
     def listener(event) -> None:
         if event.kind == "observed":
             return
-        if event.kind in ("held", "quarantined"):
+        if event.kind in ("held", "quarantined", "degraded"):
             label = "recommendation held" if event.kind == "held" else event.kind
             _warn(f"[{event.sequence}] {label}: {event.detail}")
             return
@@ -228,17 +255,34 @@ def cmd_tune(args: argparse.Namespace) -> int:
     # A saved state also records how far into the stream it got, so a
     # restarted file-stream run skips what the previous run already
     # observed. Stdin is not replayable, so the position is ignored
-    # there — the caller feeds whatever is new.
+    # there — the caller feeds whatever is new. The read goes through
+    # the checksum envelope: a torn primary falls back to the rotated
+    # .bak, and when both are gone the daemon warns and starts cold
+    # rather than dying on its own state file.
     resume_position = 0
-    if args.state and args.stream != "-" and os.path.exists(args.state):
-        with open(args.state) as handle:
-            resume_position = int(json.load(handle).get("stream_position", 0))
+    state_file = args.state
+    if args.state and resilience_state.has_state(args.state):
+        try:
+            saved, source = resilience_state.load_state(args.state)
+        except StateCorruptError as exc:
+            _warn(f"state file unrecoverable ({exc}); starting cold")
+            state_file = None
+        else:
+            if source == "backup":
+                _warn(
+                    "state primary was corrupt; resumed from last-good "
+                    f"checkpoint {resilience_state.backup_path(args.state)}"
+                )
+            if args.stream != "-":
+                resume_position = int(saved.get("stream_position", 0))
 
     skipped = 0
     position = 0
+    stream_lost: str | None = None
     with parinda.online(
         budget_pages=max(1, int(args.budget_mb * 1024 * 1024) // 8192),
-        state_file=args.state,
+        state_file=state_file,
+        degrade_on_error=True,
         window_size=args.window,
         check_interval=args.check_interval,
         warmup=args.warmup,
@@ -253,22 +297,40 @@ def cmd_tune(args: argparse.Namespace) -> int:
                 f"statements already observed; skipping {resume_position} "
                 "stream statement(s)."
             )
-        for statement in iter_statements(args.stream):
-            position += 1
-            if position <= resume_position:
-                continue
-            try:
-                tuner.observe(statement)
-            except (TokenizeError, CanonicalizeError) as exc:
-                # Not even a template: drop it. Statements that DO
-                # template but fail the parser or binder are quarantined
-                # by the tuner instead, so one bad shape cannot fail
-                # every future snapshot re-advise.
-                skipped += 1
-                _warn(f"skipped untemplatable statement: {exc}")
-            if args.state and position % args.state_interval == 0:
-                _save_tuner_state(args.state, tuner, position)
-        if tuner.readvise_count == 0 and tuner.monitor.observed:
+        try:
+            for statement in iter_statements(args.stream):
+                # Injection point for "the stream went away mid-run";
+                # real runs hit the OSError branch below instead (file
+                # deleted under us, pipe closed, disk gone). Checked
+                # before the position counter moves, so a checkpoint
+                # flushed after a loss never skips the lost statement
+                # on resume.
+                faults.check("stream.read", f"statement {position + 1}")
+                position += 1
+                if position <= resume_position:
+                    continue
+                try:
+                    tuner.observe(statement)
+                except (TokenizeError, CanonicalizeError) as exc:
+                    # Not even a template: drop it. Statements that DO
+                    # template but fail the parser or binder are
+                    # quarantined by the tuner instead, so one bad shape
+                    # cannot fail every future snapshot re-advise.
+                    skipped += 1
+                    _warn(f"skipped untemplatable statement: {exc}")
+                if args.state and position % args.state_interval == 0:
+                    _save_tuner_state(args.state, tuner, position)
+        except (OSError, FaultInjected) as exc:
+            # The stream is gone; what was observed is still good.
+            # Flush a final checkpoint (below, after the drain) and
+            # exit with a distinct code so supervisors can tell this
+            # apart from a tuner crash.
+            stream_lost = str(exc)
+            _warn(
+                f"statement stream lost after {position} statement(s): "
+                f"{exc}; flushing final checkpoint"
+            )
+        if stream_lost is None and tuner.readvise_count == 0 and tuner.monitor.observed:
             # Short streams can end inside the warmup window; still give
             # the user an answer for what was seen.
             tuner.readvise(reason="end of stream")
@@ -285,6 +347,11 @@ def cmd_tune(args: argparse.Namespace) -> int:
         + (
             f", {counts['quarantined']} quarantined"
             if counts["quarantined"]
+            else ""
+        )
+        + (
+            f", {counts['degraded']} degraded"
+            if counts.get("degraded")
             else ""
         )
         + (
@@ -317,7 +384,7 @@ def cmd_tune(args: argparse.Namespace) -> int:
                 entry["size"],
             )
         table.emit()
-    return 0
+    return EXIT_STREAM_LOST if stream_lost is not None else 0
 
 
 def cmd_evaluate(args: argparse.Namespace) -> int:

@@ -8,8 +8,6 @@ advisor.
 
 from __future__ import annotations
 
-import json
-import os
 from dataclasses import dataclass
 
 from repro.advisor.ilp_advisor import AdvisorResult, IlpIndexAdvisor
@@ -21,6 +19,8 @@ from repro.optimizer.config import PlannerConfig
 from repro.optimizer.planner import Planner
 from repro.parallel.caches import CostCache
 from repro.partitioning.autopart import AutoPartAdvisor, PartitionAdvisorResult
+from repro.resilience import state as resilience_state
+from repro.resilience.faults import FaultInjector
 from repro.storage.database import Database
 from repro.workloads.workload import Query, Workload
 
@@ -49,6 +49,7 @@ class Parinda:
         database: Database,
         config: PlannerConfig | None = None,
         cache_max_entries: int | None = None,
+        fault_injector: FaultInjector | None = None,
     ) -> None:
         """Args:
         cache_max_entries: Per-section bound on the facade's shared
@@ -56,9 +57,15 @@ class Parinda:
             first). ``None`` keeps it unbounded — fine for one-shot
             scripts, not for a long-lived process; :meth:`online`
             defaults it to a bound when unset.
+        fault_injector: Resilience-test harness threaded through to
+            every advisor and tuning session created by this facade
+            (see :mod:`repro.resilience`). ``None`` defers to the
+            ``REPRO_FAULTS`` environment variable; an idle injector
+            changes nothing observable.
         """
         self._db = database
         self._config = config or PlannerConfig()
+        self._fault_injector = fault_injector
         # Shared across every advisor call made through this facade:
         # bound queries, Equation-1 sizes, and scan costs carry over
         # between suggest_* calls as long as the catalog version holds.
@@ -116,15 +123,19 @@ class Parinda:
             budget_pages = max(1, budget_bytes // BLOCK_SIZE)
         if self._cache_bounded:
             knobs.setdefault("cost_cache", self._cost_cache)
+        knobs.setdefault("fault_injector", self._fault_injector)
         tuner = OnlineTuner(
             self._db.catalog,
             self._config,
             budget_pages=budget_pages,
             **knobs,
         )
-        if state_file is not None and os.path.exists(state_file):
-            with open(state_file) as handle:
-                tuner.restore_state(json.load(handle))
+        if resilience_state.has_state(state_file):
+            # load_state verifies the checksum envelope and falls back
+            # to the rotated .bak when the primary is torn or missing;
+            # legacy bare-dict files load unverified.
+            state, _source = resilience_state.load_state(state_file)
+            tuner.restore_state(state)
         return tuner
 
     # ------------------------------------------------------------------
@@ -144,6 +155,7 @@ class Parinda:
             replication_limit=replication_limit,
             tables=tables,
             workers=workers,
+            fault_injector=self._fault_injector,
         )
         return advisor.recommend(workload)
 
@@ -186,6 +198,7 @@ class Parinda:
             workers=workers,
             parallel_mode=parallel_mode,
             cost_cache=self._cost_cache,
+            fault_injector=self._fault_injector,
         )
         return advisor.recommend(workload, budget_pages)
 
@@ -193,6 +206,7 @@ class Parinda:
         self, workload: Workload, budget_pages: int, **kwargs
     ) -> AdvisorResult:
         """The greedy baseline, for comparisons (experiment E6)."""
+        kwargs.setdefault("fault_injector", self._fault_injector)
         advisor = GreedyIndexAdvisor(self._db.catalog, self._config, **kwargs)
         return advisor.recommend(workload, budget_pages)
 
@@ -250,7 +264,9 @@ class Parinda:
             ],
             name=f"{workload.name}-partitioned",
         )
-        advisor = IlpIndexAdvisor(session.catalog, self._config)
+        advisor = IlpIndexAdvisor(
+            session.catalog, self._config, fault_injector=self._fault_injector
+        )
         indexes = advisor.recommend(rewritten, budget_pages=budget_pages)
         return CombinedResult(
             partitions=partitions,

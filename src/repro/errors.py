@@ -3,7 +3,35 @@
 Every error raised on purpose by this library derives from
 :class:`ReproError`, so callers can catch one type at the API boundary.
 The sub-hierarchy mirrors the subsystems: SQL frontend, catalog,
-optimizer, executor, advisor, and the ILP solver.
+optimizer, executor, advisor, the ILP solver, and the resilience layer.
+
+Catch-at-boundary contract (the resilience layer)
+    Failures are caught at the *component boundary* that can degrade
+    gracefully, never deeper and never broader:
+
+    * per-query failures (a model build, a what-if plan) are caught by
+      the advisor that owns the workload loop, which quarantines the
+      query and records a
+      :class:`~repro.resilience.degrade.DegradedResult`;
+    * :class:`WorkerCrashError` (real pool breakage or an injected
+      ``worker.task`` fault) is caught by the evaluation engine, which
+      retries the task once and then degrades to serial execution;
+    * :class:`SolverError` and a ``solver.iterate`` fault are caught by
+      :class:`~repro.advisor.ilp_advisor.IlpIndexAdvisor`, which falls
+      back to the greedy baseline selection;
+    * :class:`StateCorruptError` is caught by the state-file loader,
+      which falls back to the last-good checkpoint, and by the CLI,
+      which starts cold with a warning when no checkpoint survives;
+    * the online tuner catches any :class:`ReproError` escaping one
+      re-advise and emits a ``degraded`` event — the daemon never dies
+      because one checkpoint did.
+
+    :class:`FaultInjected` deliberately derives from
+    :class:`ResilienceError` (not from the subsystem errors), so an
+    injected fault exercises exactly the handlers that also catch the
+    real failure — any ``except`` broad enough to swallow it silently
+    would also swallow real faults, which is what the chaos CI job
+    exists to catch.
 """
 
 from __future__ import annotations
@@ -85,3 +113,34 @@ class UnboundedError(SolverError):
 
 class WhatIfError(ReproError):
     """Invalid what-if operation (duplicate hypothetical object, ...)."""
+
+
+class ResilienceError(ReproError):
+    """Base class for the fault-injection / graceful-degradation layer."""
+
+
+class FaultInjected(ResilienceError):
+    """A :class:`~repro.resilience.faults.FaultInjector` fired.
+
+    Carries the fault point, the caller-supplied detail (usually the
+    query or file the fault landed on), and the 1-based invocation
+    count at which it fired, so failure schedules can be replayed and
+    asserted exactly.
+    """
+
+    def __init__(self, point: str, detail: str = "", count: int = 0) -> None:
+        suffix = f" ({detail})" if detail else ""
+        super().__init__(
+            f"injected fault at {point}{suffix}, invocation {count}"
+        )
+        self.point = point
+        self.detail = detail
+        self.count = count
+
+
+class StateCorruptError(ResilienceError):
+    """A persisted state file is corrupt, truncated, or fails its checksum."""
+
+
+class WorkerCrashError(ResilienceError):
+    """A pool worker (process or simulated) died while running a task."""

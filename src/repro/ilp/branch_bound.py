@@ -6,6 +6,15 @@ the incumbent, and subtrees whose bound cannot beat the incumbent are
 pruned. Exact for the binary programs the index advisor emits.
 An optional ``scipy`` backend (HiGHS via ``scipy.optimize.milp``) can be
 selected for cross-validation.
+
+Bounded-time harness: the solver is built to come back with its best
+integer incumbent rather than an opaque error whenever the search is
+cut short — by the node limit, by a per-solve ``deadline_seconds``, or
+by the simplex iteration limit inside a node (the LP's feasible point
+then seeds the rounding heuristic). Only when *no* incumbent exists
+does a cut-short solve raise :class:`~repro.errors.SolverError`, and
+the message says exactly which limit hit. The ``solver.iterate`` fault
+point fires once per node expansion.
 """
 
 from __future__ import annotations
@@ -13,6 +22,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -21,6 +31,8 @@ from repro.errors import SolverError
 from repro.ilp.model import CompiledProgram, LinearProgram
 from repro.ilp.simplex import SimplexSolver, check_feasible, fix_variables
 from repro.ilp.solution import MilpSolution
+from repro.resilience import faults
+from repro.resilience.faults import FaultInjector
 
 _INT_TOL = 1e-6
 
@@ -44,12 +56,18 @@ class BranchAndBoundSolver:
         max_nodes: int = 50000,
         gap_tolerance: float = 1e-6,
         backend: str = "builtin",
+        deadline_seconds: float | None = None,
+        fault_injector: FaultInjector | None = None,
     ) -> None:
         if backend not in ("builtin", "scipy"):
             raise SolverError(f"unknown MILP backend {backend!r}")
+        if deadline_seconds is not None and deadline_seconds <= 0:
+            raise SolverError("deadline_seconds must be positive")
         self._max_nodes = max_nodes
         self._gap_tolerance = gap_tolerance
         self._backend = backend
+        self._deadline = deadline_seconds
+        self._faults = fault_injector
         self._simplex = SimplexSolver()
 
     # ------------------------------------------------------------------
@@ -73,13 +91,23 @@ class BranchAndBoundSolver:
         best_objective = -math.inf
         best_bound = math.inf
         nodes = 0
+        limited = 0
+        deadline_hit = False
+        started = time.monotonic()
 
         while heap and nodes < self._max_nodes:
+            if (
+                self._deadline is not None
+                and time.monotonic() - started > self._deadline
+            ):
+                deadline_hit = True
+                break
             node = heapq.heappop(heap)
             node_bound = -node.priority
             if node_bound <= best_objective + self._gap_tolerance:
                 continue  # cannot improve
             nodes += 1
+            faults.check("solver.iterate", f"node {nodes}", self._faults)
 
             reduced, offset, keep = fix_variables(compiled, node.fixed)
             result = self._simplex.solve(reduced)
@@ -91,6 +119,21 @@ class BranchAndBoundSolver:
                     objective=None,
                     nodes_explored=nodes,
                 )
+            if result.status == "iteration_limit":
+                # The LP was cut short but its basis is still feasible:
+                # try to salvage an incumbent from it rather than
+                # discarding the node outright. Its objective is not a
+                # valid upper bound, so we never branch or prune on it.
+                limited += 1
+                if result.x is not None:
+                    x_full = self._expand(compiled, node.fixed, keep, result.x)
+                    rounded = self._round_heuristic(compiled, x_full)
+                    if rounded is not None:
+                        value = float(compiled.objective @ rounded)
+                        if value > best_objective:
+                            best_objective = value
+                            best_x = rounded
+                continue
             if not result.is_optimal:
                 continue
             bound = offset + (result.objective or 0.0)
@@ -129,11 +172,28 @@ class BranchAndBoundSolver:
                 )
 
         if best_x is None:
+            if limited:
+                raise SolverError(
+                    f"simplex iteration limit hit in {limited} node(s) and no "
+                    "integer incumbent was found; raise max_iterations or use "
+                    "the greedy fallback"
+                )
+            if deadline_hit:
+                raise SolverError(
+                    f"solver deadline ({self._deadline:.3g}s) expired after "
+                    f"{nodes} nodes with no integer incumbent"
+                )
             status = "infeasible" if not heap else "node_limit"
             return MilpSolution(status=status, objective=None, nodes_explored=nodes)
-        status = "optimal" if not heap or nodes < self._max_nodes else "feasible"
-        if heap and nodes >= self._max_nodes:
-            status = "feasible"
+        # Any cut-short search (node limit with work left, deadline, or a
+        # simplex iteration limit inside any node) forfeits the
+        # optimality proof: the incumbent is returned as "feasible".
+        cut_short = (
+            (bool(heap) and nodes >= self._max_nodes)
+            or limited > 0
+            or deadline_hit
+        )
+        status = "feasible" if cut_short else "optimal"
         gap = max(0.0, best_bound - best_objective)
         return MilpSolution(
             status=status,

@@ -20,7 +20,14 @@ _TOL = 1e-9
 
 @dataclass
 class SimplexResult:
-    """Outcome of one LP solve."""
+    """Outcome of one LP solve.
+
+    On ``iteration_limit`` in phase 2 the tableau still holds a
+    *feasible* (just not proven-optimal) basic solution, so ``x`` and
+    ``objective`` are populated — branch and bound uses them to seed a
+    rounding heuristic instead of abandoning the node empty-handed. A
+    phase-1 limit yields no feasible point and leaves ``x`` None.
+    """
 
     status: str  # "optimal" | "infeasible" | "unbounded" | "iteration_limit"
     x: np.ndarray | None
@@ -109,15 +116,17 @@ class SimplexSolver:
         cost2[:total_structural] = self._structural_cost
         self._set_objective_row(tableau, basis, cost2)
         status = self._iterate(tableau, basis, allow_columns=total_structural)
-        if status != "optimal":
+        if status not in ("optimal", "iteration_limit"):
             return SimplexResult(status=status, x=None, objective=None)
 
+        # Every phase-2 basis is primal-feasible, so even a solve cut
+        # off by the iteration limit yields a usable point.
         x = np.zeros(total_structural + m)
         for row, var in enumerate(basis):
             x[var] = tableau[row, -1]
         solution = x[:n]
         return SimplexResult(
-            status="optimal",
+            status=status,
             x=solution,
             objective=float(self._structural_cost[:n] @ solution),
         )

@@ -210,6 +210,7 @@ class WorkloadMonitor:
         self._templates: dict[str, QueryTemplate] = {}
         self._by_id: dict[str, str] = {}  # template_id -> fingerprint
         self._quarantined: set[str] = set()  # fingerprints
+        self._quarantine_reasons: dict[str, str] = {}  # fingerprint -> why
         self._window: deque[str] = deque(maxlen=window_size)
         self._window_counts: dict[str, int] = {}
         self._profile: dict[str, float] = {}
@@ -244,8 +245,9 @@ class WorkloadMonitor:
                 # re-advise. Checked once per template, not per statement.
                 try:
                     parse_select(template.example_sql)
-                except (ParseError, SQLError):
+                except (ParseError, SQLError) as exc:
                     self._quarantined.add(fingerprint)
+                    self._quarantine_reasons[fingerprint] = str(exc)
         self._observed += 1
 
         # Sliding window: deque handles expiry; counts track membership.
@@ -279,19 +281,23 @@ class WorkloadMonitor:
     # ------------------------------------------------------------------
     # Quarantine
 
-    def quarantine(self, key: str) -> QueryTemplate:
+    def quarantine(self, key: str, reason: str = "") -> QueryTemplate:
         """Exclude a template from future snapshots; returns it.
 
         ``key`` is a fingerprint or a template id (snapshot query names
         are template ids, so advise-time failures can be routed back
         here directly). The template keeps counting in the window — it
-        is real traffic — it just stops reaching the advisor.
+        is real traffic — it just stops reaching the advisor. ``reason``
+        is kept for reporting (:attr:`quarantine_reasons`) and survives
+        save/load.
         """
         fingerprint = self._by_id.get(key, key)
         template = self._templates.get(fingerprint)
         if template is None:
             raise ReproError(f"unknown template {key!r}")
         self._quarantined.add(fingerprint)
+        if reason:
+            self._quarantine_reasons.setdefault(fingerprint, reason)
         return template
 
     def is_quarantined(self, key: str) -> bool:
@@ -301,6 +307,11 @@ class WorkloadMonitor:
     def quarantined(self) -> frozenset[str]:
         """Fingerprints currently excluded from snapshots."""
         return frozenset(self._quarantined)
+
+    @property
+    def quarantine_reasons(self) -> dict[str, str]:
+        """Why each quarantined fingerprint was excluded (best effort)."""
+        return dict(self._quarantine_reasons)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -411,6 +422,9 @@ class WorkloadMonitor:
                     "kind": t.kind,
                     "target_table": t.target_table,
                     "quarantined": t.fingerprint in self._quarantined,
+                    "quarantine_reason": self._quarantine_reasons.get(
+                        t.fingerprint, ""
+                    ),
                 }
                 for t in sorted(
                     self._templates.values(), key=lambda t: t.sequence
@@ -453,6 +467,9 @@ class WorkloadMonitor:
             monitor._by_id[template.template_id] = template.fingerprint
             if entry.get("quarantined"):
                 monitor._quarantined.add(template.fingerprint)
+                reason = entry.get("quarantine_reason", "")
+                if reason:
+                    monitor._quarantine_reasons[template.fingerprint] = reason
         for fingerprint in state["window"]:
             if fingerprint not in monitor._templates:
                 raise ReproError(

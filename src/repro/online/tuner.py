@@ -54,7 +54,17 @@ dict (``python -m repro tune --state FILE`` wires this to disk).
 
 Every step emits a typed :class:`TuningEvent` (``observed`` /
 ``quarantined`` / ``drifted`` / ``re-advised`` / ``recommended`` /
-``held``) consumable by tests, benchmarks, and the CLI.
+``held`` / ``degraded``) consumable by tests, benchmarks, and the CLI.
+
+Resilience: one failed re-advise never stops the loop. A
+:class:`~repro.errors.ReproError` escaping the advisor (or an injected
+fault) is converted into a ``degraded`` event and the checkpoint is
+dropped — the standing design stays in force and, because the baseline
+does not move, the same shift re-registers as drift at the next
+boundary, which is the retry. A crashed background decision thread is
+restarted by the :class:`BackgroundWorker` watchdog and surfaces as a
+``degraded`` event too (crash counts live on
+:attr:`OnlineTuner.worker_crashes`).
 """
 
 from __future__ import annotations
@@ -73,6 +83,7 @@ from repro.online.monitor import QueryTemplate, WorkloadMonitor
 from repro.optimizer.config import PlannerConfig
 from repro.parallel.caches import CostCache
 from repro.parallel.engine import BackgroundWorker
+from repro.resilience.faults import FaultInjector
 from repro.workloads.workload import Workload
 
 EVENT_KINDS = (
@@ -82,6 +93,7 @@ EVENT_KINDS = (
     "re-advised",
     "recommended",
     "held",
+    "degraded",
 )
 
 # Serialization format of OnlineTuner.save_state()/restore_state().
@@ -157,6 +169,18 @@ class OnlineTuner:
         max_pending: Bound of the background hand-off queue; overflow
             coalesces the oldest pending checkpoint (counted in
             :attr:`coalesced`).
+        fault_injector: Resilience-test harness threaded through to the
+            advisor stack (see :mod:`repro.resilience`). ``None`` defers
+            to the ``REPRO_FAULTS`` environment variable.
+        degrade_on_error: Daemon posture. When True, a
+            :class:`~repro.errors.ReproError` escaping one re-advise is
+            absorbed as a ``degraded`` event (standing design kept,
+            baseline unchanged so the drift re-registers — the natural
+            retry), and the background decision thread is supervised:
+            crashes are counted, reported as ``degraded`` events, and
+            the thread is restarted. When False (default), errors
+            propagate to the caller / :meth:`drain` — the library
+            contract tests and synchronous callers rely on.
     """
 
     def __init__(
@@ -180,6 +204,8 @@ class OnlineTuner:
         max_events: int = 10000,
         background: bool = False,
         max_pending: int = 32,
+        fault_injector: FaultInjector | None = None,
+        degrade_on_error: bool = False,
     ) -> None:
         if budget_pages <= 0:
             raise ReproError("budget_pages must be positive")
@@ -202,12 +228,14 @@ class OnlineTuner:
             if cost_cache is not None
             else CostCache(max_entries=cache_max_entries)
         )
+        self._faults = fault_injector
         self._advisor = IlpIndexAdvisor(
             catalog,
             self._config,
             workers=workers,
             parallel_mode=parallel_mode,
             cost_cache=self.cache,
+            fault_injector=fault_injector,
         )
         self._listener = listener
         self._events: deque[TuningEvent] = deque(maxlen=max_events)
@@ -227,13 +255,30 @@ class OnlineTuner:
         self.readvise_count = 0
         self.coalesced = 0
         self.background = background
+        self.degrade_on_error = bool(degrade_on_error)
         self._worker: BackgroundWorker | None = None
         if background:
             self._worker = BackgroundWorker(
                 self._process_checkpoint,
                 max_pending=max_pending,
                 name="repro-online-tuner",
+                on_crash=self._on_worker_crash if degrade_on_error else None,
             )
+
+    @property
+    def worker_crashes(self) -> int:
+        """Background decision-thread crashes absorbed by the watchdog."""
+        return self._worker.crashes if self._worker is not None else 0
+
+    def _on_worker_crash(self, exc: BaseException) -> None:
+        worker = self._worker
+        count = worker.crashes if worker is not None else 0
+        self._emit(
+            "degraded",
+            self.monitor.observed,
+            f"background worker crash #{count} absorbed ({exc}); "
+            "worker supervised, standing design kept",
+        )
 
     # ------------------------------------------------------------------
     # Context-manager / daemon protocol
@@ -370,7 +415,22 @@ class OnlineTuner:
             reason = report.reason
         else:
             reason = checkpoint.reason or checkpoint.kind
-        return self._advise(checkpoint, reason)
+        if not self.degrade_on_error:
+            return self._advise(checkpoint, reason)
+        try:
+            return self._advise(checkpoint, reason)
+        except ReproError as exc:
+            # Degradation ladder: one failed re-advise is logged and
+            # dropped. The baseline stays where it was, so the same
+            # shift registers as drift again at the next boundary —
+            # that re-detection is the retry.
+            self._emit(
+                "degraded",
+                checkpoint.sequence,
+                f"re-advise failed ({exc}); standing design kept, "
+                "baseline unchanged",
+            )
+            return None
 
     # ------------------------------------------------------------------
     # The advise step (single-writer: inline or worker, never both)

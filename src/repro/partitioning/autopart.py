@@ -36,10 +36,13 @@ from repro.advisor.ilp_advisor import QueryBenefit
 from repro.catalog.catalog import Catalog
 from repro.catalog.schema import PartitionScheme
 from repro.catalog.sizing import BLOCK_SIZE, column_width
-from repro.errors import AdvisorError
+from repro.errors import AdvisorError, ReproError
 from repro.optimizer.config import PlannerConfig
 from repro.optimizer.planner import Planner
 from repro.parallel.engine import EvaluationEngine
+from repro.resilience import faults
+from repro.resilience.degrade import DegradedResult
+from repro.resilience.faults import FaultInjector
 from repro.partitioning.fragments import (
     atomic_fragments,
     attribute_usage,
@@ -71,6 +74,9 @@ class PartitionAdvisorResult:
     replication_limit: float
     shells_shared: int = 0
     rebinds_shared: int = 0
+    # Graceful-degradation records (quarantined queries); quarantined
+    # queries are excluded from per_query and all cost totals.
+    degraded: list[DegradedResult] = field(default_factory=list)
 
     @property
     def speedup(self) -> float:
@@ -113,6 +119,7 @@ class AutoPartAdvisor:
         candidates_per_iteration: int = 24,
         workers: int = 1,
         parallel_mode: str = "auto",
+        fault_injector: FaultInjector | None = None,
     ) -> None:
         """Args:
         replication_limit: Extra storage allowed for replicated
@@ -134,7 +141,10 @@ class AutoPartAdvisor:
         self._max_iterations = max_iterations
         self._only_tables = set(tables) if tables is not None else None
         self._candidates_per_iteration = candidates_per_iteration
-        self._engine = EvaluationEngine(workers=workers, mode=parallel_mode)
+        self._faults = fault_injector
+        self._engine = EvaluationEngine(
+            workers=workers, mode=parallel_mode, fault_injector=fault_injector
+        )
 
     # ------------------------------------------------------------------
 
@@ -170,9 +180,24 @@ class AutoPartAdvisor:
         self._shells_shared = 0
         self._rebinds_shared = 0
         self._cache_lock = threading.Lock()
+        # Per-query failure isolation: a query that cannot be bound or
+        # priced is quarantined for the rest of this run — dropped from
+        # every cost total and from per_query — instead of aborting.
+        self._failed: set[str] = set()
+        self._degraded: list[DegradedResult] = []
         # Bind each query once; every layout evaluation starts from the
         # same bound form (rewrites re-bind against the shell catalog).
-        self._bound = {q.name: q.bind(self._catalog) for q in workload}
+        self._bound = {}
+        for query in workload:
+            try:
+                self._bound[query.name] = query.bind(self._catalog)
+            except ReproError as exc:
+                self._quarantine(query.name, exc)
+        if not self._bound:
+            raise AdvisorError(
+                "every workload query failed binding: "
+                + "; ".join(str(entry) for entry in self._degraded)
+            )
         self._query_tables = self._tables_per_query(workload)
 
         cost_before = self._workload_cost(workload, _Layout())
@@ -204,7 +229,17 @@ class AutoPartAdvisor:
         result.evaluations = self._evaluations
         result.shells_shared = self._shells_shared
         result.rebinds_shared = self._rebinds_shared
+        result.degraded = list(self._degraded) + list(self._engine.degraded)
         return result
+
+    def _quarantine(self, name: str, exc: BaseException) -> None:
+        with self._cache_lock:
+            if name in self._failed:
+                return
+            self._failed.add(name)
+            self._degraded.append(
+                DegradedResult("optimizer.plan", name, "quarantined", str(exc))
+            )
 
     # ------------------------------------------------------------------
     # Fragment generation / selection
@@ -336,6 +371,8 @@ class AutoPartAdvisor:
     def _tables_per_query(self, workload: Workload) -> dict[str, frozenset[str]]:
         out = {}
         for query in workload:
+            if query.name not in self._bound:
+                continue
             bound = self._bound[query.name]
             out[query.name] = frozenset(e.table.name for e in bound.rels)
         return out
@@ -344,6 +381,8 @@ class AutoPartAdvisor:
         session, rewriter = self._session_for(layout)
         total = 0.0
         for query in workload:
+            if query.name in self._failed:
+                continue  # quarantined: contributes nothing, everywhere
             signature = layout.signature(self._query_tables[query.name])
             with self._cache_lock:
                 cached = self._cost_cache.get((query.name, signature))
@@ -352,7 +391,12 @@ class AutoPartAdvisor:
                 continue
             # Costs are pure functions of (query, layout signature): a
             # racing duplicate computation outside the lock is benign.
-            cost = self._query_cost(query, session, rewriter, signature)
+            try:
+                faults.check("optimizer.plan", query.name, self._faults)
+                cost = self._query_cost(query, session, rewriter, signature)
+            except ReproError as exc:
+                self._quarantine(query.name, exc)
+                continue
             with self._cache_lock:
                 self._cost_cache[(query.name, signature)] = cost
                 self._evaluations += 1
@@ -470,6 +514,11 @@ class AutoPartAdvisor:
         baseline_planner = Planner(self._catalog, self._config)
         empty = _Layout()
         for query in workload:
+            if query.name in self._failed:
+                # Quarantined: untouched by the recommendation; the
+                # original SQL passes through so replays stay runnable.
+                rewritten_sql[query.name] = query.sql.strip()
+                continue
             bound = self._bound[query.name]
             tables = self._query_tables[query.name]
             base_cost = self._cost_cache.get(

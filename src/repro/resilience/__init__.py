@@ -1,0 +1,64 @@
+"""Fault-injection harness and graceful-degradation primitives.
+
+An always-on advisor needs failure isolation more than raw speed: one
+failing query, one crashed pool worker, one torn state write must not
+take down a whole advise — let alone the daemon. This package holds
+the two halves of that safety layer:
+
+* :mod:`repro.resilience.faults` — a deterministic, seeded
+  :class:`FaultInjector` with named fault points, activated explicitly
+  (``Parinda(fault_injector=...)``) or ambiently (``REPRO_FAULTS``),
+  so CI can replay exact failure schedules;
+* :mod:`repro.resilience.degrade` — the structured
+  :class:`DegradedResult` records advisors attach to their results
+  when they shed work instead of aborting;
+* :mod:`repro.resilience.state` — checksummed state files with
+  last-good-checkpoint recovery for the durable tuner.
+
+The degradation ladder itself lives at the component boundaries (see
+the catch-at-boundary contract in :mod:`repro.errors` and the
+"Failure model" section of DESIGN.md).
+"""
+
+from repro.errors import (
+    FaultInjected,
+    ResilienceError,
+    StateCorruptError,
+    WorkerCrashError,
+)
+from repro.resilience.degrade import DEGRADE_ACTIONS, DegradedResult
+from repro.resilience.faults import (
+    FAULT_POINTS,
+    FaultInjector,
+    ambient,
+    check,
+    reset_ambient,
+    resolve,
+)
+from repro.resilience.state import (
+    STATE_FORMAT,
+    backup_path,
+    dump_state,
+    has_state,
+    load_state,
+)
+
+__all__ = [
+    "DEGRADE_ACTIONS",
+    "DegradedResult",
+    "FAULT_POINTS",
+    "FaultInjected",
+    "FaultInjector",
+    "ResilienceError",
+    "STATE_FORMAT",
+    "StateCorruptError",
+    "WorkerCrashError",
+    "ambient",
+    "backup_path",
+    "check",
+    "dump_state",
+    "has_state",
+    "load_state",
+    "reset_ambient",
+    "resolve",
+]

@@ -1,0 +1,275 @@
+"""Deterministic, seeded fault injection at named pipeline points.
+
+The pipeline calls :func:`check` at a handful of **fault points** —
+places where production deployments actually fail and where the stack
+has a graceful-degradation answer:
+
+======================  ================================================
+``optimizer.plan``      one what-if plan inside AutoPart's pricing loop
+``inum.build``          one per-query INUM model construction
+``worker.task``         one evaluation-engine task (pool or serial)
+``solver.iterate``      one branch-and-bound node expansion
+``state.write``         one checksummed tuner state-file write
+``stream.read``         one statement read off the ``tune`` stream
+======================  ================================================
+
+With no injector active every check is a no-op (and, when ``injector``
+is None and no ambient injector is installed, not even a counter
+increment), so a fault-free run is bit-identical to one that never
+imported this module. An **idle** injector (empty schedule) counts
+invocations but never fires — useful for asserting a pipeline's fault
+surface without perturbing it.
+
+Activation
+    * explicitly: ``Parinda(db, fault_injector=FaultInjector(...))`` —
+      the facade threads the injector through every component it
+      builds;
+    * ambiently: the ``REPRO_FAULTS`` environment variable holds a
+      schedule spec (see :meth:`FaultInjector.from_spec`) and
+      ``REPRO_FAULTS_SEED`` the seed; CI uses this to replay exact
+      failure schedules against unmodified commands. An explicit
+      injector always wins over the ambient one at its call sites.
+
+Schedule spec
+    ``;``-separated ``point:arg`` entries::
+
+        REPRO_FAULTS="worker.task:3;state.write:2"   # 3rd task, 2nd write
+        REPRO_FAULTS="worker.task:3,7"               # 3rd and 7th task
+        REPRO_FAULTS="worker.task:%50"               # every 50th task
+        REPRO_FAULTS="solver.iterate:p0.01"          # 1% of nodes, seeded
+        REPRO_FAULTS="stream.read:*"                 # every invocation
+
+    Counts are 1-based over the injector's lifetime. Probability
+    entries draw from a per-point ``random.Random`` seeded from
+    ``(seed, point)``, so the schedule is a pure function of the seed
+    and the (deterministic) invocation order.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+
+from repro.errors import FaultInjected, ResilienceError
+
+FAULT_POINTS = (
+    "optimizer.plan",
+    "inum.build",
+    "worker.task",
+    "solver.iterate",
+    "state.write",
+    "stream.read",
+)
+
+
+class _Schedule:
+    """When one fault point fires: exact counts, a period, or a rate."""
+
+    def __init__(
+        self,
+        counts: frozenset[int] = frozenset(),
+        every: int = 0,
+        probability: float = 0.0,
+        always: bool = False,
+    ) -> None:
+        self.counts = counts
+        self.every = every
+        self.probability = probability
+        self.always = always
+
+    def fires(self, count: int, rng: random.Random) -> bool:
+        if self.always:
+            return True
+        if count in self.counts:
+            return True
+        if self.every and count % self.every == 0:
+            return True
+        if self.probability and rng.random() < self.probability:
+            return True
+        return False
+
+
+def _parse_entry(entry: str) -> tuple[str, _Schedule]:
+    point, sep, arg = entry.partition(":")
+    point = point.strip()
+    if point not in FAULT_POINTS:
+        raise ResilienceError(
+            f"unknown fault point {point!r}; known: {', '.join(FAULT_POINTS)}"
+        )
+    arg = arg.strip()
+    if not sep or not arg:
+        raise ResilienceError(f"fault entry {entry!r} needs point:arg")
+    if arg == "*":
+        return point, _Schedule(always=True)
+    if arg.startswith("%"):
+        every = int(arg[1:])
+        if every <= 0:
+            raise ResilienceError(f"bad period in fault entry {entry!r}")
+        return point, _Schedule(every=every)
+    if arg.startswith("p"):
+        probability = float(arg[1:])
+        if not 0.0 <= probability <= 1.0:
+            raise ResilienceError(f"bad probability in fault entry {entry!r}")
+        return point, _Schedule(probability=probability)
+    try:
+        counts = frozenset(int(part) for part in arg.split(","))
+    except ValueError:
+        raise ResilienceError(f"bad count list in fault entry {entry!r}") from None
+    if any(count <= 0 for count in counts):
+        raise ResilienceError(f"counts must be positive in {entry!r}")
+    return point, _Schedule(counts=counts)
+
+
+class FaultInjector:
+    """Fires :class:`~repro.errors.FaultInjected` on a fixed schedule.
+
+    Thread-safe: invocation counters are kept under one lock, so a
+    count-based schedule fires exactly once no matter which thread's
+    check lands on the scheduled invocation.
+
+    Args:
+        schedule: Mapping of fault point to its :class:`_Schedule`;
+            usually built via :meth:`from_spec`. An empty schedule is
+            an *idle* injector: it counts but never fires.
+        seed: Seed for the per-point RNGs behind ``p``-rate entries.
+    """
+
+    def __init__(
+        self,
+        schedule: dict[str, _Schedule] | None = None,
+        seed: int = 0,
+    ) -> None:
+        for point in schedule or {}:
+            if point not in FAULT_POINTS:
+                raise ResilienceError(f"unknown fault point {point!r}")
+        self.seed = seed
+        self._schedule = dict(schedule or {})
+        self._lock = threading.Lock()
+        self._checks = {point: 0 for point in FAULT_POINTS}
+        self._fired = {point: 0 for point in FAULT_POINTS}
+        self._rng = {
+            point: random.Random(f"{seed}:{point}") for point in FAULT_POINTS
+        }
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_spec(cls, spec: str, seed: int = 0) -> "FaultInjector":
+        """Parse a ``point:arg;point:arg`` schedule spec (module doc)."""
+        schedule: dict[str, _Schedule] = {}
+        for entry in spec.split(";"):
+            entry = entry.strip()
+            if not entry:
+                continue
+            point, parsed = _parse_entry(entry)
+            if point in schedule:
+                raise ResilienceError(f"duplicate fault point {point!r} in spec")
+            schedule[point] = parsed
+        return cls(schedule=schedule, seed=seed)
+
+    @classmethod
+    def from_env(cls, environ=None) -> "FaultInjector | None":
+        """Build from ``REPRO_FAULTS`` / ``REPRO_FAULTS_SEED``; None when unset."""
+        environ = environ if environ is not None else os.environ
+        spec = environ.get("REPRO_FAULTS", "").strip()
+        if not spec:
+            return None
+        seed = int(environ.get("REPRO_FAULTS_SEED", "0"))
+        return cls.from_spec(spec, seed=seed)
+
+    # ------------------------------------------------------------------
+
+    def check(self, point: str, detail: str = "") -> None:
+        """Count one invocation of ``point``; raise when scheduled.
+
+        Raises:
+            FaultInjected: when this invocation is on the schedule.
+        """
+        if point not in self._checks:
+            raise ResilienceError(f"unknown fault point {point!r}")
+        with self._lock:
+            self._checks[point] += 1
+            count = self._checks[point]
+            schedule = self._schedule.get(point)
+            fire = schedule is not None and schedule.fires(
+                count, self._rng[point]
+            )
+            if fire:
+                self._fired[point] += 1
+        if fire:
+            raise FaultInjected(point, detail, count)
+
+    def checks(self, point: str | None = None) -> int:
+        """Invocations seen (for ``point``, or total)."""
+        with self._lock:
+            if point is not None:
+                return self._checks[point]
+            return sum(self._checks.values())
+
+    def fired(self, point: str | None = None) -> int:
+        """Faults actually injected (for ``point``, or total)."""
+        with self._lock:
+            if point is not None:
+                return self._fired[point]
+            return sum(self._fired.values())
+
+    @property
+    def idle(self) -> bool:
+        """True when the schedule can never fire."""
+        return not self._schedule
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        points = ",".join(sorted(self._schedule)) or "idle"
+        return f"FaultInjector({points}, seed={self.seed})"
+
+
+# ----------------------------------------------------------------------
+# Ambient injector (REPRO_FAULTS): one per process, parsed lazily.
+
+_ambient_lock = threading.Lock()
+_ambient: FaultInjector | None = None
+_ambient_spec: str | None = None  # the spec _ambient was parsed from
+
+
+def ambient() -> FaultInjector | None:
+    """The process-wide injector parsed from ``REPRO_FAULTS``, or None.
+
+    Parsed once and cached so counters accumulate across call sites;
+    re-parsed only when the environment variable changes (tests).
+    """
+    global _ambient, _ambient_spec
+    spec = os.environ.get("REPRO_FAULTS", "").strip() or None
+    with _ambient_lock:
+        if spec != _ambient_spec:
+            _ambient_spec = spec
+            _ambient = (
+                FaultInjector.from_spec(
+                    spec, seed=int(os.environ.get("REPRO_FAULTS_SEED", "0"))
+                )
+                if spec
+                else None
+            )
+        return _ambient
+
+
+def reset_ambient() -> None:
+    """Drop the cached ambient injector (test isolation)."""
+    global _ambient, _ambient_spec
+    with _ambient_lock:
+        _ambient = None
+        _ambient_spec = None
+
+
+def resolve(injector: FaultInjector | None) -> FaultInjector | None:
+    """The effective injector: the explicit one, else the ambient one."""
+    return injector if injector is not None else ambient()
+
+
+def check(
+    point: str, detail: str = "", injector: FaultInjector | None = None
+) -> None:
+    """Fault-point check through the effective injector; no-op when none."""
+    effective = resolve(injector)
+    if effective is not None:
+        effective.check(point, detail)

@@ -13,6 +13,7 @@ from repro.catalog.schema import Index, index_signature
 from repro.cli import main as cli_main
 from repro.core.parinda import Parinda
 from repro.errors import ReproError
+from repro.resilience.state import load_state
 from repro.online import (
     DriftDetector,
     OnlineTuner,
@@ -968,7 +969,10 @@ class TestFacadeAndCli:
         )
         assert code == 0
         capsys.readouterr()
-        saved = json.loads(state.read_text())
+        # State files are checksummed envelopes now; load_state verifies
+        # and unwraps.
+        saved, source = load_state(str(state))
+        assert source == "primary"
         assert saved["stream_position"] == 14
         assert saved["monitor"]["observed"] == 14
 
