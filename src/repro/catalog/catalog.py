@@ -90,7 +90,14 @@ class Catalog:
     # ------------------------------------------------------------------
     # Indexes
 
-    def add_index(self, index: Index) -> None:
+    def check_new_index(self, index: Index) -> None:
+        """Validate that ``index`` could be added, without adding it.
+
+        The storage layer calls this *before* paying for a B-Tree bulk
+        build, so an invalid definition fails fast and a build that does
+        start can always be published — ``Database.create_index`` is
+        build-then-publish, and this is the publishability check.
+        """
         if index.name in self._indexes:
             raise DuplicateObjectError(f"index {index.name!r} already exists")
         table = self.table(index.table_name)
@@ -106,6 +113,9 @@ class Catalog:
                 f"an index on {index.table_name}({', '.join(index.columns)}) "
                 "already exists"
             )
+
+    def add_index(self, index: Index) -> None:
+        self.check_new_index(index)
         self._indexes[index.name] = index
         self._bump()
 

@@ -28,6 +28,15 @@ that disappears mid-run (the file deleted, a pipe closed) flushes one
 final checkpoint and exits with the distinct code
 :data:`EXIT_STREAM_LOST` so supervisors can tell "input went away"
 from "the tuner crashed".
+
+``tune --apply`` materializes the final standing design through the
+journaled :class:`~repro.resilience.apply.ApplyExecutor`: an intent
+journal (default ``STATE.apply``, override with ``--journal``) precedes
+every drop/build, so a killed apply resumes by re-running the same
+command and ``tune --rollback`` restores the journaled pre-apply
+design. A journal that records a *different* unfinished run exits with
+:data:`EXIT_APPLY_CONFLICT` — resolve it (re-run or roll back) before
+applying something new.
 """
 
 from __future__ import annotations
@@ -38,6 +47,7 @@ import sys
 from repro.bench.reporting import ResultTable
 from repro.core.parinda import Parinda
 from repro.errors import (
+    ApplyConflictError,
     CanonicalizeError,
     FaultInjected,
     ReproError,
@@ -55,6 +65,12 @@ from repro.workloads.workload import Workload, iter_statements
 # ``tune`` exit code when the statement stream became unreadable
 # mid-run; the final state checkpoint is still flushed first.
 EXIT_STREAM_LOST = 3
+
+# ``tune`` exit code when an apply journal blocks the request: an
+# unfinished journal records a different design, a rollback is in
+# progress, or --rollback found nothing recoverable. Distinct from a
+# crash so supervisors know an operator has to resolve the journal.
+EXIT_APPLY_CONFLICT = 4
 
 
 def _warn(message: str) -> None:
@@ -238,8 +254,30 @@ def _save_tuner_state(path: str, tuner, position: int) -> bool:
 def cmd_tune(args: argparse.Namespace) -> int:
     if args.state_interval <= 0:
         raise SystemExit("--state-interval must be positive")
+    if args.dry_run and not args.apply:
+        raise SystemExit("--dry-run only makes sense with --apply")
+    if args.rollback and (args.apply or args.dry_run):
+        raise SystemExit("--rollback excludes --apply/--dry-run")
     db = _load_database(args.db)
     parinda = Parinda(db, cache_max_entries=args.cache_entries)
+    journal_path = args.journal or (
+        f"{args.state}.apply" if args.state else "repro-apply.json"
+    )
+
+    if args.rollback:
+        # No streaming: restore the journaled pre-apply design and exit.
+        try:
+            report = parinda.rollback_design(journal_path)
+        except ApplyConflictError as exc:
+            _warn(f"rollback blocked: {exc}")
+            return EXIT_APPLY_CONFLICT
+        for record in report.degraded:
+            _warn(str(record))
+        print(
+            f"Rollback {report.phase}: rebuilt {len(report.built)}, "
+            f"dropped {len(report.dropped)}, skipped {len(report.skipped)}."
+        )
+        return 0
 
     def listener(event) -> None:
         if event.kind == "observed":
@@ -370,6 +408,16 @@ def cmd_tune(args: argparse.Namespace) -> int:
                   f"({', '.join(index.columns)});")
     else:
         print("Standing design: no indexes adopted.")
+    if args.apply:
+        if stream_lost is not None:
+            _warn(
+                "stream lost; skipping --apply — resume the stream, then "
+                "re-run with --apply"
+            )
+        else:
+            code = _tune_apply(args, parinda, tuner, journal_path)
+            if code != 0:
+                return code
     if args.verbose:
         stats = tuner.cache.stats()
         table = ResultTable(
@@ -385,6 +433,65 @@ def cmd_tune(args: argparse.Namespace) -> int:
             )
         table.emit()
     return EXIT_STREAM_LOST if stream_lost is not None else 0
+
+
+def _tune_apply(args, parinda, tuner, journal_path: str) -> int:
+    """The ``tune --apply`` tail: materialize the standing design.
+
+    Passes the tuner's full :class:`AdvisorResult` through when it
+    still describes the standing design (so ``--validate`` can report
+    simulated-vs-materialized costs per query); falls back to the bare
+    index list otherwise. Returns the process exit code contribution
+    (0, or :data:`EXIT_APPLY_CONFLICT`).
+    """
+    from repro.catalog.schema import index_signature
+
+    design = list(tuner.design)
+    request = design
+    result = tuner.last_result
+    if result is not None and {index_signature(ix) for ix in result.indexes} == {
+        index_signature(ix) for ix in design
+    }:
+        request = result
+    try:
+        report = parinda.apply_design(
+            request,
+            workload=tuner.monitor.snapshot() if args.validate else None,
+            dry_run=args.dry_run,
+            validate=args.validate,
+            journal_path=journal_path,
+        )
+    except ApplyConflictError as exc:
+        _warn(f"apply blocked: {exc}")
+        return EXIT_APPLY_CONFLICT
+    for record in report.degraded:
+        _warn(str(record))
+    if report.dry_run:
+        print(
+            f"Dry run: would build {len(report.built)}, "
+            f"would drop {len(report.dropped)}."
+        )
+        for name in report.dropped:
+            print(f"  DROP INDEX {name};")
+        for name in report.built:
+            print(f"  CREATE INDEX {name};")
+        return 0
+    print(
+        f"Applied design{' (resumed)' if report.resumed else ''}: "
+        f"built {len(report.built)}, dropped {len(report.dropped)}, "
+        f"skipped {len(report.skipped)}; journal {journal_path} "
+        f"{report.phase}."
+    )
+    for entry in report.validation:
+        if entry.simulated is None:
+            print(f"  {entry.name}: materialized cost {entry.materialized:,.0f}")
+        else:
+            print(
+                f"  {entry.name}: simulated {entry.simulated:,.0f} vs "
+                f"materialized {entry.materialized:,.0f} "
+                f"({entry.error * 100:.1f}% error)"
+            )
+    return 0
 
 
 def cmd_evaluate(args: argparse.Namespace) -> int:
@@ -491,6 +598,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=1)
     p.add_argument("--cache-entries", type=int, default=4096,
                    help="per-section CostCache bound (LRU)")
+    p.add_argument("--apply", action="store_true",
+                   help="materialize the final standing design through the "
+                        "crash-safe apply journal")
+    p.add_argument("--dry-run", action="store_true",
+                   help="with --apply: report the drop/build delta without "
+                        "touching anything")
+    p.add_argument("--rollback", action="store_true",
+                   help="restore the journaled pre-apply design and exit "
+                        "(no streaming)")
+    p.add_argument("--journal", metavar="FILE",
+                   help="apply-journal path (default: STATE.apply, or "
+                        "repro-apply.json without --state)")
+    p.add_argument("--validate", action="store_true",
+                   help="with --apply: re-plan the window against the "
+                        "materialized design and report simulated-vs-"
+                        "materialized costs")
     p.add_argument("-v", "--verbose", action="store_true",
                    help="print cost-cache statistics at the end")
     p.set_defaults(func=cmd_tune)

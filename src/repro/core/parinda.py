@@ -9,9 +9,11 @@ advisor.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.advisor.ilp_advisor import AdvisorResult, IlpIndexAdvisor
 from repro.baselines.greedy import GreedyIndexAdvisor
+from repro.catalog.schema import Index, index_signature
 from repro.catalog.sizing import BLOCK_SIZE
 from repro.core.interactive import InteractiveDesigner
 from repro.online.tuner import OnlineTuner
@@ -20,6 +22,12 @@ from repro.optimizer.planner import Planner
 from repro.parallel.caches import CostCache
 from repro.partitioning.autopart import AutoPartAdvisor, PartitionAdvisorResult
 from repro.resilience import state as resilience_state
+from repro.resilience.apply import (
+    ApplyExecutor,
+    ApplyReport,
+    ValidationEntry,
+    materialized_name,
+)
 from repro.resilience.faults import FaultInjector
 from repro.storage.database import Database
 from repro.workloads.workload import Query, Workload
@@ -116,6 +124,14 @@ class Parinda:
         through to :class:`OnlineTuner` (``window_size``,
         ``check_interval``, ``build_cost_per_page``, ``workers``,
         ``background``, ``listener``, ...).
+
+        ``auto_apply=True`` materializes every adopted design through
+        :meth:`apply_design` (journaled at ``apply_journal`` when set);
+        a callable is used as the applier directly. The tuner then
+        advises against a *clone* of the catalog, frozen at session
+        start: advising against the live catalog after materialization
+        would zero the very benefits that justified the design and
+        oscillate between adopting and dropping it.
         """
         if budget_pages is None:
             if budget_bytes is None:
@@ -124,8 +140,19 @@ class Parinda:
         if self._cache_bounded:
             knobs.setdefault("cost_cache", self._cost_cache)
         knobs.setdefault("fault_injector", self._fault_injector)
+        auto_apply = knobs.pop("auto_apply", None)
+        apply_journal = knobs.pop("apply_journal", None)
+        catalog = self._db.catalog
+        if auto_apply:
+            if not callable(auto_apply):
+
+                def auto_apply(design, _journal=apply_journal):
+                    return self.apply_design(design, journal_path=_journal)
+
+            knobs["auto_apply"] = auto_apply
+            catalog = self._db.catalog.clone()
         tuner = OnlineTuner(
-            self._db.catalog,
+            catalog,
             self._config,
             budget_pages=budget_pages,
             **knobs,
@@ -211,13 +238,115 @@ class Parinda:
         return advisor.recommend(workload, budget_pages)
 
     def create_indexes(self, result: AdvisorResult) -> list[str]:
-        """Physically build the suggested indexes; returns their names."""
+        """Physically build the suggested indexes; returns their names.
+
+        Idempotent: an index whose signature (table + ordered columns)
+        is already materialized is skipped and its existing name
+        returned, and a name collision with a *different* index gets a
+        numeric suffix — so a second call (or a call after an earlier
+        advisor run) never collides. Names are derived from the
+        signature via :func:`~repro.resilience.apply.materialized_name`
+        rather than the per-run candidate counter, so re-runs target
+        stable names.
+        """
         created = []
         for index in result.indexes:
-            real = index.as_real(name=index.name.replace("cand_", "idx_", 1))
-            self._db.create_index(real)
-            created.append(real.name)
+            sig = index_signature(index)
+            existing = next(
+                (
+                    ix.name
+                    for ix in self._db.catalog.indexes_on(index.table_name)
+                    if index_signature(ix) == sig and self._db.has_btree(ix.name)
+                ),
+                None,
+            )
+            if existing is not None:
+                created.append(existing)
+                continue
+            name = materialized_name(index, taken=self._db.catalog.index_names)
+            self._db.create_index(
+                index.as_real(name=name), fault_injector=self._fault_injector
+            )
+            created.append(name)
         return created
+
+    # ------------------------------------------------------------------
+    # Crash-safe materialization (tune --apply)
+
+    def apply_design(
+        self,
+        result: "AdvisorResult | Sequence[Index]",
+        *,
+        workload: Workload | None = None,
+        dry_run: bool = False,
+        validate: bool = False,
+        journal_path: str | None = None,
+        retry_steps: bool = True,
+    ) -> ApplyReport:
+        """Materialize an advised design through the journaled executor.
+
+        Unlike :meth:`create_indexes`, this computes a full
+        :class:`~repro.resilience.apply.DesignDelta` — standing managed
+        indexes absent from ``result`` are *dropped* — and, when
+        ``journal_path`` is set, every step is preceded by a
+        checksummed intent-journal write so a killed process resumes
+        (re-run the same call) or rolls back (:meth:`rollback_design`)
+        cleanly.
+
+        ``result`` is an :class:`AdvisorResult` or a plain index
+        sequence. ``dry_run`` reports the delta without touching
+        anything. ``validate`` re-plans each query of ``workload``
+        (required then) against the materialized catalog and fills
+        ``report.validation`` with simulated-vs-materialized cost
+        entries; simulated costs come from ``result.per_query`` when
+        ``result`` is an :class:`AdvisorResult`.
+        """
+        indexes = (
+            result.indexes if isinstance(result, AdvisorResult) else tuple(result)
+        )
+        executor = ApplyExecutor(
+            self._db,
+            journal_path=journal_path,
+            fault_injector=self._fault_injector,
+        )
+        report = executor.apply(
+            indexes, dry_run=dry_run, retry_steps=retry_steps
+        )
+        if validate and not dry_run:
+            if workload is None:
+                raise ValueError("validate=True needs a workload")
+            simulated: dict[str, float] = {}
+            if isinstance(result, AdvisorResult):
+                simulated = {qb.name: qb.cost_after for qb in result.per_query}
+            for query in workload:
+                key = (self._db.catalog.cache_key, query.name)
+                cost = self._plan_cost_cache.get(key)
+                if cost is None:
+                    bound = self._cost_cache.bound_query(
+                        self._db.catalog, query.sql
+                    )
+                    cost = self._planner.plan(bound).total_cost
+                    self._plan_cost_cache[key] = cost
+                # Weighted like AdvisorResult.per_query, so the two
+                # columns are comparable when the workload's weights
+                # have not moved since the advise.
+                report.validation.append(
+                    ValidationEntry(
+                        name=query.name,
+                        simulated=simulated.get(query.name),
+                        materialized=cost * query.weight,
+                    )
+                )
+        return report
+
+    def rollback_design(self, journal_path: str) -> ApplyReport:
+        """Restore the pre-apply design recorded in the apply journal."""
+        executor = ApplyExecutor(
+            self._db,
+            journal_path=journal_path,
+            fault_injector=self._fault_injector,
+        )
+        return executor.rollback()
 
     # ------------------------------------------------------------------
     # Combined pipeline: PARtitions, then INDexes on the fragments

@@ -24,7 +24,13 @@ Catch-at-boundary contract (the resilience layer)
       which starts cold with a warning when no checkpoint survives;
     * the online tuner catches any :class:`ReproError` escaping one
       re-advise and emits a ``degraded`` event — the daemon never dies
-      because one checkpoint did.
+      because one checkpoint did;
+    * a failed apply step (``index.build`` / ``page.read`` faults, real
+      build errors) is caught by the journaled
+      :class:`~repro.resilience.apply.ApplyExecutor`, which retries the
+      step once and otherwise leaves a resumable journal behind —
+      :class:`ApplyConflictError` marks the one state that needs an
+      operator (a journal recording a different in-flight delta).
 
     :class:`FaultInjected` deliberately derives from
     :class:`ResilienceError` (not from the subsystem errors), so an
@@ -140,6 +146,18 @@ class FaultInjected(ResilienceError):
 
 class StateCorruptError(ResilienceError):
     """A persisted state file is corrupt, truncated, or fails its checksum."""
+
+
+class ApplyConflictError(ResilienceError):
+    """An apply journal blocks the requested materialization.
+
+    Raised when a new apply is requested while an unfinished journal
+    records a *different* delta (finish or roll back the journaled run
+    first), when a rollback is requested with no recoverable journal,
+    or when an apply would race an in-progress rollback. The CLI maps
+    this to its own exit code so supervisors can tell "operator must
+    resolve the journal" apart from a crash.
+    """
 
 
 class WorkerCrashError(ResilienceError):

@@ -17,6 +17,7 @@ from typing import Any, Iterator
 
 from repro.errors import ExecutorError
 from repro.executor.aggregates import AggregateAccumulator
+from repro.resilience import faults
 from repro.optimizer.clauses import extract_index_clause, prefix_upper_bound
 from repro.optimizer.plans import (
     Aggregate,
@@ -69,7 +70,14 @@ class _PageCache:
 
 @dataclass
 class ExecutionStats:
-    """I/O and row counters accumulated during one execution."""
+    """I/O and row counters accumulated during one execution.
+
+    ``fault_injector`` is the already-resolved injector for this
+    execution (``execute`` resolves explicit-vs-ambient once up front);
+    when set, every heap page *fault* — an access the page cache does
+    not absorb — passes through the ``page.read`` fault point, the
+    storage failure surface of real scans.
+    """
 
     heap_pages_read: int = 0
     index_pages_read: int = 0
@@ -77,9 +85,12 @@ class ExecutionStats:
     rows_output: int = 0
     index_probes: int = 0
     cache: _PageCache = field(default_factory=_PageCache)
+    fault_injector: Any = None
 
     def read_heap_page(self, table: str, page: int) -> None:
         if self.cache.access(("heap", table, page)):
+            if self.fault_injector is not None:
+                self.fault_injector.check("page.read", f"{table}:{page}")
             self.heap_pages_read += 1
 
     def read_index_page(self, index: str, page: int) -> None:
@@ -126,9 +137,17 @@ class ExecutionResult:
         return [row[idx] for row in self.rows]
 
 
-def execute(db: Database, plan: Plan) -> ExecutionResult:
-    """Run ``plan`` against ``db`` and collect its output rows."""
-    stats = ExecutionStats()
+def execute(
+    db: Database, plan: Plan, fault_injector: Any = None
+) -> ExecutionResult:
+    """Run ``plan`` against ``db`` and collect its output rows.
+
+    ``fault_injector`` (explicit, else the ambient ``REPRO_FAULTS``
+    one) is resolved once here and carried on the stats object, so the
+    per-page hot path pays a plain attribute check when no injector is
+    active.
+    """
+    stats = ExecutionStats(fault_injector=faults.resolve(fault_injector))
     rows = list(_run(db, plan, stats))
     output = _output_items(plan)
     if output is None:

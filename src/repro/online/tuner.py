@@ -92,6 +92,7 @@ EVENT_KINDS = (
     "drifted",
     "re-advised",
     "recommended",
+    "applied",
     "held",
     "degraded",
 )
@@ -181,6 +182,15 @@ class OnlineTuner:
             the thread is restarted. When False (default), errors
             propagate to the caller / :meth:`drain` — the library
             contract tests and synchronous callers rely on.
+        auto_apply: Callable invoked with the adopted design (a list of
+            :class:`Index`) right after every adoption, expected to
+            materialize it — ``Parinda.online(auto_apply=True)`` wires
+            :meth:`Parinda.apply_design` here. A
+            :class:`~repro.errors.ReproError` it raises follows the
+            daemon posture: absorbed as a ``degraded`` event under
+            ``degrade_on_error`` (the design stays adopted, only
+            materialization was lost), propagated otherwise. A
+            successful call emits an ``applied`` event.
     """
 
     def __init__(
@@ -206,6 +216,7 @@ class OnlineTuner:
         max_pending: int = 32,
         fault_injector: FaultInjector | None = None,
         degrade_on_error: bool = False,
+        auto_apply: Callable[[list[Index]], object] | None = None,
     ) -> None:
         if budget_pages <= 0:
             raise ReproError("budget_pages must be positive")
@@ -256,6 +267,7 @@ class OnlineTuner:
         self.coalesced = 0
         self.background = background
         self.degrade_on_error = bool(degrade_on_error)
+        self._auto_apply = auto_apply
         self._worker: BackgroundWorker | None = None
         if background:
             self._worker = BackgroundWorker(
@@ -563,6 +575,7 @@ class OnlineTuner:
                 f"({build_pages} new pages)",
                 result,
             )
+            self._materialize_adopted(sequence)
             return "recommended"
         self._emit(
             "held",
@@ -572,6 +585,36 @@ class OnlineTuner:
             result,
         )
         return "held"
+
+    def _materialize_adopted(self, sequence: int) -> None:
+        """Hand the freshly adopted design to the ``auto_apply`` hook.
+
+        Failures follow the daemon posture: under ``degrade_on_error``
+        a failed materialization is a ``degraded`` event and the tuning
+        loop continues (the design stays adopted in the tuner; the next
+        adoption retries the apply, which is idempotent); otherwise the
+        error propagates like any other advise-path failure.
+        """
+        if self._auto_apply is None:
+            return
+        try:
+            report = self._auto_apply(list(self.design))
+        except ReproError as exc:
+            if not self.degrade_on_error:
+                raise
+            self._emit(
+                "degraded",
+                sequence,
+                f"auto-apply failed ({exc}); design adopted but not "
+                "materialized",
+            )
+            return
+        detail = (
+            report.summary()
+            if hasattr(report, "summary")
+            else "materialized adopted design"
+        )
+        self._emit("applied", sequence, detail)
 
     def _maintenance(
         self, design: tuple[Index, ...], update_rates: dict[str, float]

@@ -13,7 +13,10 @@ the two halves of that safety layer:
   :class:`DegradedResult` records advisors attach to their results
   when they shed work instead of aborting;
 * :mod:`repro.resilience.state` — checksummed state files with
-  last-good-checkpoint recovery for the durable tuner.
+  last-good-checkpoint recovery for the durable tuner;
+* :mod:`repro.resilience.apply` — crash-safe design materialization:
+  :class:`DesignDelta` diffs, the journaled :class:`ApplyExecutor`,
+  and rollback to the journaled pre-apply design.
 
 The degradation ladder itself lives at the component boundaries (see
 the catch-at-boundary contract in :mod:`repro.errors` and the
@@ -21,6 +24,7 @@ the catch-at-boundary contract in :mod:`repro.errors` and the
 """
 
 from repro.errors import (
+    ApplyConflictError,
     FaultInjected,
     ResilienceError,
     StateCorruptError,
@@ -28,6 +32,7 @@ from repro.errors import (
 )
 from repro.resilience.degrade import DEGRADE_ACTIONS, DegradedResult
 from repro.resilience.faults import (
+    FAULT_POINT_DOCS,
     FAULT_POINTS,
     FaultInjector,
     ambient,
@@ -43,15 +48,32 @@ from repro.resilience.state import (
     load_state,
 )
 
+# Imported last: apply builds on faults/state above, and its runtime
+# imports stay clear of repro.storage (TYPE_CHECKING only) so the
+# storage layer can import this package for its fault points.
+from repro.resilience.apply import (
+    ApplyExecutor,
+    ApplyReport,
+    DesignDelta,
+    ValidationEntry,
+    materialized_name,
+)
+
 __all__ = [
+    "ApplyConflictError",
+    "ApplyExecutor",
+    "ApplyReport",
     "DEGRADE_ACTIONS",
     "DegradedResult",
+    "DesignDelta",
+    "FAULT_POINT_DOCS",
     "FAULT_POINTS",
     "FaultInjected",
     "FaultInjector",
     "ResilienceError",
     "STATE_FORMAT",
     "StateCorruptError",
+    "ValidationEntry",
     "WorkerCrashError",
     "ambient",
     "backup_path",
@@ -59,6 +81,7 @@ __all__ = [
     "dump_state",
     "has_state",
     "load_state",
+    "materialized_name",
     "reset_ambient",
     "resolve",
 ]

@@ -4,14 +4,10 @@ The pipeline calls :func:`check` at a handful of **fault points** —
 places where production deployments actually fail and where the stack
 has a graceful-degradation answer:
 
-======================  ================================================
-``optimizer.plan``      one what-if plan inside AutoPart's pricing loop
-``inum.build``          one per-query INUM model construction
-``worker.task``         one evaluation-engine task (pool or serial)
-``solver.iterate``      one branch-and-bound node expansion
-``state.write``         one checksummed tuner state-file write
-``stream.read``         one statement read off the ``tune`` stream
-======================  ================================================
+The authoritative list lives in :data:`FAULT_POINT_DOCS` (one dict,
+point -> one-line description); :data:`FAULT_POINTS`, the unknown-point
+error message, and the doc-drift tests in ``tests/test_apply.py`` are
+all derived from it, so a new point cannot land without its docs.
 
 With no injector active every check is a no-op (and, when ``injector``
 is None and no ambient injector is installed, not even a counter
@@ -53,14 +49,22 @@ import threading
 
 from repro.errors import FaultInjected, ResilienceError
 
-FAULT_POINTS = (
-    "optimizer.plan",
-    "inum.build",
-    "worker.task",
-    "solver.iterate",
-    "state.write",
-    "stream.read",
-)
+# The one source of truth for the fault surface. README's fault-point
+# list and DESIGN.md's fault table are asserted against this mapping by
+# tests, so the docs cannot drift when a point is added.
+FAULT_POINT_DOCS: dict[str, str] = {
+    "optimizer.plan": "one what-if plan inside AutoPart's pricing loop",
+    "inum.build": "one per-query INUM model construction",
+    "worker.task": "one evaluation-engine task (pool or serial)",
+    "solver.iterate": "one branch-and-bound node expansion",
+    "state.write": "one checksummed tuner state-file write",
+    "stream.read": "one statement read off the tune stream",
+    "index.build": "one B-Tree bulk build inside Database.create_index",
+    "page.read": "one heap page/column read (executor scan, index build)",
+    "journal.write": "one apply-journal write (ApplyExecutor)",
+}
+
+FAULT_POINTS = tuple(FAULT_POINT_DOCS)
 
 
 class _Schedule:

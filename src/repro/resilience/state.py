@@ -52,19 +52,23 @@ def dump_state(
     path: str,
     state: dict,
     fault_injector: FaultInjector | None = None,
+    fault_point: str = "state.write",
 ) -> None:
     """Atomically write ``state`` to ``path`` inside a checksummed envelope.
 
     The previous primary (if any) is rotated to :func:`backup_path`
     first. Raises :class:`~repro.errors.FaultInjected` when the
-    ``state.write`` fault fires — after deliberately leaving a
+    ``fault_point`` fault fires — after deliberately leaving a
     truncated primary behind, the way a mid-write crash would.
+    ``fault_point`` is ``state.write`` for tuner checkpoints and
+    ``journal.write`` when the apply executor persists its intent
+    journal, so the two write streams have independent schedules.
     """
     text = json.dumps(
         {"format": STATE_FORMAT, "sha256": _checksum(state), "state": state}
     )
     try:
-        faults.check("state.write", path, fault_injector)
+        faults.check(fault_point, path, fault_injector)
     except FaultInjected:
         # Emulate the torn write this envelope exists to survive: the
         # primary is clobbered with a prefix, the .bak stays good.

@@ -23,6 +23,7 @@ from repro.catalog.sizing import (
     aligned_row_width,
 )
 from repro.errors import ExecutorError
+from repro.resilience import faults
 from repro.storage.heap import HeapFile
 
 
@@ -77,6 +78,7 @@ class BTreeIndex:
         table: Table,
         heap: HeapFile,
         fillfactor: float = BTREE_LEAF_FILLFACTOR,
+        fault_injector=None,
     ) -> None:
         if definition.hypothetical:
             raise ExecutorError(
@@ -86,7 +88,17 @@ class BTreeIndex:
         self._table = table
         self._fillfactor = fillfactor
 
-        columns = [heap.column(name) for name in definition.columns]
+        # Storage-layer fault surface: the build slot itself, then one
+        # page.read per key column pulled off the heap. With no injector
+        # active both checks are no-ops; an injected fault aborts the
+        # build before anything is published (see Database.create_index).
+        faults.check("index.build", definition.name, fault_injector)
+        columns = []
+        for name in definition.columns:
+            faults.check(
+                "page.read", f"{table.name}.{name}", fault_injector
+            )
+            columns.append(heap.column(name))
         entries = [
             _LeafEntry(key=_wrap_key(tuple(col[i] for col in columns)), row_id=i)
             for i in range(heap.row_count)

@@ -51,17 +51,32 @@ class Database:
         ]:
             del self._btrees[index_name]
 
-    def create_index(self, index: Index) -> BTreeIndex:
+    def create_index(
+        self, index: Index, fault_injector=None
+    ) -> BTreeIndex:
         """Materialize a real B-Tree for ``index`` and register it.
 
         Returns the built tree; building takes time proportional to
         N log N — the cost the what-if layer avoids.
+
+        Atomic build-then-publish: the definition is validated first
+        (:meth:`Catalog.check_new_index`), then the B-Tree is fully
+        built, and only then is the index published to the catalog and
+        the B-Tree registry together. A build that fails mid-way —
+        a real error or an injected ``index.build``/``page.read``
+        fault — leaves the catalog exactly as it was; it can never
+        point at a broken or half-built index.
         """
         if index.hypothetical:
             index = index.as_real()
-        self.catalog.add_index(index)
+        self.catalog.check_new_index(index)
         relation = self.relation(index.table_name)
-        btree = BTreeIndex(index, relation.table, relation.heap)
+        btree = BTreeIndex(
+            index, relation.table, relation.heap, fault_injector=fault_injector
+        )
+        # Publish: nothing above mutated shared state, so the two
+        # registrations below are the only visible effect.
+        self.catalog.add_index(index)
         self._btrees[index.name] = btree
         return btree
 

@@ -50,6 +50,49 @@ class TestScenario3Indexes:
         for name in created:
             assert parinda.database.has_btree(name)
 
+    def test_create_indexes_twice_is_idempotent(self, parinda, workload):
+        result = parinda.suggest_indexes(workload, budget_pages=100)
+        first = parinda.create_indexes(result)
+        version = parinda.database.catalog.version
+        second = parinda.create_indexes(result)
+        # Same names back, no duplicate signatures, no catalog churn.
+        assert second == first
+        assert parinda.database.catalog.version == version
+
+    def test_create_indexes_skips_after_fresh_advise(self, parinda, workload):
+        first = parinda.create_indexes(
+            parinda.suggest_indexes(workload, budget_pages=100)
+        )
+        # A fresh advise hands back new cand_* names for the same
+        # signatures; materialization must still dedupe against them.
+        rerun = parinda.suggest_indexes(workload, budget_pages=100)
+        second = parinda.create_indexes(rerun)
+        assert sorted(second) == sorted(first)
+
+    def test_create_indexes_renames_on_name_collision(self, parinda, workload):
+        from repro.catalog.schema import Index, index_signature
+
+        result = parinda.suggest_indexes(workload, budget_pages=100)
+        target = result.indexes[0]
+        squatter_name = f"idx_{target.table_name}_{'_'.join(target.columns)}"
+        other_column = next(
+            c.name
+            for c in parinda.database.catalog.table(target.table_name).columns
+            if c.name not in target.columns
+        )
+        # A materialized index squats on the deterministic name with a
+        # *different* signature; the new build steps aside to _2.
+        parinda.database.create_index(
+            Index(squatter_name, target.table_name, (other_column,))
+        )
+        created = parinda.create_indexes(result)
+        assert f"{squatter_name}_2" in created
+        built = {
+            index_signature(parinda.database.catalog.index(name))
+            for name in created
+        }
+        assert index_signature(target) in built
+
     def test_created_indexes_lower_workload_cost(self, parinda, workload):
         before = parinda.workload_cost(workload)
         result = parinda.suggest_indexes(workload, budget_pages=200)

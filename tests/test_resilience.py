@@ -230,6 +230,22 @@ class TestStateFiles:
         with pytest.raises(StateCorruptError):
             load_state(path)
 
+    def test_torn_primary_and_torn_backup_raises(self, tmp_path):
+        # Both rungs of the ladder torn: two real checkpoints first, so
+        # the .bak is a genuine envelope before it gets truncated too.
+        path = str(tmp_path / "state.json")
+        dump_state(path, {"gen": 1})
+        dump_state(path, {"gen": 2})
+        for victim in (path, backup_path(path)):
+            text = open(victim).read()
+            with open(victim, "w") as handle:
+                handle.write(text[: len(text) // 3])
+        with pytest.raises(StateCorruptError) as excinfo:
+            load_state(path)
+        # The error enumerates both failed candidates for the operator.
+        assert "state.json" in str(excinfo.value)
+        assert ".bak" in str(excinfo.value)
+
     def test_checksum_mismatch_detected(self, tmp_path):
         path = str(tmp_path / "state.json")
         with open(path, "w") as handle:
@@ -698,6 +714,31 @@ class TestTuneCommandResilience:
         assert "starting cold" in captured.err
         assert "Stream done: 15 statements" in captured.out
         # The bad file was overwritten with a fresh good checkpoint.
+        saved, source = load_state(str(state))
+        assert source == "primary"
+        assert saved["stream_position"] == 15
+
+    def test_torn_primary_and_backup_starts_cold_with_warning(
+        self, capsys, tmp_path, stream_file
+    ):
+        # Both ladder rungs torn (not just a missing .bak): cold start
+        # must win, with a warning, and the run must still complete.
+        state = tmp_path / "state.json"
+        dump_state(str(state), {"stream_position": 3})
+        dump_state(str(state), {"stream_position": 6})
+        for victim in (str(state), backup_path(str(state))):
+            text = open(victim).read()
+            with open(victim, "w") as handle:
+                handle.write(text[: len(text) // 3])
+        code = cli_main(
+            self.base_args(stream_file) + ["--state", str(state)]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "state file unrecoverable" in captured.err
+        assert "starting cold" in captured.err
+        # Cold start: nothing was skipped, the whole stream was observed.
+        assert "Stream done: 15 statements" in captured.out
         saved, source = load_state(str(state))
         assert source == "primary"
         assert saved["stream_position"] == 15
