@@ -1,21 +1,24 @@
 #!/usr/bin/env python
-"""Performance-regression driver for the parallel evaluation engine.
+"""Performance-regression driver for the vectorized estimation core.
 
-Measures ``IlpIndexAdvisor.recommend`` on the E5 workload three ways —
+Measures ``IlpIndexAdvisor.recommend`` against the repo's seed:
 
-* **seed**: the original serial implementation, loaded from the repo's
-  root git commit so the comparison is against real history, not a
-  reconstruction (falls back to the current serial path when git is
-  unavailable, and says so in the report);
-* **serial**: the current code with ``workers=1``;
-* **parallel**: the current code with ``workers=4`` and a shared
-  :class:`CostCache`;
+* **seed**: the original serial implementation, with the InumModel
+  loaded from the repo's root git commit so the comparison is against
+  real history, not a reconstruction (falls back to the current scalar
+  path when git is unavailable, and says so in the report);
+* **serial / parallel**: the current code (vectorized evaluator) with
+  ``workers=1`` and ``workers=4`` + a shared :class:`CostCache`;
+* **scalar**: the current code with ``vectorize=False`` — the fallback
+  ladder's reference path, which must stay bit-identical.
 
-asserts all three produce bit-identical recommendations, repeats the
-serial-vs-parallel comparison on the **full 30-query SDSS survey
-workload** (the engine must stay bit-identical at 10x the E5 query
-count), then runs the INUM-cache (A1) and simulation-speed (E4)
-benchmark suites, and writes everything to ``BENCH_PR1.json``.
+The E5 3-query slice checks engine correctness; the headline is the
+**full 30-query SDSS survey workload**, where the warm advise (shared
+cache, vectorized benefit matrix and refinement) must beat the seed by
+at least the speedup floor with bit-identical recommendations. Phase
+timings from :attr:`AdvisorResult.phase_seconds` attribute the win.
+A final check asserts no shared-memory segments survive the runs.
+Everything lands in ``BENCH_PR6.json``.
 
 Usage::
 
@@ -40,11 +43,14 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.advisor.candidates import generate_candidates  # noqa: E402
 from repro.advisor.ilp_advisor import IlpIndexAdvisor  # noqa: E402
+from repro.parallel import shm  # noqa: E402
 from repro.parallel.caches import CostCache  # noqa: E402
 from repro.workloads.sdss import build_sdss_database, sdss_workload  # noqa: E402
 
 E5_QUERIES = ("q01_box_search", "q15_spec_redshift_join", "q26_field_objects")
-BUDGET_PAGES = 500
+# The CI gate: warm full-workload advise vs. the seed. The target for
+# this change is >=10x; the hard floor leaves headroom for slow runners.
+SPEEDUP_FLOOR = 5.0
 
 
 def load_seed_inum_model():
@@ -215,10 +221,14 @@ def main() -> int:
         "--smoke", action="store_true",
         help="small database, fewer repeats, skip the pytest suites",
     )
-    parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_PR1.json"))
+    parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_PR6.json"))
     args = parser.parse_args()
 
     photo_rows = 3000 if args.smoke else 12000
+    # Budget scales with the data (index sizes grow with row count), so
+    # knapsack tightness — and with it ILP solver behavior — is
+    # comparable between smoke and full runs.
+    budget_pages = photo_rows // 6
     repeats = 2 if args.smoke else 3
 
     print(f"building SDSS database (photo_rows={photo_rows}) ...")
@@ -235,24 +245,30 @@ def main() -> int:
     seed_model_cls = load_seed_inum_model()
     if seed_model_cls is not None:
         timings["seed_serial_seconds"], results["seed"] = best_of(
-            lambda: seed_recommend(db.catalog, e5, seed_model_cls, BUDGET_PAGES),
+            lambda: seed_recommend(db.catalog, e5, seed_model_cls, budget_pages),
             repeats,
         )
         seed_source = "git root commit"
     else:
         timings["seed_serial_seconds"], results["seed"] = best_of(
-            lambda: IlpIndexAdvisor(db.catalog, workers=1).recommend(
-                e5, budget_pages=BUDGET_PAGES
-            ),
+            lambda: IlpIndexAdvisor(db.catalog, workers=1, vectorize=False)
+            .recommend(e5, budget_pages=budget_pages),
             repeats,
         )
-        seed_source = "unavailable (git); used current serial path"
+        seed_source = "unavailable (git); used current scalar path"
 
     timings["serial_seconds"], results["serial"] = best_of(
         lambda: IlpIndexAdvisor(db.catalog, workers=1).recommend(
-            e5, budget_pages=BUDGET_PAGES
+            e5, budget_pages=budget_pages
         ),
         repeats,
+    )
+
+    # The scalar fallback path must remain reachable and identical.
+    timings["scalar_seconds"], results["scalar"] = best_of(
+        lambda: IlpIndexAdvisor(db.catalog, workers=1, vectorize=False)
+        .recommend(e5, budget_pages=budget_pages),
+        1,
     )
 
     # The engine's production shape: one shared CostCache across calls
@@ -263,12 +279,12 @@ def main() -> int:
     started = time.perf_counter()
     results["parallel"] = IlpIndexAdvisor(
         db.catalog, workers=4, cost_cache=shared
-    ).recommend(e5, budget_pages=BUDGET_PAGES)
+    ).recommend(e5, budget_pages=budget_pages)
     timings["parallel_cold_seconds"] = time.perf_counter() - started
     timings["parallel_seconds"], results["parallel_warm"] = best_of(
         lambda: IlpIndexAdvisor(
             db.catalog, workers=4, cost_cache=shared
-        ).recommend(e5, budget_pages=BUDGET_PAGES),
+        ).recommend(e5, budget_pages=budget_pages),
         max(repeats, 2),
     )
 
@@ -279,56 +295,88 @@ def main() -> int:
         for name, sig in signatures.items():
             print(f"  {name}: {sig}", file=sys.stderr)
 
-    # Full 30-query survey workload: the 3-query E5 slice exercises the
-    # engine's correctness, but the paper's interactive sessions run the
-    # whole SDSS query mix. Serial and parallel+shared-cache runs must
-    # stay bit-identical at 10x the query count.
+    # Full 30-query survey workload: the E5 slice exercises engine
+    # correctness; the paper's interactive sessions run the whole SDSS
+    # query mix, and the seed-vs-warm comparison here is the headline
+    # this change is gated on.
     print(f"full SDSS workload ({len(list(workload))} queries) ...")
-    full_repeats = 1 if args.smoke else 2
+    # The seed and the warm path get the same repeat count: both
+    # timings are best-of minima, so unequal repeats would bias the
+    # ratio on noisy (shared-CPU) runners.
+    full_repeats = 2 if args.smoke else 3
+    if seed_model_cls is not None:
+        timings["full_seed_seconds"], full_seed = best_of(
+            lambda: seed_recommend(
+                db.catalog, workload, seed_model_cls, budget_pages
+            ),
+            full_repeats,
+        )
+    else:
+        timings["full_seed_seconds"], full_seed = best_of(
+            lambda: IlpIndexAdvisor(db.catalog, workers=1, vectorize=False)
+            .recommend(workload, budget_pages=budget_pages),
+            full_repeats,
+        )
     timings["full_serial_seconds"], full_serial = best_of(
         lambda: IlpIndexAdvisor(db.catalog, workers=1).recommend(
-            workload, budget_pages=BUDGET_PAGES
+            workload, budget_pages=budget_pages
         ),
-        full_repeats,
+        max(full_repeats, 2),
+    )
+    timings["full_scalar_seconds"], full_scalar = best_of(
+        lambda: IlpIndexAdvisor(db.catalog, workers=1, vectorize=False)
+        .recommend(workload, budget_pages=budget_pages),
+        1,
     )
     shared_full = CostCache()
     started = time.perf_counter()
     full_parallel = IlpIndexAdvisor(
         db.catalog, workers=4, cost_cache=shared_full
-    ).recommend(workload, budget_pages=BUDGET_PAGES)
+    ).recommend(workload, budget_pages=budget_pages)
     timings["full_parallel_cold_seconds"] = time.perf_counter() - started
-    timings["full_parallel_warm_seconds"], full_warm = best_of(
+    timings["full_warm_seconds"], full_warm = best_of(
         lambda: IlpIndexAdvisor(
             db.catalog, workers=4, cost_cache=shared_full
-        ).recommend(workload, budget_pages=BUDGET_PAGES),
+        ).recommend(workload, budget_pages=budget_pages),
         full_repeats,
     )
     full_identical = (
-        signature(full_serial)
+        signature(full_seed)
+        == signature(full_serial)
+        == signature(full_scalar)
         == signature(full_parallel)
         == signature(full_warm)
     )
     if not full_identical:
-        print("ERROR: full-workload recommendations differ between serial "
-              "and parallel runs", file=sys.stderr)
+        print("ERROR: full-workload recommendations differ between seed, "
+              "serial, scalar, and parallel runs", file=sys.stderr)
+
+    leaked_segments = shm.active_segment_count()
+    if leaked_segments:
+        print(f"ERROR: {leaked_segments} shared-memory segments leaked",
+              file=sys.stderr)
+        shm.release_all()
 
     speedup = timings["seed_serial_seconds"] / timings["parallel_seconds"]
+    full_speedup = timings["full_seed_seconds"] / timings["full_warm_seconds"]
     warm = results["parallel_warm"]
+    phases = {k: round(v, 5) for k, v in full_warm.phase_seconds.items()}
     report = {
-        "benchmark": "PR1 parallel workload-evaluation engine",
+        "benchmark": "PR6 vectorized estimation core",
         "workload": list(E5_QUERIES),
-        "budget_pages": BUDGET_PAGES,
+        "budget_pages": budget_pages,
         "photo_rows": photo_rows,
         "seed_baseline": seed_source,
         "timings": {k: round(v, 5) for k, v in timings.items()},
         "speedup_parallel_vs_seed": round(speedup, 3),
-        "speedup_parallel_cold_vs_seed": round(
-            timings["seed_serial_seconds"] / timings["parallel_cold_seconds"], 3
-        ),
         "speedup_serial_vs_seed": round(
             timings["seed_serial_seconds"] / timings["serial_seconds"], 3
         ),
-        "recommendations_bit_identical": identical,
+        "recommendations_bit_identical": identical and full_identical,
+        "scalar_path_identical": (
+            signatures["scalar"] == signatures["serial"]
+            and signature(full_scalar) == signature(full_serial)
+        ),
         "recommendation": {
             "indexes": [
                 f"{ix.table_name}({', '.join(ix.columns)})"
@@ -346,10 +394,16 @@ def main() -> int:
         "full_sdss": {
             "queries": len(list(workload)),
             "bit_identical": full_identical,
-            "speedup_parallel_warm_vs_serial": round(
+            "speedup_warm_vs_seed": round(full_speedup, 3),
+            "speedup_warm_vs_serial": round(
                 timings["full_serial_seconds"]
-                / timings["full_parallel_warm_seconds"], 3
+                / timings["full_warm_seconds"], 3
             ),
+            "speedup_vectorized_vs_scalar": round(
+                timings["full_scalar_seconds"]
+                / timings["full_serial_seconds"], 3
+            ),
+            "phase_seconds": phases,
             "recommendation": {
                 "indexes": [
                     f"{ix.table_name}({', '.join(ix.columns)})"
@@ -358,6 +412,10 @@ def main() -> int:
                 "cost_before": full_warm.cost_before,
                 "cost_after": full_warm.cost_after,
             },
+        },
+        "shared_memory": {
+            "transport_enabled": shm.transport_enabled(),
+            "leaked_segments_after_runs": leaked_segments,
         },
         "suites": {
             "bench_a1_inum_cache": run_pytest_bench(
@@ -370,22 +428,31 @@ def main() -> int:
         "environment": {
             "python": platform.python_version(),
             "cpu_count": os.cpu_count(),
+            "parallel_mode": os.environ.get("REPRO_PARALLEL_MODE", "auto"),
             "platform": platform.platform(),
         },
     }
 
     Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report["timings"], indent=2))
-    print(f"speedup (workers=4 vs seed): {report['speedup_parallel_vs_seed']}x")
+    print("phase breakdown (full SDSS, warm):")
+    for phase, seconds in phases.items():
+        print(f"  {phase:>16}: {seconds:.4f}s")
+    print(f"speedup E5 (workers=4 warm vs seed): {report['speedup_parallel_vs_seed']}x")
+    print(f"speedup full SDSS (warm vs seed): {round(full_speedup, 2)}x")
     print(f"bit-identical (E5): {identical}")
-    print(f"bit-identical (full SDSS): {full_identical}")
+    print(f"bit-identical (full SDSS, incl. seed + scalar): {full_identical}")
+    print(f"leaked shared-memory segments: {leaked_segments}")
     print(f"wrote {args.output}")
 
-    if not identical or not full_identical:
+    if not identical or not full_identical or leaked_segments:
         return 1
-    if not args.smoke and speedup < 1.5:
-        print(f"ERROR: speedup {speedup:.2f}x below the 1.5x floor",
-              file=sys.stderr)
+    if full_speedup < SPEEDUP_FLOOR:
+        print(
+            f"ERROR: full-workload warm speedup {full_speedup:.2f}x below "
+            f"the {SPEEDUP_FLOOR}x floor",
+            file=sys.stderr,
+        )
         return 1
     return 0
 

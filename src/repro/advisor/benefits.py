@@ -1,0 +1,66 @@
+"""Array-backed benefit matrix with the advisor's historical dict face.
+
+The ILP solver, the greedy fallback, and several tests consume the
+benefit matrix as ``Mapping[(query_name, candidate_position), float]``
+and — crucially — depend on its *iteration order*: y-variables are
+created in ``benefits.items()`` order and the greedy fallback
+accumulates floats in that order, so the order is part of the
+bit-identity contract. :class:`BenefitMatrix` keeps the full
+``(query × candidate)`` savings ndarray for array consumers while
+exposing exactly the mapping the scalar loop used to build: keys appear
+query-by-query in workload order, candidate positions ascending, and
+only where the saving clears the benefit floor.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Sequence
+
+import numpy as np
+
+
+class BenefitMatrix(Mapping):
+    """Thin mapping view over a dense ``(queries × candidates)`` array.
+
+    Args:
+        query_names: Workload query names, in workload order (rows).
+        savings: Weighted single-index savings, ``savings[q, p]``.
+        min_benefit: Entries must strictly exceed this to be visible
+            through the mapping (the scalar path's ``_MIN_BENEFIT``
+            skip). NaN rows — models with no usable plan cache — fail
+            the comparison and drop out, as they did before.
+    """
+
+    __slots__ = ("_query_names", "_array", "_index")
+
+    def __init__(
+        self,
+        query_names: Sequence[str],
+        savings: np.ndarray,
+        min_benefit: float,
+    ) -> None:
+        self._query_names = list(query_names)
+        self._array = savings
+        self._index: dict[tuple[str, int], float] = {}
+        for q, name in enumerate(self._query_names):
+            row = savings[q]
+            for p in np.nonzero(row > min_benefit)[0].tolist():
+                self._index[(name, p)] = float(row[p])
+
+    def __getitem__(self, key: tuple[str, int]) -> float:
+        return self._index[key]
+
+    def __iter__(self) -> Iterator[tuple[str, int]]:
+        return iter(self._index)
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    @property
+    def array(self) -> np.ndarray:
+        """The dense savings ndarray (rows follow ``query_names``)."""
+        return self._array
+
+    @property
+    def query_names(self) -> list[str]:
+        return list(self._query_names)

@@ -18,7 +18,7 @@ from typing import TYPE_CHECKING, Mapping
 
 from repro.catalog.catalog import Catalog
 from repro.catalog.schema import Index
-from repro.catalog.sizing import estimate_index_pages
+from repro.catalog.sizing import estimate_index_pages_batch
 from repro.errors import AdvisorError
 from repro.optimizer.clauses import classify_all
 from repro.sql.ast_nodes import ColumnRef
@@ -190,21 +190,30 @@ def generate_candidates(
     for table_name in sorted(sequences):
         table = catalog.table(table_name)
         stats = catalog.statistics(table_name)
-        for columns in sequences[table_name][:max_per_table]:
+        kept = sequences[table_name][:max_per_table]
+        indexes = []
+        for columns in kept:
             counter += 1
-            index = Index(
-                name=f"cand_{counter}_{table_name}_{'_'.join(columns)}",
-                table_name=table_name,
-                columns=columns,
-                hypothetical=True,
+            indexes.append(
+                Index(
+                    name=f"cand_{counter}_{table_name}_{'_'.join(columns)}",
+                    table_name=table_name,
+                    columns=columns,
+                    hypothetical=True,
+                )
             )
-            if cost_cache is not None:
-                size = cost_cache.index_pages(
-                    catalog, table, index, stats.table.row_count, stats.columns
-                )
-            else:
-                size = estimate_index_pages(
-                    table, index, stats.table.row_count, stats.columns
-                )
-            candidates.append(CandidateIndex(index=index, size_pages=size))
+        # One vectorized Equation-1 evaluation sizes the whole table's
+        # candidate set (bit-identical to per-index sizing).
+        if cost_cache is not None:
+            sizes = cost_cache.index_pages_batch(
+                catalog, table, indexes, stats.table.row_count, stats.columns
+            )
+        else:
+            sizes = estimate_index_pages_batch(
+                table, kept, stats.table.row_count, stats.columns
+            ).tolist()
+        candidates.extend(
+            CandidateIndex(index=index, size_pages=int(size))
+            for index, size in zip(indexes, sizes)
+        )
     return candidates

@@ -32,15 +32,21 @@ never relies on the additivity assumption.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
+from typing import Mapping
 
+import numpy as np
+
+from repro.advisor.benefits import BenefitMatrix
 from repro.advisor.candidates import CandidateIndex, generate_candidates
 from repro.catalog.catalog import Catalog
 from repro.catalog.schema import Index
 from repro.errors import AdvisorError, FaultInjected, SolverError
 from repro.ilp.branch_bound import BranchAndBoundSolver
 from repro.ilp.model import LinearProgram, Sense
+from repro.inum.batch import WorkloadEvaluator
 from repro.inum.model import InumModel
 from repro.optimizer.config import PlannerConfig
 from repro.parallel.caches import CostCache
@@ -104,6 +110,10 @@ class AdvisorResult:
     # Graceful-degradation records: quarantined queries, solver
     # fallbacks, abandoned pools. Empty means a fully clean run.
     degraded: list[DegradedResult] = field(default_factory=list)
+    # Wall-clock seconds per pipeline phase (model_build,
+    # benefit_matrix, solve, refine, apply_pricing, ...): attributes
+    # where elapsed_seconds went instead of one opaque number.
+    phase_seconds: dict[str, float] = field(default_factory=dict)
 
     @property
     def speedup(self) -> float:
@@ -133,6 +143,7 @@ class IlpIndexAdvisor:
         cost_cache: CostCache | None = None,
         solver_deadline: float | None = None,
         fault_injector: FaultInjector | None = None,
+        vectorize: bool | None = None,
     ) -> None:
         """Args (performance knobs; the rest are search-space knobs):
 
@@ -150,7 +161,19 @@ class IlpIndexAdvisor:
             selection over the same benefit matrix instead of raising.
         fault_injector: Resilience-test harness; see
             :mod:`repro.resilience`. ``None`` defers to ``REPRO_FAULTS``.
+        vectorize: Evaluate benefits and refinement through the
+            array-compiled :class:`WorkloadEvaluator` (bit-identical to
+            the scalar loops, roughly an order of magnitude faster).
+            ``None`` defers to ``REPRO_VECTORIZE`` (default on); the
+            scalar path stays reachable for differential testing.
         """
+        if vectorize is None:
+            vectorize = os.environ.get("REPRO_VECTORIZE", "1").lower() not in (
+                "0",
+                "false",
+                "off",
+            )
+        self._vectorize = vectorize
         self._catalog = catalog
         self._config = config or PlannerConfig()
         self._backend = backend
@@ -193,6 +216,14 @@ class IlpIndexAdvisor:
         if budget_pages <= 0:
             raise AdvisorError("storage budget must be positive")
         started = time.perf_counter()
+        phases: dict[str, float] = {}
+        mark = started
+
+        def lap(phase: str) -> None:
+            nonlocal mark
+            now = time.perf_counter()
+            phases[phase] = phases.get(phase, 0.0) + (now - mark)
+            mark = now
 
         cache = self._cost_cache if self._cost_cache is not None else CostCache()
         bound = bind_workload(self._catalog, workload, cache)
@@ -205,13 +236,27 @@ class IlpIndexAdvisor:
             bound=bound,
             cost_cache=cache,
         )
+        lap("candidates")
         degraded: list[DegradedResult] = []
         models = self.build_models(
             workload, bound=bound, cost_cache=cache, degraded=degraded
         )
         workload = self._surviving(workload, models, degraded)
-        benefits = self._benefit_matrix(workload, models, candidates)
+        lap("model_build")
+        evaluator = (
+            WorkloadEvaluator(
+                [models[q.name] for q in workload],
+                [q.weight for q in workload],
+                [c.index for c in candidates],
+            )
+            if self._vectorize
+            else None
+        )
+        benefits = self._benefit_matrix(
+            workload, models, candidates, evaluator=evaluator
+        )
         maintenance = self._maintenance_costs(candidates, update_rates)
+        lap("benefit_matrix")
 
         solver_fallback = False
         try:
@@ -232,14 +277,18 @@ class IlpIndexAdvisor:
                 max_update_cost,
             )
             solver_fallback = True
+        lap("solve")
         if refine:
             chosen = self._refine(
                 workload, models, candidates, chosen, budget_pages,
-                maintenance, max_update_cost,
+                maintenance, max_update_cost, evaluator=evaluator,
             )
+        lap("refine")
         result = self._price_recommendation(
             workload, models, candidates, chosen, budget_pages, maintenance
         )
+        lap("apply_pricing")
+        result.phase_seconds = phases
         result.elapsed_seconds = time.perf_counter() - started
         result.candidates_considered = len(candidates)
         result.inum_estimates = sum(m.stats.estimates_served for m in models.values())
@@ -308,8 +357,24 @@ class IlpIndexAdvisor:
         workload: Workload,
         models: dict[str, InumModel],
         candidates: list[CandidateIndex],
-    ) -> dict[tuple[str, int], float]:
-        """Weighted single-index benefits benefit[(query, cand_idx)]."""
+        evaluator: WorkloadEvaluator | None = None,
+    ) -> Mapping[tuple[str, int], float]:
+        """Weighted single-index benefits benefit[(query, cand_idx)].
+
+        With an ``evaluator``, all (query × candidate) savings come out
+        of one singleton-configuration array evaluation; the returned
+        :class:`BenefitMatrix` iterates in exactly the order the scalar
+        loop populated its dict (bit-identity covers iteration order —
+        it fixes solver variable order and fallback accumulation).
+        """
+        if evaluator is not None:
+            base = evaluator.base_costs()
+            singles = evaluator.singleton_costs()
+            weights = [query.weight for query in workload]
+            savings = (base[:, None] - singles) * np.asarray(weights)[:, None]
+            return BenefitMatrix(
+                [query.name for query in workload], savings, _MIN_BENEFIT
+            )
         benefits: dict[tuple[str, int], float] = {}
         for query in workload:
             model = models[query.name]
@@ -351,7 +416,7 @@ class IlpIndexAdvisor:
         self,
         workload: Workload,
         candidates: list[CandidateIndex],
-        benefits: dict[tuple[str, int], float],
+        benefits: Mapping[tuple[str, int], float],
         budget_pages: int,
         maintenance: dict[int, float],
         max_update_cost: float | None,
@@ -432,7 +497,7 @@ class IlpIndexAdvisor:
     @staticmethod
     def _greedy_fallback(
         candidates: list[CandidateIndex],
-        benefits: dict[tuple[str, int], float],
+        benefits: Mapping[tuple[str, int], float],
         budget_pages: int,
         maintenance: dict[int, float],
         max_update_cost: float | None,
@@ -484,6 +549,7 @@ class IlpIndexAdvisor:
         maintenance: dict[int, float],
         max_update_cost: float | None,
         max_rounds: int = 6,
+        evaluator: WorkloadEvaluator | None = None,
     ) -> list[int]:
         """Hill-climb over full INUM estimates: drop, add, swap.
 
@@ -494,7 +560,9 @@ class IlpIndexAdvisor:
 
         # The climb re-prices configurations it has already seen (every
         # trial of the terminating round is a repeat); memoize on the
-        # position set.
+        # position set. With an evaluator the pricing itself is one
+        # array evaluation per distinct configuration instead of one
+        # scalar estimate per (model, configuration).
         cost_memo: dict[frozenset[int], float] = {}
         priced = [(models[q.name], q.weight) for q in workload]
 
@@ -503,8 +571,13 @@ class IlpIndexAdvisor:
             cached = cost_memo.get(key)
             if cached is not None:
                 return cached
-            config = tuple(candidates[p].index for p in positions)
-            cost = sum(model.estimate(config) * weight for model, weight in priced)
+            if evaluator is not None:
+                cost = evaluator.workload_cost(positions)
+            else:
+                config = tuple(candidates[p].index for p in positions)
+                cost = sum(
+                    model.estimate(config) * weight for model, weight in priced
+                )
             cost += sum(maintenance.get(p, 0.0) for p in positions)
             cost_memo[key] = cost
             return cost
@@ -518,10 +591,47 @@ class IlpIndexAdvisor:
                     return False
             return True
 
+        def prefetch(current: list[int]) -> None:
+            """Batch-price this round's trial configurations.
+
+            Speculative: every trial is evaluated against the
+            round-start configuration in a handful of array ops and
+            memoized. The sequential scan below then mostly hits the
+            memo; after an accept changes ``current``, later trials
+            miss and are priced individually — the accept/ordering
+            semantics (and every float) stay exactly the scalar
+            loop's.
+            """
+            if evaluator is None:
+                return
+            evaluator.prime(
+                [[p for p in current if p != position] for position in current]
+            )
+            extras = [
+                p
+                for p in range(len(candidates))
+                if p not in current and fits(current + [p])
+            ]
+            evaluator.prime_extensions(current, extras)
+            pairs = []
+            in_current = set(current)
+            for position in range(len(candidates)):
+                if position in in_current:
+                    continue
+                table = candidates[position].index.table_name
+                for existing in current:
+                    if candidates[existing].index.table_name != table:
+                        continue
+                    swap = [p for p in current if p != existing] + [position]
+                    if fits(swap):
+                        pairs.append((existing, position))
+            evaluator.prime_swaps(current, pairs)
+
         current = list(chosen)
         current_cost = total_cost(current)
         for _ in range(max_rounds):
             improved = False
+            prefetch(current)
             # Drops: an index whose interactions made it redundant.
             for position in list(current):
                 trial = [p for p in current if p != position]

@@ -12,12 +12,14 @@ usefulness".
 
 from __future__ import annotations
 
+import os
 import time
 
 from repro.advisor.candidates import CandidateIndex, generate_candidates
 from repro.advisor.ilp_advisor import AdvisorResult, QueryBenefit
 from repro.catalog.catalog import Catalog
 from repro.errors import AdvisorError
+from repro.inum.batch import WorkloadEvaluator
 from repro.inum.model import InumModel
 from repro.optimizer.config import PlannerConfig
 from repro.parallel.caches import CostCache
@@ -44,7 +46,15 @@ class GreedyIndexAdvisor:
         parallel_mode: str = "auto",
         cost_cache: CostCache | None = None,
         fault_injector: FaultInjector | None = None,
+        vectorize: bool | None = None,
     ) -> None:
+        if vectorize is None:
+            vectorize = os.environ.get("REPRO_VECTORIZE", "1").lower() not in (
+                "0",
+                "false",
+                "off",
+            )
+        self._vectorize = vectorize
         self._catalog = catalog
         self._config = config or PlannerConfig()
         self._per_page = per_page
@@ -99,6 +109,39 @@ class GreedyIndexAdvisor:
                 update_rates=dict(workload.update_rates),
             )
 
+        if self._vectorize:
+            chosen = self._search_vectorized(
+                workload, models, candidates, budget_pages
+            )
+        else:
+            chosen = self._search_scalar(
+                workload, models, candidates, budget_pages
+            )
+
+        result = self._price(workload, models, chosen, budget_pages)
+        result.elapsed_seconds = time.perf_counter() - started
+        result.candidates_considered = len(candidates)
+        result.inum_estimates = sum(m.stats.estimates_served for m in models.values())
+        result.optimizer_calls = sum(m.stats.optimizer_calls for m in models.values())
+        result.combinations_truncated = sum(
+            m.stats.combinations_truncated for m in models.values()
+        )
+        result.cache_hits = cache.hits
+        result.cache_misses = cache.misses
+        result.cache_stats = cache.stats()
+        result.degraded = degraded
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _search_scalar(
+        self,
+        workload: Workload,
+        models: dict[str, InumModel],
+        candidates: list[CandidateIndex],
+        budget_pages: int,
+    ) -> list[CandidateIndex]:
+        """The original per-candidate greedy loop (scalar fallback)."""
         chosen: list[CandidateIndex] = []
         remaining = list(candidates)
         used_pages = 0
@@ -128,22 +171,61 @@ class GreedyIndexAdvisor:
             remaining.remove(best_candidate)
             used_pages += best_candidate.size_pages
             current_cost = best_cost
+        return chosen
 
-        result = self._price(workload, models, chosen, budget_pages)
-        result.elapsed_seconds = time.perf_counter() - started
-        result.candidates_considered = len(candidates)
-        result.inum_estimates = sum(m.stats.estimates_served for m in models.values())
-        result.optimizer_calls = sum(m.stats.optimizer_calls for m in models.values())
-        result.combinations_truncated = sum(
-            m.stats.combinations_truncated for m in models.values()
+    def _search_vectorized(
+        self,
+        workload: Workload,
+        models: dict[str, InumModel],
+        candidates: list[CandidateIndex],
+        budget_pages: int,
+    ) -> list[CandidateIndex]:
+        """Greedy search with each round's trials as one array op.
+
+        Every round prices all ``current + [candidate]`` extensions in
+        a single :meth:`WorkloadEvaluator.extension_costs` evaluation;
+        the selection scan then replays the scalar loop's comparisons
+        over those (bit-identical) floats, so the chosen sequence —
+        including tie-breaks, which fall to the earliest candidate —
+        matches the scalar search exactly.
+        """
+        evaluator = WorkloadEvaluator(
+            [models[q.name] for q in workload],
+            [q.weight for q in workload],
+            [c.index for c in candidates],
         )
-        result.cache_hits = cache.hits
-        result.cache_misses = cache.misses
-        result.cache_stats = cache.stats()
-        result.degraded = degraded
-        return result
+        chosen_positions: list[int] = []
+        remaining = list(range(len(candidates)))
+        used_pages = 0
+        current_cost = evaluator.workload_cost(chosen_positions)
 
-    # ------------------------------------------------------------------
+        while True:
+            trials = evaluator.workload_totals(
+                evaluator.extension_costs(chosen_positions, remaining)
+            )
+            best_slot = None
+            best_score = 0.0
+            best_cost = current_cost
+            for slot, position in enumerate(remaining):
+                size = candidates[position].size_pages
+                if used_pages + size > budget_pages:
+                    continue
+                trial_cost = float(trials[slot])
+                saving = current_cost - trial_cost
+                if saving <= _MIN_BENEFIT:
+                    continue
+                score = saving / size if self._per_page else saving
+                if score > best_score:
+                    best_score = score
+                    best_slot = slot
+                    best_cost = trial_cost
+            if best_slot is None:
+                break
+            position = remaining.pop(best_slot)
+            chosen_positions.append(position)
+            used_pages += candidates[position].size_pages
+            current_cost = best_cost
+        return [candidates[p] for p in chosen_positions]
 
     @staticmethod
     def _workload_cost(

@@ -15,7 +15,9 @@ as the paper argues they matter only for very small indexes.
 from __future__ import annotations
 
 import math
-from typing import Mapping
+from typing import Mapping, Sequence
+
+import numpy as np
 
 from repro.catalog.datatypes import DataType, align_up
 from repro.catalog.schema import Index, Table
@@ -99,6 +101,77 @@ def estimate_index_pages(
     usable = (BLOCK_SIZE - PAGE_HEADER_SIZE) * fillfactor
     rows_per_page = max(1, int(usable // row_width))
     return max(1, math.ceil(row_count / rows_per_page))
+
+
+def index_row_widths_batch(
+    table: Table,
+    column_sequences: Sequence[tuple[str, ...]],
+    column_stats: Mapping[str, ColumnStats] | None = None,
+) -> np.ndarray:
+    """Leaf-entry widths for many key-column sequences in one pass.
+
+    Vectorizes the alignment walk of :func:`aligned_row_width` across
+    sequences: column widths and alignments are resolved once per
+    distinct column, the running offsets advance in lockstep (one array
+    op per key position, and key widths are at most a handful), and the
+    result is bit-identical to calling :func:`index_row_width` per
+    sequence.
+    """
+    n = len(column_sequences)
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    width_of: dict[str, int] = {}
+    align_of: dict[str, int] = {}
+    for seq in column_sequences:
+        for name in seq:
+            if name not in width_of:
+                column = table.column(name)
+                stats = column_stats.get(name) if column_stats else None
+                width_of[name] = column_width(column.dtype, stats)
+                align_of[name] = column.dtype.typalign
+
+    depth = max(len(seq) for seq in column_sequences)
+    # Padding columns use width 0 / alignment 1: both are identities
+    # for the offset recurrence, so ragged sequences stay exact.
+    widths = np.zeros((n, depth), dtype=np.int64)
+    aligns = np.ones((n, depth), dtype=np.int64)
+    for i, seq in enumerate(column_sequences):
+        for j, name in enumerate(seq):
+            widths[i, j] = width_of[name]
+            aligns[i, j] = align_of[name]
+
+    offsets = np.full(n, INDEX_ROW_OVERHEAD, dtype=np.int64)
+    for j in range(depth):
+        a = aligns[:, j]
+        offsets = (offsets + a - 1) // a * a
+        offsets = offsets + widths[:, j]
+    return (offsets + 7) // 8 * 8
+
+
+def estimate_index_pages_batch(
+    table: Table,
+    column_sequences: Sequence[tuple[str, ...]],
+    row_count: float,
+    column_stats: Mapping[str, ColumnStats] | None = None,
+    fillfactor: float = BTREE_LEAF_FILLFACTOR,
+) -> np.ndarray:
+    """Equation 1 over many candidate key sequences at once.
+
+    Returns an int64 array aligned with ``column_sequences``; each
+    element equals the scalar :func:`estimate_index_pages` for an index
+    with those key columns (the floor/ceil arithmetic is carried out in
+    the same IEEE operations, so equality is exact, not approximate).
+    """
+    n = len(column_sequences)
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    if row_count <= 0:
+        return np.ones(n, dtype=np.int64)
+    row_widths = index_row_widths_batch(table, column_sequences, column_stats)
+    usable = (BLOCK_SIZE - PAGE_HEADER_SIZE) * fillfactor
+    rows_per_page = np.maximum(1, (usable // row_widths).astype(np.int64))
+    pages = np.ceil(float(row_count) / rows_per_page).astype(np.int64)
+    return np.maximum(1, pages)
 
 
 def tuple_width(

@@ -10,6 +10,7 @@ configuration evaluations; INUM turns each into a handful of dictionary
 lookups.
 """
 
+from repro.inum.batch import WorkloadEvaluator
 from repro.inum.model import CacheEntry, InumModel, InumStatistics
 
-__all__ = ["CacheEntry", "InumModel", "InumStatistics"]
+__all__ = ["CacheEntry", "InumModel", "InumStatistics", "WorkloadEvaluator"]

@@ -37,7 +37,9 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
 
 from repro.catalog.catalog import Catalog
 from repro.catalog.schema import Index, index_signature
@@ -542,6 +544,41 @@ class InumModel:
         self._estimate_cache[memo_key] = result
         self._fast_estimates[fast_key] = result
         return best, dict(best_detail)
+
+    def estimate_batch(
+        self, configs: Sequence[Sequence[Index]]
+    ) -> np.ndarray:
+        """INUM costs of many configurations as one array evaluation.
+
+        Compiles this model's cache entries and the distinct indexes
+        across ``configs`` into the flat array layout of
+        :class:`~repro.inum.batch.WorkloadEvaluator` and evaluates every
+        configuration as a gather + multiply-accumulate + segmented
+        min. Each element is bit-identical to the scalar
+        :meth:`estimate` of the same configuration — the arrays replay
+        the exact float operation sequence, so the two paths are
+        interchangeable anywhere recommendations are diffed.
+        """
+        from repro.inum.batch import WorkloadEvaluator
+
+        pool: list[Index] = []
+        seen: dict[tuple, int] = {}
+        position_sets: list[list[int]] = []
+        for config in configs:
+            positions = []
+            for index in config:
+                sig = index_signature(index)
+                slot = seen.get(sig)
+                if slot is None:
+                    slot = seen[sig] = len(pool)
+                    pool.append(index)
+                positions.append(slot)
+            position_sets.append(positions)
+        self.stats.estimates_served += len(position_sets)
+        evaluator = WorkloadEvaluator([self], [1.0], pool)
+        if not position_sets:
+            return np.zeros(0)
+        return evaluator.per_query_costs(position_sets)[0]
 
     def _best_access(
         self, config_indexes

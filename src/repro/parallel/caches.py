@@ -54,7 +54,11 @@ from typing import Any, Callable, Mapping
 
 from repro.catalog.catalog import Catalog
 from repro.catalog.schema import Index, Table
-from repro.catalog.sizing import BTREE_LEAF_FILLFACTOR, estimate_index_pages
+from repro.catalog.sizing import (
+    BTREE_LEAF_FILLFACTOR,
+    estimate_index_pages,
+    estimate_index_pages_batch,
+)
 from repro.catalog.statistics import ColumnStats
 from repro.errors import ReproError
 from repro.sql.binder import BoundQuery, bind
@@ -240,6 +244,57 @@ class CostCache:
             ),
             catalog_key=catalog.cache_key,
         )
+
+    def index_pages_batch(
+        self,
+        catalog: Catalog,
+        table: Table,
+        indexes: list[Index],
+        row_count: float,
+        column_stats: Mapping[str, ColumnStats] | None = None,
+        fillfactor: float = BTREE_LEAF_FILLFACTOR,
+    ) -> list[int]:
+        """Batched :meth:`index_pages`: size every index in one pass.
+
+        Cached sizes are served per key as usual; the misses are
+        evaluated together through the vectorized Equation-1 kernel and
+        inserted individually, so counters, bounds, and eviction behave
+        exactly as if :meth:`index_pages` had been called per index.
+        """
+        keys = [
+            (catalog.cache_key, table.name, ix.columns, row_count, fillfactor)
+            for ix in indexes
+        ]
+        missing = [
+            i for i, key in enumerate(keys)
+            if not self.contains("index_pages", key)
+        ]
+        computed: dict[int, int] = {}
+        if missing:
+            sizes = estimate_index_pages_batch(
+                table,
+                [indexes[i].columns for i in missing],
+                row_count,
+                column_stats,
+                fillfactor,
+            )
+            computed = {i: int(size) for i, size in zip(missing, sizes)}
+        out: list[int] = []
+        for i, key in enumerate(keys):
+            # A racing thread may have filled a "missing" key — lookup
+            # resolves it either way; values are pure so both agree.
+            value = computed.get(i)
+            out.append(
+                self.lookup(
+                    "index_pages",
+                    key,
+                    (lambda v=value, ix=indexes[i]: v if v is not None
+                     else estimate_index_pages(
+                         table, ix, row_count, column_stats, fillfactor)),
+                    catalog_key=catalog.cache_key,
+                )
+            )
+        return out
 
     def seq_cost(
         self,

@@ -41,6 +41,7 @@ from repro.catalog.catalog import Catalog
 from repro.errors import FaultInjected, ReproError, WorkerCrashError
 from repro.inum.model import InumModel, InumSnapshot
 from repro.optimizer.config import PlannerConfig
+from repro.parallel import shm
 from repro.parallel.caches import CostCache
 from repro.resilience import faults
 from repro.resilience.degrade import DegradedResult
@@ -99,6 +100,23 @@ class EvaluationEngine:
         if cores > 2:
             return "process"
         return "thread" if cores == 2 else "serial"
+
+    def close(self) -> None:
+        """Release transport resources (shared-memory segments).
+
+        The process-pool build path normally unlinks its segments as it
+        decodes them; close() sweeps anything that survived an abnormal
+        path (a worker that died mid-handoff, an exception between
+        encode and decode). Idempotent, and safe to call on engines
+        that never touched shared memory.
+        """
+        shm.release_all()
+
+    def __enter__(self) -> "EvaluationEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def map(
         self,
@@ -537,18 +555,36 @@ def _build_in_processes(
     caller re-runs the whole batch on threads, which is the coarse
     process-level version of the retry-then-serialize ladder — after
     recording a ``serialized`` degradation.
+
+    Transport: with ``REPRO_SHM_TRANSPORT`` on (the default), the
+    (catalog, config) pair is pickled ONCE into a shared-memory
+    broadcast segment instead of once per task, and workers return
+    snapshots as shared-memory segments (numpy float buffers plus a
+    small pickled header) rather than pickling them back through the
+    result pipe. Either side of that transport can decline — broadcast
+    unpicklable, segment allocation failing, a worker returning the
+    plain-pickle tag — and the affected payload silently rides the
+    original pickle path; recommendations are bit-identical either way.
     """
-    payloads = [
-        (catalog, query.sql, config, max_combinations) for query in workload
-    ]
-    try:
-        pickle.dumps(payloads[0])
-    except Exception:
-        return None
     names = [query.name for query in workload]
+    handle = shm.broadcast((catalog, config))
+    if handle is not None:
+        worker_fn = _shm_snapshot_worker
+        payloads: list[tuple] = [
+            (handle, query.sql, max_combinations) for query in workload
+        ]
+    else:
+        worker_fn = _snapshot_worker
+        payloads = [
+            (catalog, query.sql, config, max_combinations) for query in workload
+        ]
+        try:
+            pickle.dumps(payloads[0])
+        except Exception:
+            return None
     try:
         with ProcessPoolExecutor(max_workers=min(workers, len(names))) as pool:
-            snapshots = list(pool.map(_snapshot_worker, payloads))
+            results = list(pool.map(worker_fn, payloads))
     except BrokenProcessPool as exc:
         if degraded is not None:
             degraded.append(
@@ -562,6 +598,13 @@ def _build_in_processes(
         return None
     except (OSError, pickle.PicklingError):
         return None
+    finally:
+        if handle is not None:
+            shm.release(handle.segment)
+    snapshots = [
+        shm.decode_snapshot(payload) if tag == "shm" else payload
+        for tag, payload in results
+    ]
     if cost_cache is not None:
         # Future builds against this catalog version rehydrate for free.
         config_fp = cost_cache.fingerprint(config)
@@ -585,9 +628,30 @@ def _build_in_processes(
 
 def _snapshot_worker(
     payload: tuple[Catalog, str, PlannerConfig, int]
-) -> InumSnapshot:
+) -> tuple[str, InumSnapshot]:
     """Process-pool entry point: build one model, return its snapshot."""
     catalog, sql, config, max_combinations = payload
     query = bind(catalog, parse_select(sql))
     model = InumModel(catalog, query, config, max_combinations=max_combinations)
-    return model.snapshot()
+    return ("pickle", model.snapshot())
+
+
+def _shm_snapshot_worker(
+    payload: tuple["shm.BroadcastHandle", str, int]
+) -> tuple[str, object]:
+    """Shared-memory process-pool entry point.
+
+    Reads (catalog, config) from the broadcast segment (attached and
+    unpickled once per worker process), builds the model, and hands the
+    snapshot back as a segment when the codec accepts it — otherwise
+    tags it for the plain pickle path.
+    """
+    handle, sql, max_combinations = payload
+    catalog, config = shm.read_broadcast(handle)
+    query = bind(catalog, parse_select(sql))
+    model = InumModel(catalog, query, config, max_combinations=max_combinations)
+    snapshot = model.snapshot()
+    encoded = shm.encode_snapshot(snapshot)
+    if encoded is not None:
+        return ("shm", encoded)
+    return ("pickle", snapshot)

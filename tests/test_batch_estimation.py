@@ -1,0 +1,335 @@
+"""The vectorized estimation core: bit-identity with the scalar path.
+
+The contract under test is absolute: every cost the array evaluator
+produces — base costs, singleton benefit rows, arbitrary configuration
+costs, greedy extension totals, workload sums — must equal the scalar
+``InumModel.estimate`` path to the last bit (``struct.pack`` equality,
+not ``pytest.approx``). The advisors' regression gates rely on it.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+
+import numpy as np
+import pytest
+
+from repro.advisor.benefits import BenefitMatrix
+from repro.advisor.candidates import generate_candidates
+from repro.advisor.ilp_advisor import IlpIndexAdvisor
+from repro.baselines.greedy import GreedyIndexAdvisor
+from repro.catalog.sizing import (
+    estimate_index_pages,
+    estimate_index_pages_batch,
+    index_row_width,
+    index_row_widths_batch,
+)
+from repro.inum.batch import WorkloadEvaluator, pool_signature
+from repro.inum.model import InumModel
+from repro.workloads.sdss import build_sdss_database, sdss_workload
+
+
+@pytest.fixture(scope="module")
+def sdss_db():
+    return build_sdss_database(photo_rows=3000, seed=11)
+
+
+@pytest.fixture(scope="module")
+def sdss_wl():
+    return sdss_workload()
+
+
+@pytest.fixture(scope="module")
+def compiled(sdss_db, sdss_wl):
+    """(workload, models, candidates, evaluator) over an 8-query slice."""
+    workload = sdss_wl.subset(8)
+    catalog = sdss_db.catalog
+    candidates = generate_candidates(catalog, workload)
+    models = {
+        q.name: InumModel(catalog, q.bind(catalog)) for q in workload
+    }
+    evaluator = WorkloadEvaluator(
+        [models[q.name] for q in workload],
+        [q.weight for q in workload],
+        [c.index for c in candidates],
+    )
+    return workload, models, candidates, evaluator
+
+
+def bits(value: float) -> bytes:
+    return struct.pack("<d", float(value))
+
+
+def assert_same_bits(a: float, b: float) -> None:
+    assert bits(a) == bits(b), f"{a!r} != {b!r} (bitwise)"
+
+
+# ----------------------------------------------------------------------
+# Property: estimate_batch ≡ looped estimate, bit for bit
+
+
+def test_estimate_batch_matches_scalar_on_random_configs(compiled):
+    workload, models, candidates, _ = compiled
+    rng = random.Random(20260808)
+    pool = [c.index for c in candidates]
+    configs = [
+        rng.sample(pool, rng.randint(0, min(5, len(pool))))
+        for _ in range(25)
+    ]
+    for query in workload:
+        model = models[query.name]
+        batch = model.estimate_batch(configs)
+        assert batch.shape == (len(configs),)
+        for j, config in enumerate(configs):
+            assert_same_bits(batch[j], model.estimate(tuple(config)))
+
+
+def test_estimate_batch_dedupes_repeated_indexes(compiled):
+    workload, models, candidates, _ = compiled
+    model = models[next(iter(workload)).name]
+    index = candidates[0].index
+    doubled = model.estimate_batch([[index, index], [index]])
+    assert_same_bits(doubled[0], doubled[1])
+    assert_same_bits(doubled[0], model.estimate((index,)))
+
+
+def test_evaluator_base_and_singletons_match_scalar(compiled):
+    workload, models, candidates, evaluator = compiled
+    base = evaluator.base_costs()
+    singles = evaluator.singleton_costs()
+    assert singles.shape == (len(list(workload)), len(candidates))
+    for m, query in enumerate(workload):
+        model = models[query.name]
+        assert_same_bits(base[m], model.estimate(()))
+        for p, candidate in enumerate(candidates):
+            assert_same_bits(
+                singles[m, p], model.estimate((candidate.index,))
+            )
+
+
+def test_evaluator_workload_cost_matches_scalar_sum(compiled):
+    workload, models, candidates, evaluator = compiled
+    rng = random.Random(7)
+    for _ in range(10):
+        positions = rng.sample(
+            range(len(candidates)), rng.randint(0, min(6, len(candidates)))
+        )
+        config = tuple(candidates[p].index for p in positions)
+        expected = 0.0
+        for query in workload:
+            expected += models[query.name].estimate(config) * query.weight
+        assert_same_bits(evaluator.workload_cost(positions), expected)
+
+
+def test_evaluator_extension_costs_match_scalar(compiled):
+    workload, models, candidates, evaluator = compiled
+    current = [0, 3]
+    extras = [p for p in range(len(candidates)) if p not in current][:12]
+    matrix = evaluator.extension_costs(current, extras)
+    for m, query in enumerate(workload):
+        model = models[query.name]
+        for j, extra in enumerate(extras):
+            config = tuple(
+                candidates[p].index for p in current + [extra]
+            )
+            assert_same_bits(matrix[m, j], model.estimate(config))
+
+
+def test_workload_cost_is_memoized(compiled):
+    *_, evaluator = compiled
+    before = evaluator.memo_size
+    first = evaluator.workload_cost([2, 5, 9])
+    grown = evaluator.memo_size
+    second = evaluator.workload_cost([9, 5, 2])  # same set, other order
+    assert grown == before + 1
+    assert evaluator.memo_size == grown
+    assert_same_bits(first, second)
+
+
+# ----------------------------------------------------------------------
+# Degenerate shapes
+
+
+def test_estimate_batch_no_configs(compiled):
+    workload, models, *_ = compiled
+    model = models[next(iter(workload)).name]
+    batch = model.estimate_batch([])
+    assert batch.shape == (0,)
+
+
+def test_evaluator_empty_workload(compiled):
+    _, _, candidates, _ = compiled
+    evaluator = WorkloadEvaluator([], [], [c.index for c in candidates])
+    assert evaluator.base_costs().shape == (0,)
+    assert evaluator.singleton_costs().shape == (0, len(candidates))
+    assert evaluator.workload_cost([0, 1]) == 0.0
+    assert evaluator.workload_totals(
+        evaluator.extension_costs([], [0, 1])
+    ).shape == (2,)
+
+
+def test_evaluator_zero_candidates(compiled):
+    workload, models, _, _ = compiled
+    evaluator = WorkloadEvaluator(
+        [models[q.name] for q in workload],
+        [q.weight for q in workload],
+        [],
+    )
+    assert evaluator.singleton_costs().shape == (len(list(workload)), 0)
+    expected = 0.0
+    for query in workload:
+        expected += models[query.name].estimate(()) * query.weight
+    assert_same_bits(evaluator.workload_cost([]), expected)
+
+
+def test_single_alias_query(sdss_db, sdss_wl):
+    catalog = sdss_db.catalog
+    query = sdss_wl.query("q01_box_search")
+    bound = query.bind(catalog)
+    assert len(bound.aliases) == 1
+    model = InumModel(catalog, bound)
+    candidates = generate_candidates(catalog, type(sdss_wl)([query]))
+    configs = [
+        [c.index for c in candidates[:k]] for k in range(len(candidates) + 1)
+    ]
+    batch = model.estimate_batch(configs)
+    for j, config in enumerate(configs):
+        assert_same_bits(batch[j], model.estimate(tuple(config)))
+
+
+def test_pool_signature_orders_and_distinguishes(compiled):
+    _, _, candidates, _ = compiled
+    pool = [c.index for c in candidates]
+    assert pool_signature(pool) == pool_signature(list(pool))
+    assert pool_signature(pool[:3]) != pool_signature(pool[:2])
+
+
+# ----------------------------------------------------------------------
+# BenefitMatrix: the dict view over the savings array
+
+
+def test_benefit_matrix_matches_scalar_dict(compiled):
+    workload, models, candidates, evaluator = compiled
+    base = evaluator.base_costs()
+    singles = evaluator.singleton_costs()
+    weights = np.asarray([q.weight for q in workload])
+    savings = (base[:, None] - singles) * weights[:, None]
+    matrix = BenefitMatrix([q.name for q in workload], savings, 1e-6)
+
+    scalar: dict[tuple[str, int], float] = {}
+    for query in workload:
+        model = models[query.name]
+        for p, candidate in enumerate(candidates):
+            saving = (
+                model.base_cost - model.estimate((candidate.index,))
+            ) * query.weight
+            if saving > 1e-6:
+                scalar[(query.name, p)] = saving
+
+    assert dict(matrix) == scalar
+    # Iteration order is part of the contract: it fixes the ILP model's
+    # variable creation order and the fallback's accumulation order.
+    assert list(matrix) == list(scalar)
+    assert len(matrix) == len(scalar)
+    assert matrix.array is savings
+
+
+# ----------------------------------------------------------------------
+# Advisors: the scalar fallback stays reachable and identical
+
+
+def _signature(result):
+    return (
+        [(ix.table_name, ix.columns) for ix in result.indexes],
+        result.cost_before,
+        result.cost_after,
+        [(q.name, q.cost_before, q.cost_after) for q in result.per_query],
+    )
+
+
+def test_ilp_advisor_scalar_vs_vectorized(sdss_db, sdss_wl):
+    workload = sdss_wl.subset(8)
+    fast = IlpIndexAdvisor(sdss_db.catalog, vectorize=True).recommend(
+        workload, budget_pages=500
+    )
+    slow = IlpIndexAdvisor(sdss_db.catalog, vectorize=False).recommend(
+        workload, budget_pages=500
+    )
+    assert _signature(fast) == _signature(slow)
+
+
+def test_greedy_advisor_scalar_vs_vectorized(sdss_db, sdss_wl):
+    workload = sdss_wl.subset(8)
+    for per_page in (False, True):
+        fast = GreedyIndexAdvisor(
+            sdss_db.catalog, per_page=per_page, vectorize=True
+        ).recommend(workload, budget_pages=500)
+        slow = GreedyIndexAdvisor(
+            sdss_db.catalog, per_page=per_page, vectorize=False
+        ).recommend(workload, budget_pages=500)
+        assert _signature(fast) == _signature(slow)
+
+
+def test_vectorize_env_knob(sdss_db, monkeypatch):
+    monkeypatch.setenv("REPRO_VECTORIZE", "0")
+    assert IlpIndexAdvisor(sdss_db.catalog)._vectorize is False
+    assert GreedyIndexAdvisor(sdss_db.catalog)._vectorize is False
+    monkeypatch.setenv("REPRO_VECTORIZE", "1")
+    assert IlpIndexAdvisor(sdss_db.catalog)._vectorize is True
+    # An explicit argument beats the environment.
+    monkeypatch.setenv("REPRO_VECTORIZE", "off")
+    assert IlpIndexAdvisor(sdss_db.catalog, vectorize=True)._vectorize is True
+
+
+def test_phase_seconds_surfaced(sdss_db, sdss_wl):
+    result = IlpIndexAdvisor(sdss_db.catalog).recommend(
+        sdss_wl.subset(4), budget_pages=400
+    )
+    assert set(result.phase_seconds) == {
+        "candidates",
+        "model_build",
+        "benefit_matrix",
+        "solve",
+        "refine",
+        "apply_pricing",
+    }
+    assert all(v >= 0.0 for v in result.phase_seconds.values())
+
+
+# ----------------------------------------------------------------------
+# Batched Equation-1 sizing
+
+
+def test_sizing_batch_matches_scalar(sdss_db):
+    catalog = sdss_db.catalog
+    for table_name in ("photoobj", "specobj"):
+        table = catalog.table(table_name)
+        stats = catalog.statistics(table_name)
+        row_count = stats.table.row_count
+        columns = list(table.column_names)
+        sequences = [tuple(columns[:k]) for k in range(1, min(4, len(columns)))]
+        sequences += [tuple(reversed(seq)) for seq in sequences]
+        widths = index_row_widths_batch(table, sequences, stats.columns)
+        pages = estimate_index_pages_batch(
+            table, sequences, row_count, stats.columns
+        )
+        for j, seq in enumerate(sequences):
+            index = _index_for(table_name, seq)
+            assert widths[j] == index_row_width(table, index, stats.columns)
+            assert pages[j] == estimate_index_pages(
+                table, index, row_count, stats.columns
+            )
+    assert estimate_index_pages_batch(table, [], row_count).shape == (0,)
+    assert (estimate_index_pages_batch(table, sequences, 0) == 1).all()
+
+
+def _index_for(table_name, columns):
+    from repro.catalog.schema import Index
+
+    return Index(
+        name=f"probe_{'_'.join(columns)}",
+        table_name=table_name,
+        columns=tuple(columns),
+        hypothetical=True,
+    )

@@ -439,3 +439,136 @@ class TestBackgroundWorker:
     def test_bad_parameters_rejected(self):
         with pytest.raises(ReproError):
             BackgroundWorker(lambda item: None, max_pending=0)
+
+
+# ----------------------------------------------------------------------
+# Shared-memory snapshot transport
+
+
+class TestSharedMemoryTransport:
+    """The shm fast path: bit-identity, no leaks, graceful fallbacks."""
+
+    def test_broadcast_roundtrip_and_release(self):
+        from repro.parallel import shm
+
+        payload = {"rows": list(range(100)), "name": "broadcast"}
+        handle = shm.broadcast(payload)
+        assert handle is not None
+        assert shm.active_segment_count() == 1
+        assert shm.read_broadcast(handle) == payload
+        shm.release(handle.segment)
+        assert shm.active_segment_count() == 0
+        shm.release(handle.segment)  # idempotent
+
+    def test_snapshot_codec_bit_identical(self, sdss_db, sdss_wl):
+        from repro.parallel import shm
+
+        catalog = sdss_db.catalog
+        for name in ("q01_box_search", "q15_spec_redshift_join"):
+            query = sdss_wl.query(name).bind(catalog)
+            snapshot = InumModel(catalog, query).snapshot()
+            handle = shm.encode_snapshot(snapshot)
+            assert handle is not None
+            decoded = shm.decode_snapshot(handle)
+            assert len(decoded.entries) == len(snapshot.entries)
+            for ours, theirs in zip(snapshot.entries, decoded.entries):
+                assert ours.order_vector == theirs.order_vector
+                assert ours.internal_cost == theirs.internal_cost
+                assert ours.loops == theirs.loops
+                assert ours.nestloop_enabled == theirs.nestloop_enabled
+            assert decoded.optimizer_calls == snapshot.optimizer_calls
+        assert shm.active_segment_count() == 0
+
+    def test_snapshot_codec_empty_and_odd_shapes(self):
+        from repro.inum.model import InumSnapshot
+        from repro.parallel import shm
+
+        empty = InumSnapshot(
+            entries=(), optimizer_calls=3, combinations_truncated=1
+        )
+        handle = shm.encode_snapshot(empty)
+        assert handle is not None
+        decoded = shm.decode_snapshot(handle)
+        assert decoded.entries == ()
+        assert decoded.optimizer_calls == 3
+        assert decoded.combinations_truncated == 1
+        assert shm.active_segment_count() == 0
+
+    def test_unpicklable_snapshot_falls_back_to_none(self):
+        from repro.inum.model import CacheEntry, InumSnapshot
+        from repro.parallel import shm
+
+        class Unpicklable:
+            def __reduce__(self):
+                raise TypeError("no pickling here")
+
+        snapshot = InumSnapshot(
+            entries=(
+                CacheEntry(
+                    order_vector=(("t", None),),
+                    nestloop_enabled=True,
+                    internal_cost=1.0,
+                    loops=(("t", 1.0),),
+                    plan=Unpicklable(),
+                ),
+            ),
+            optimizer_calls=1,
+            combinations_truncated=0,
+        )
+        assert shm.encode_snapshot(snapshot) is None
+        assert shm.active_segment_count() == 0
+
+    def test_transport_disabled_by_env(self, monkeypatch):
+        from repro.inum.model import InumSnapshot
+        from repro.parallel import shm
+
+        monkeypatch.setenv("REPRO_SHM_TRANSPORT", "0")
+        assert not shm.transport_enabled()
+        assert shm.broadcast({"x": 1}) is None
+        empty = InumSnapshot(
+            entries=(), optimizer_calls=0, combinations_truncated=0
+        )
+        assert shm.encode_snapshot(empty) is None
+
+    def test_process_mode_bit_identical_and_leak_free(
+        self, sdss_db, sdss_wl, monkeypatch
+    ):
+        from repro.parallel import shm
+
+        workload = sdss_wl.subset(6)
+        serial = IlpIndexAdvisor(sdss_db.catalog, workers=1).recommend(
+            workload, budget_pages=500
+        )
+        monkeypatch.setenv("REPRO_PARALLEL_MODE", "process")
+        process = IlpIndexAdvisor(sdss_db.catalog, workers=2).recommend(
+            workload, budget_pages=500
+        )
+        assert _result_signature(serial) == _result_signature(process)
+        assert shm.active_segment_count() == 0
+
+    def test_process_mode_with_transport_off_still_identical(
+        self, sdss_db, sdss_wl, monkeypatch
+    ):
+        workload = sdss_wl.subset(4)
+        serial = IlpIndexAdvisor(sdss_db.catalog, workers=1).recommend(
+            workload, budget_pages=500
+        )
+        monkeypatch.setenv("REPRO_PARALLEL_MODE", "process")
+        monkeypatch.setenv("REPRO_SHM_TRANSPORT", "0")
+        process = IlpIndexAdvisor(sdss_db.catalog, workers=2).recommend(
+            workload, budget_pages=500
+        )
+        assert _result_signature(serial) == _result_signature(process)
+
+    def test_engine_close_releases_segments(self, sdss_db, sdss_wl):
+        from repro.parallel import shm
+
+        handle = shm.broadcast({"orphan": True})
+        assert handle is not None and shm.active_segment_count() == 1
+        with EvaluationEngine(workers=2, mode="thread"):
+            models = build_inum_models(
+                sdss_db.catalog, sdss_wl.subset(2), workers=2, mode="thread"
+            )
+            assert len(models) == 2
+        # close() swept the orphaned broadcast too.
+        assert shm.active_segment_count() == 0
