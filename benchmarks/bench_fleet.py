@@ -1,0 +1,212 @@
+#!/usr/bin/env python
+"""Fleet benchmark: divergent designs vs. the uniform baseline.
+
+Tunes an N-replica fleet over the full 30-query SDSS survey workload
+with :class:`~repro.fleet.tuner.DivergentTuner` and compares the routed
+total fleet cost against the uniform-design baseline (the single best
+design copied to every replica, tuned at the same per-replica budget
+and priced through the same evaluator arithmetic).
+
+Three gates, all hard (nonzero exit):
+
+* **divergence wins**: divergent total fleet cost strictly below the
+  uniform baseline;
+* **convergence**: cluster→tune→route reaches its routing fixed point
+  (no design changes) within the round cap;
+* **determinism**: a second run with the same seed reproduces the
+  per-replica designs, the routing assignment, and the total cost
+  bit-for-bit.
+
+Everything lands in ``BENCH_FLEET.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_fleet.py          # full
+    PYTHONPATH=src python benchmarks/bench_fleet.py --smoke  # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.fleet.tuner import DivergentTuner  # noqa: E402
+from repro.workloads.sdss import build_sdss_database, sdss_workload  # noqa: E402
+
+N_REPLICAS = 3
+MAX_ROUNDS = 8
+SEED = 0
+
+
+def run_fleet(catalog, workload, budget_pages, workers):
+    tuner = DivergentTuner(
+        catalog,
+        n_replicas=N_REPLICAS,
+        budget_pages=budget_pages,
+        max_rounds=MAX_ROUNDS,
+        seed=SEED,
+        workers=workers,
+    )
+    started = time.perf_counter()
+    result = tuner.tune(workload)
+    tune_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    baseline = tuner.uniform_baseline(workload)
+    baseline_seconds = time.perf_counter() - started
+    return result, baseline, tune_seconds, baseline_seconds
+
+
+def fleet_signature(result):
+    """Everything the determinism gate compares, bit-for-bit."""
+    return (
+        tuple(replica.design_signatures for replica in result.replicas),
+        tuple(sorted(result.assignment.items())),
+        result.total_cost,
+        tuple(rnd.total_cost for rnd in result.rounds),
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small database and serial tuning (CI-sized)",
+    )
+    parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_FLEET.json"))
+    args = parser.parse_args()
+
+    photo_rows = 3000 if args.smoke else 12000
+    # A deliberately tight per-replica budget: divergence only matters
+    # when one design cannot cover the whole workload, which is the
+    # regime replicated fleets are tuned in. Scales with the data so
+    # knapsack tightness is comparable between smoke and full runs.
+    budget_pages = max(25, photo_rows // 40)
+    workers = 1 if args.smoke else 2
+
+    print(f"building SDSS database (photo_rows={photo_rows}) ...")
+    db = build_sdss_database(photo_rows=photo_rows, seed=42)
+    workload = sdss_workload()
+
+    print(
+        f"tuning fleet (replicas={N_REPLICAS}, budget={budget_pages} pages, "
+        f"seed={SEED}) ..."
+    )
+    result, baseline, tune_seconds, baseline_seconds = run_fleet(
+        db.catalog, workload, budget_pages, workers
+    )
+    # The determinism gate re-runs from a fresh catalog and caches so
+    # nothing warm can mask an ordering dependence.
+    repeat, _, repeat_seconds, _ = run_fleet(
+        build_sdss_database(photo_rows=photo_rows, seed=42).catalog,
+        workload,
+        budget_pages,
+        workers,
+    )
+    deterministic = fleet_signature(result) == fleet_signature(repeat)
+
+    divergent_wins = result.total_cost < baseline.total_cost
+    saving_pct = (
+        (baseline.total_cost - result.total_cost) / baseline.total_cost * 100
+        if baseline.total_cost
+        else 0.0
+    )
+
+    report = {
+        "benchmark": "fleet divergent designs vs uniform baseline",
+        "workload": {"name": workload.name, "queries": len(list(workload))},
+        "photo_rows": photo_rows,
+        "n_replicas": N_REPLICAS,
+        "budget_pages_per_replica": budget_pages,
+        "seed": SEED,
+        "divergent_total_cost": result.total_cost,
+        "uniform_total_cost": baseline.total_cost,
+        "divergent_wins": divergent_wins,
+        "saving_pct": round(saving_pct, 3),
+        "converged": result.converged,
+        "rounds": [
+            {
+                "number": rnd.number,
+                "total_cost": rnd.total_cost,
+                "reassigned": rnd.reassigned,
+                "cluster_sizes": list(rnd.cluster_sizes),
+            }
+            for rnd in result.rounds
+        ],
+        "replicas": [
+            {
+                "replica_id": replica.replica_id,
+                "indexes": [
+                    f"{table}({', '.join(columns)})"
+                    for table, columns in replica.design_signatures
+                ],
+                "templates_served": sum(
+                    1
+                    for rid in result.assignment.values()
+                    if rid == replica.replica_id
+                ),
+            }
+            for replica in result.replicas
+        ],
+        "uniform_indexes": [
+            f"{ix.table_name}({', '.join(ix.columns)})"
+            for ix in baseline.result.indexes
+        ],
+        "deterministic": deterministic,
+        "degraded": [str(record) for record in result.degraded],
+        "timings": {
+            "tune_seconds": round(tune_seconds, 3),
+            "baseline_seconds": round(baseline_seconds, 3),
+            "repeat_tune_seconds": round(repeat_seconds, 3),
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+        },
+    }
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+
+    print(
+        f"divergent {result.total_cost:,.1f} vs uniform "
+        f"{baseline.total_cost:,.1f} ({saving_pct:.1f}% saved)"
+    )
+    print(
+        f"converged: {result.converged} after {len(result.rounds)} round(s) "
+        f"(cap {MAX_ROUNDS})"
+    )
+    print(f"deterministic: {deterministic}")
+    print(f"wrote {args.output}")
+
+    failed = False
+    if not divergent_wins:
+        print(
+            "ERROR: divergent total fleet cost is not strictly below the "
+            "uniform-design baseline",
+            file=sys.stderr,
+        )
+        failed = True
+    if not result.converged:
+        print(
+            f"ERROR: fleet tuning did not converge within {MAX_ROUNDS} rounds",
+            file=sys.stderr,
+        )
+        failed = True
+    if not deterministic:
+        print(
+            "ERROR: two same-seed runs produced different fleets",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

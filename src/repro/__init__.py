@@ -27,6 +27,14 @@ from repro.advisor.ilp_advisor import AdvisorResult, IlpIndexAdvisor, QueryBenef
 from repro.baselines.greedy import GreedyIndexAdvisor
 from repro.errors import ReproError
 from repro.executor.executor import ExecutionResult, execute
+from repro.fleet import (
+    DivergentTuner,
+    FleetResult,
+    Replica,
+    Router,
+    UniformBaseline,
+    WorkloadClusterer,
+)
 from repro.resilience import DegradedResult, FaultInjector
 from repro.inum.model import InumModel
 from repro.optimizer.config import PlannerConfig
@@ -52,8 +60,10 @@ __all__ = [
     "Database",
     "DegradedResult",
     "DesignEvaluation",
+    "DivergentTuner",
     "ExecutionResult",
     "FaultInjector",
+    "FleetResult",
     "GreedyIndexAdvisor",
     "IlpIndexAdvisor",
     "Index",
@@ -66,10 +76,14 @@ __all__ = [
     "PlannerConfig",
     "Query",
     "QueryBenefit",
+    "Replica",
     "ReproError",
+    "Router",
     "Table",
+    "UniformBaseline",
     "WhatIfSession",
     "Workload",
+    "WorkloadClusterer",
     "bind",
     "build_sdss_database",
     "build_star_database",

@@ -196,6 +196,7 @@ class IlpIndexAdvisor:
         update_rates: dict[str, float] | None = None,
         max_update_cost: float | None = None,
         refine: bool = True,
+        candidates: list[CandidateIndex] | None = None,
     ) -> AdvisorResult:
         """Suggest the optimal index set within ``budget_pages``.
 
@@ -206,6 +207,14 @@ class IlpIndexAdvisor:
                 indexes.
             max_update_cost: Optional cap on total maintenance cost —
                 the paper's user-supplied update-cost constraint.
+            candidates: Inject a pre-generated candidate pool instead
+                of enumerating one from this workload. The fleet tuner
+                uses this to price every per-cluster advise against one
+                shared pool, which keeps designs from different
+                replicas directly comparable (and guarantees each is a
+                subset of the pool the fleet evaluator was compiled
+                for). The selection still only picks what benefits
+                *this* workload within the budget.
             refine: Run a local-search polish over the ILP solution
                 using *full* INUM configuration estimates. The ILP's
                 benefit matrix is additive per index (INUM makes it so
@@ -227,15 +236,16 @@ class IlpIndexAdvisor:
 
         cache = self._cost_cache if self._cost_cache is not None else CostCache()
         bound = bind_workload(self._catalog, workload, cache)
-        candidates = generate_candidates(
-            self._catalog,
-            workload,
-            max_width=self._max_width,
-            max_per_table=self._max_per_table,
-            single_column_only=self._single_column_only,
-            bound=bound,
-            cost_cache=cache,
-        )
+        if candidates is None:
+            candidates = generate_candidates(
+                self._catalog,
+                workload,
+                max_width=self._max_width,
+                max_per_table=self._max_per_table,
+                single_column_only=self._single_column_only,
+                bound=bound,
+                cost_cache=cache,
+            )
         lap("candidates")
         degraded: list[DegradedResult] = []
         models = self.build_models(

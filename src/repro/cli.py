@@ -226,6 +226,62 @@ def cmd_suggest_combined(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fleet(args: argparse.Namespace) -> int:
+    db = _load_database(args.db)
+    workload = _load_workload(args.workload, args.db)
+    parinda = Parinda(db)
+    tuner = parinda.fleet(
+        n_replicas=args.replicas,
+        budget_bytes=int(args.budget_mb * 1024 * 1024),
+        max_rounds=args.rounds,
+        seed=args.seed,
+        max_share=args.max_share,
+        workers=args.workers,
+    )
+    result = tuner.tune(workload)
+    print(
+        f"Fleet of {result.n_replicas} replicas over "
+        f"{result.candidates_considered} shared candidates; "
+        f"{'converged' if result.converged else 'round cap reached'} "
+        f"after {len(result.rounds)} round(s), "
+        f"{result.elapsed_seconds:.2f}s."
+    )
+    for rnd in result.rounds:
+        print(
+            f"  round {rnd.number}: total fleet cost {rnd.total_cost:,.0f} "
+            f"(clusters {'/'.join(str(s) for s in rnd.cluster_sizes)}, "
+            f"{rnd.reassigned} reassigned)"
+        )
+    for replica in result.replicas:
+        served = [
+            name for name, rid in sorted(result.assignment.items())
+            if rid == replica.replica_id
+        ]
+        print(
+            f"Replica {replica.replica_id}: {len(replica.design)} indexes, "
+            f"serves {len(served)} template(s)"
+            + (f" ({', '.join(served)})" if served and args.verbose else "")
+        )
+        for index in replica.design:
+            print(f"  CREATE INDEX ON {index.table_name} "
+                  f"({', '.join(index.columns)});")
+    for record in result.degraded:
+        _warn(str(record))
+    if args.baseline:
+        baseline = tuner.uniform_baseline(workload)
+        delta = (
+            (baseline.total_cost - result.total_cost) / baseline.total_cost * 100
+            if baseline.total_cost
+            else 0.0
+        )
+        print(
+            f"Uniform-design baseline: {baseline.total_cost:,.0f} "
+            f"({len(baseline.result.indexes)} indexes on every replica); "
+            f"divergent design saves {delta:.1f}%."
+        )
+    return 0
+
+
 def _save_tuner_state(path: str, tuner, position: int) -> bool:
     """Checkpoint the tuner plus the stream read position.
 
@@ -617,6 +673,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-v", "--verbose", action="store_true",
                    help="print cost-cache statistics at the end")
     p.set_defaults(func=cmd_tune)
+
+    p = sub.add_parser(
+        "fleet", help="scenario 5: divergent designs for a replicated fleet"
+    )
+    p.add_argument("--replicas", type=int, default=3, metavar="N",
+                   help="fleet width (one design per replica)")
+    p.add_argument("--rounds", type=int, default=8, metavar="R",
+                   help="cluster→tune→route iteration cap")
+    p.add_argument("--workload", help="semicolon-separated SQL file")
+    p.add_argument("--budget-mb", type=float, default=16.0,
+                   help="per-replica storage budget")
+    p.add_argument("--max-share", type=float, default=1.0,
+                   help="load-balance cap: max fraction of routed weight "
+                        "one replica may serve (1.0 disables)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="clustering seed (fixed seed => identical fleet)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="per-cluster advisor fan-out width")
+    p.add_argument("--baseline", action="store_true",
+                   help="also tune the uniform single-design baseline "
+                        "and report the divergent saving")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="list the templates each replica serves")
+    p.set_defaults(func=cmd_fleet)
 
     p = sub.add_parser("evaluate", help="scenario 1: interactive what-if")
     p.add_argument("--workload", help="semicolon-separated SQL file")

@@ -78,6 +78,7 @@ class Parinda:
         # bound queries, Equation-1 sizes, and scan costs carry over
         # between suggest_* calls as long as the catalog version holds.
         self._cost_cache = CostCache(max_entries=cache_max_entries)
+        self._cache_max_entries = cache_max_entries
         self._cache_bounded = cache_max_entries is not None
         self._planner = Planner(self._db.catalog, self._config)
         self._plan_cost_cache: dict[tuple, float] = {}
@@ -164,6 +165,52 @@ class Parinda:
             state, _source = resilience_state.load_state(state_file)
             tuner.restore_state(state)
         return tuner
+
+    # ------------------------------------------------------------------
+    # Scenario 5: divergent-design tuning for a replicated fleet
+
+    def fleet(
+        self,
+        n_replicas: int,
+        budget_pages: int | None = None,
+        budget_bytes: int | None = None,
+        **knobs,
+    ) -> "DivergentTuner":
+        """A divergent-design tuner over an ``n_replicas``-wide fleet.
+
+        Returns a :class:`~repro.fleet.tuner.DivergentTuner` whose
+        replicas are forked from this database's catalog::
+
+            fleet = parinda.fleet(n_replicas=3, budget_bytes=16 << 20)
+            result = fleet.tune(workload)          # or a WorkloadMonitor
+            replica_id = result.router.route(sql)
+
+        The budget is **per replica** (hardware-identical replicas each
+        get the same storage). The tuner shares this facade's cost
+        cache for candidate sizing and model builds — suggest_* calls
+        and fleet rounds warm each other — while each replica keeps a
+        private cache for its own advisor runs (bounded like the
+        facade's when ``cache_max_entries`` was set). ``knobs`` pass
+        through to :class:`DivergentTuner` (``max_rounds``, ``seed``,
+        ``max_share``, ``workers``, ``advisor_knobs``, ...).
+        """
+        from repro.fleet.tuner import DivergentTuner
+
+        if budget_pages is None:
+            if budget_bytes is None:
+                raise ValueError("provide budget_bytes or budget_pages")
+            budget_pages = max(1, budget_bytes // BLOCK_SIZE)
+        knobs.setdefault("fault_injector", self._fault_injector)
+        knobs.setdefault("cost_cache", self._cost_cache)
+        if self._cache_bounded:
+            knobs.setdefault("cache_max_entries", self._cache_max_entries)
+        return DivergentTuner(
+            self._db.catalog,
+            self._config,
+            n_replicas=n_replicas,
+            budget_pages=budget_pages,
+            **knobs,
+        )
 
     # ------------------------------------------------------------------
     # Scenario 2: automatic partition suggestion

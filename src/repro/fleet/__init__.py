@@ -1,0 +1,30 @@
+"""Divergent-design tuning for replicated fleets.
+
+The fleet layer sits on top of every existing subsystem: it clusters a
+workload by index-utilization similarity (priced through the batched
+INUM evaluator), tunes one :class:`Replica` per cluster with the ILP
+advisor fanned over the parallel engine, and routes statements to
+whichever replica's design prices them cheapest. See
+:mod:`repro.fleet.tuner` for the cluster→tune→route loop and its
+convergence contract.
+"""
+
+from repro.fleet.clusterer import WorkloadClusterer
+from repro.fleet.replica import Replica
+from repro.fleet.router import Router
+from repro.fleet.tuner import (
+    DivergentTuner,
+    FleetResult,
+    FleetRound,
+    UniformBaseline,
+)
+
+__all__ = [
+    "DivergentTuner",
+    "FleetResult",
+    "FleetRound",
+    "Replica",
+    "Router",
+    "UniformBaseline",
+    "WorkloadClusterer",
+]

@@ -1,0 +1,202 @@
+"""Workload clustering by index-utilization similarity.
+
+RITA's observation (PAPERS.md): on a replicated cluster the best fleet
+design is rarely N copies of one design, because workloads decompose
+into groups of queries that *use the same indexes*. Two cone searches
+over ``photoobj(ra, dec)`` belong on the same replica; a photo–spec
+join wants a different design entirely. The right similarity measure
+is therefore not textual but physical: which candidate indexes would
+benefit which queries, and by how much.
+
+The clusterer embeds each workload query (in the fleet, each monitor
+template) as an **index-utilization feature vector**: one dimension
+per candidate index, valued by the fraction of the query's cost that
+the candidate alone removes. The vectors come straight out of the
+batched INUM evaluator
+(:meth:`~repro.inum.batch.WorkloadEvaluator.utilization_fractions` —
+one array evaluation prices every (query, candidate) pair), so
+embedding a 30-template workload against a 100-candidate pool costs a
+couple of matrix reductions, not thousands of optimizer calls.
+
+The k-partition is a weighted k-means with deterministic, seeded
+k-means++ initialization: every draw comes from one
+``random.Random(seed)``, distances and centroid updates are plain
+array arithmetic with first-index tie-breaks, and empty clusters are
+repaired by a deterministic donor rule — so a fixed (workload, pool,
+seed) always produces the same partition, which is what lets the fleet
+benchmark assert byte-identical runs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+class WorkloadClusterer:
+    """Deterministic weighted k-means over utilization features.
+
+    Args:
+        k: Number of partitions (one per replica).
+        seed: Seed for the k-means++ initialization draws.
+        max_iterations: Lloyd-iteration cap; the loop exits early the
+            first time an iteration changes no assignment.
+    """
+
+    def __init__(
+        self, k: int, seed: int = 0, max_iterations: int = 50
+    ) -> None:
+        if k <= 0:
+            raise ReproError("cluster count k must be positive")
+        if max_iterations <= 0:
+            raise ReproError("max_iterations must be positive")
+        self.k = k
+        self.seed = seed
+        self.max_iterations = max_iterations
+        #: Lloyd iterations the last cluster() call used.
+        self.iterations = 0
+
+    # ------------------------------------------------------------------
+
+    def cluster(
+        self,
+        features: np.ndarray,
+        weights: Sequence[float] | None = None,
+    ) -> list[int]:
+        """Partition feature rows into ``k`` clusters.
+
+        Args:
+            features: ``(M, P)`` utilization matrix — one row per
+                query, one column per candidate index.
+            weights: Per-query weights (template frequencies); used in
+                both the initialization draws and the centroid means so
+                a hot template pulls its cluster's centroid harder than
+                a rare one. Defaults to uniform.
+
+        Returns:
+            One cluster id in ``[0, k)`` per feature row. Cluster ids
+            are ordered by first selection, so the partition (as a set
+            of groups) is what is deterministic; ids are stable too for
+            a fixed seed.
+        """
+        matrix = np.asarray(features, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise ReproError("features must be a 2-D (queries, candidates) matrix")
+        m = matrix.shape[0]
+        if m == 0:
+            return []
+        if weights is None:
+            weight_arr = np.ones(m, dtype=np.float64)
+        else:
+            weight_arr = np.asarray(list(weights), dtype=np.float64)
+            if weight_arr.shape != (m,):
+                raise ReproError("weights must align with feature rows")
+            if np.any(weight_arr <= 0):
+                raise ReproError("weights must be positive")
+        k = min(self.k, m)
+        rng = random.Random(self.seed)
+
+        centroids = matrix[self._seed_centroids(matrix, weight_arr, k, rng)]
+        assignment = np.zeros(m, dtype=np.int64)
+        self.iterations = 0
+        for _ in range(self.max_iterations):
+            self.iterations += 1
+            distances = self._distances(matrix, centroids)
+            # argmin breaks ties toward the lowest cluster id.
+            new_assignment = np.argmin(distances, axis=1)
+            new_assignment = self._repair_empty(
+                matrix, centroids, new_assignment, k
+            )
+            if np.array_equal(new_assignment, assignment) and self.iterations > 1:
+                break
+            assignment = new_assignment
+            for c in range(k):
+                members = assignment == c
+                total = float(weight_arr[members].sum())
+                if total > 0:
+                    centroids[c] = (
+                        weight_arr[members, None] * matrix[members]
+                    ).sum(axis=0) / total
+        return [int(c) for c in assignment]
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _distances(matrix: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+        """Squared Euclidean distances ``(M, k)``."""
+        diff = matrix[:, None, :] - centroids[None, :, :]
+        return np.einsum("mkp,mkp->mk", diff, diff)
+
+    @staticmethod
+    def _seed_centroids(
+        matrix: np.ndarray,
+        weights: np.ndarray,
+        k: int,
+        rng: random.Random,
+    ) -> list[int]:
+        """k-means++ seeding with a seeded, deterministic RNG.
+
+        The first centroid is drawn proportionally to query weight; each
+        subsequent one proportionally to ``weight × D²`` (distance to
+        the nearest chosen centroid). When every remaining point sits on
+        a chosen centroid (D² all zero) the draw falls back to plain
+        weights, so duplicated feature rows cannot stall the seeding.
+        """
+
+        def draw(probabilities: np.ndarray) -> int:
+            total = float(probabilities.sum())
+            if total <= 0:
+                probabilities = weights
+                total = float(probabilities.sum())
+            target = rng.random() * total
+            running = 0.0
+            for position, p in enumerate(probabilities.tolist()):
+                running += p
+                if running >= target:
+                    return position
+            return len(probabilities) - 1  # float-tail guard
+
+        chosen = [draw(weights)]
+        while len(chosen) < k:
+            d2 = np.min(
+                WorkloadClusterer._distances(matrix, matrix[chosen]), axis=1
+            )
+            d2[chosen] = 0.0
+            chosen.append(draw(weights * d2))
+        return chosen
+
+    @staticmethod
+    def _repair_empty(
+        matrix: np.ndarray,
+        centroids: np.ndarray,
+        assignment: np.ndarray,
+        k: int,
+    ) -> np.ndarray:
+        """Donate one member to each empty cluster, deterministically.
+
+        The donor is the point farthest from its own centroid among
+        clusters that can spare one (>1 member), ties broken by the
+        lowest row index — a pure function of the inputs, keeping the
+        whole partition reproducible.
+        """
+        assignment = assignment.copy()
+        for c in range(k):
+            if np.any(assignment == c):
+                continue
+            counts = np.bincount(assignment, minlength=k)
+            spareable = counts[assignment] > 1
+            if not np.any(spareable):
+                continue
+            own = np.einsum(
+                "mp,mp->m",
+                matrix - centroids[assignment],
+                matrix - centroids[assignment],
+            )
+            own[~spareable] = -np.inf
+            donor = int(np.argmax(own))
+            assignment[donor] = c
+        return assignment

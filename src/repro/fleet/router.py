@@ -1,0 +1,172 @@
+"""Cost-based statement routing across a tuned fleet.
+
+Once the divergent tuner has given every replica its own design, a
+statement should run wherever its template prices cheapest. The router
+is the runtime half of that contract:
+
+* **Pricing** is a table, not a planner call: the tuner prices every
+  template against every replica design through the batched INUM
+  evaluator and hands the router one ``(template, replica) -> cost``
+  matrix, so routing one statement costs a dict lookup plus a scan
+  over N replicas.
+* **Determinism**: among eligible replicas the minimum-cost one wins,
+  with cost ties broken toward the lowest replica id. Two routers fed
+  the same statement sequence produce the same routes — always, not
+  just usually — which is what makes fleet behaviour replayable.
+* **Load balance**: a ``max_share`` cap keeps the cheapest replica
+  from absorbing the whole stream. The invariant, checked by property
+  test: after every route, each replica's routed weight is at most
+  ``max_share × total + grain``, where ``grain`` is the heaviest
+  single statement routed so far (granularity allowance — a weight
+  cannot be split across replicas). With ``max_share ≥ 1/N`` an
+  eligible replica always exists: if every replica were over the cap,
+  the loads would sum to more than the total routed weight.
+
+Statements are matched to templates by the monitor's canonical
+fingerprint (:func:`repro.online.monitor.canonicalize`), so literal
+variations of a tuned template route identically. A statement whose
+shape the tuner never saw has no cost row; it falls back to the
+least-loaded replica (deterministic: lowest id on ties) and is counted
+on :attr:`Router.unknown_routed`.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.errors import ReproError
+from repro.online.monitor import canonicalize
+
+# Float-comparison slack for the eligibility test; routed weights are
+# sums of user-supplied weights, so exact equality is too brittle.
+_EPS = 1e-9
+
+
+class Router:
+    """Assign statements to the replica whose design prices them cheapest.
+
+    Args:
+        costs: Per-template routing costs: template name -> one cost
+            per replica (aligned with replica ids ``0..N-1``).
+        n_replicas: Fleet width; every cost row must have this length.
+        max_share: Load-balance cap — the maximum fraction of total
+            routed weight any single replica may hold (up to the
+            documented one-statement granularity allowance). Must be
+            at least ``1/n_replicas`` or no valid routing exists.
+        fingerprints: Canonical-fingerprint -> template-name map for
+            routing raw SQL text. Statements are canonicalized and
+            looked up here; omit it to route by template name only.
+    """
+
+    def __init__(
+        self,
+        costs: Mapping[str, Sequence[float]],
+        n_replicas: int,
+        *,
+        max_share: float = 1.0,
+        fingerprints: Mapping[str, str] | None = None,
+    ) -> None:
+        if n_replicas <= 0:
+            raise ReproError("n_replicas must be positive")
+        if not 0.0 < max_share <= 1.0:
+            raise ReproError("max_share must be in (0, 1]")
+        if max_share * n_replicas < 1.0 - _EPS:
+            raise ReproError(
+                f"max_share={max_share} cannot spread a stream over "
+                f"{n_replicas} replicas (needs max_share >= 1/{n_replicas})"
+            )
+        self.n_replicas = n_replicas
+        self.max_share = max_share
+        self._costs: dict[str, tuple[float, ...]] = {}
+        for name, row in costs.items():
+            row = tuple(float(c) for c in row)
+            if len(row) != n_replicas:
+                raise ReproError(
+                    f"cost row for {name!r} has {len(row)} entries; "
+                    f"expected {n_replicas}"
+                )
+            self._costs[name] = row
+        self._fingerprints = dict(fingerprints or {})
+        self._loads = [0.0] * n_replicas
+        self._total = 0.0
+        self._grain = 0.0
+        #: Statements routed without a known template (fallback path).
+        self.unknown_routed = 0
+        #: Total statements routed.
+        self.routed = 0
+
+    # ------------------------------------------------------------------
+
+    def route(self, statement: str, weight: float = 1.0) -> int:
+        """Route one SQL statement; returns the chosen replica id."""
+        name = self._fingerprints.get(canonicalize(statement))
+        if name is None or name not in self._costs:
+            self.unknown_routed += 1
+            return self._assign(None, weight)
+        return self._assign(self._costs[name], weight)
+
+    def route_template(self, name: str, weight: float = 1.0) -> int:
+        """Route by template/query name (the tuner's own route step)."""
+        row = self._costs.get(name)
+        if row is None:
+            self.unknown_routed += 1
+        return self._assign(row, weight)
+
+    def costs_for(self, name: str) -> tuple[float, ...] | None:
+        """The routing-cost row for one template (None when unknown)."""
+        return self._costs.get(name)
+
+    # ------------------------------------------------------------------
+
+    def _assign(self, row: Sequence[float] | None, weight: float) -> int:
+        if weight <= 0:
+            raise ReproError("statement weight must be positive")
+        grain = max(self._grain, weight)
+        cap = self.max_share * (self._total + weight) + grain + _EPS
+        eligible = [
+            r for r in range(self.n_replicas) if self._loads[r] + weight <= cap
+        ]
+        if not eligible:  # unreachable with max_share >= 1/N (see module doc)
+            eligible = list(range(self.n_replicas))
+        if row is None:
+            # No pricing: keep the fleet level. Lowest load wins, ties
+            # toward the lowest replica id.
+            chosen = min(eligible, key=lambda r: (self._loads[r], r))
+        else:
+            chosen = min(eligible, key=lambda r: (row[r], r))
+        self._loads[chosen] += weight
+        self._total += weight
+        self._grain = grain
+        self.routed += 1
+        return chosen
+
+    # ------------------------------------------------------------------
+
+    @property
+    def loads(self) -> tuple[float, ...]:
+        """Routed weight per replica so far."""
+        return tuple(self._loads)
+
+    @property
+    def total_weight(self) -> float:
+        return self._total
+
+    def shares(self) -> tuple[float, ...]:
+        """Load fractions per replica (zeros before any routing)."""
+        if self._total <= 0:
+            return tuple(0.0 for _ in range(self.n_replicas))
+        return tuple(load / self._total for load in self._loads)
+
+    def reset(self) -> None:
+        """Clear the load counters (costs and fingerprints stay)."""
+        self._loads = [0.0] * self.n_replicas
+        self._total = 0.0
+        self._grain = 0.0
+        self.unknown_routed = 0
+        self.routed = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Router(replicas={self.n_replicas}, templates={len(self._costs)}, "
+            f"max_share={self.max_share}, routed={self.routed})"
+        )

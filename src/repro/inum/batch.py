@@ -229,6 +229,26 @@ class WorkloadEvaluator:
         vectors = np.minimum(self._base[:, None], self._pc)
         return self._matrix_costs(vectors)
 
+    def utilization_fractions(self) -> np.ndarray:
+        """Index-utilization embedding ``(M, P)`` of the workload.
+
+        Entry ``(q, p)`` is the fraction of query ``q``'s base cost
+        that candidate ``p`` alone removes —
+        ``(base - singleton) / base``, clipped to ``[0, 1]`` — i.e. how
+        much query ``q`` *uses* candidate ``p``. Two queries with
+        similar rows benefit from the same physical design, which is
+        exactly the similarity the fleet clusterer partitions on. Costs
+        come from the compiled arrays, so the whole embedding is two
+        matrix evaluations regardless of workload or pool size.
+        """
+        if not self._pool:
+            return np.zeros((self._n_models, 0))
+        base = self.base_costs()[:, None]
+        with np.errstate(invalid="ignore", divide="ignore"):
+            fractions = (base - self.singleton_costs()) / base
+        fractions = np.where(np.isfinite(fractions), fractions, 0.0)
+        return np.clip(fractions, 0.0, 1.0)
+
     def extension_costs(
         self, positions: Sequence[int], extras: Sequence[int]
     ) -> np.ndarray:

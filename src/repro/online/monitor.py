@@ -367,6 +367,30 @@ class WorkloadMonitor:
                 )
         return rates
 
+    def utilization_profile(self) -> dict[str, float]:
+        """Normalized advisable-template weights over the active window.
+
+        The fleet tuner's workload-compression contract: one entry per
+        *advisable* template (SELECT kind, not quarantined), keyed by
+        ``template_id`` and valued by the template's share of the
+        advisable window traffic — the shares sum to 1.0. Held
+        (quarantined) templates contribute nothing, and a template
+        whose statements have all slid out of the window is absent
+        outright, so consumers weighting by this profile automatically
+        follow workload drift. Empty dict when the window holds no
+        advisable template.
+        """
+        counts = {
+            self._templates[fp].template_id: float(count)
+            for fp, count in self._window_counts.items()
+            if self._templates[fp].kind == "select"
+            and fp not in self._quarantined
+        }
+        total = sum(counts.values())
+        if not total:
+            return {}
+        return {tid: count / total for tid, count in counts.items()}
+
     # ------------------------------------------------------------------
     # Bridge back to the batch stack
 

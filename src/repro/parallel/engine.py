@@ -118,6 +118,18 @@ class EvaluationEngine:
     def __exit__(self, *exc_info: object) -> None:
         self.close()
 
+    def drain_degraded(self) -> list[DegradedResult]:
+        """Return and clear the accumulated degradation records.
+
+        ``degraded`` accumulates across :meth:`map` calls, which is
+        right for one-shot advisors but double-counts for round-based
+        callers (the fleet tuner reuses one engine across tuning
+        rounds). Draining hands each record to exactly one consumer.
+        """
+        records = self.degraded
+        self.degraded = []
+        return records
+
     def map(
         self,
         fn: Callable[[T], R],

@@ -260,6 +260,48 @@ class TestWorkloadMonitor:
         with pytest.raises(ReproError):
             monitor.quarantine("no-such-template")
 
+    def test_utilization_profile_normalized_select_only(self):
+        monitor = WorkloadMonitor(window_size=16)
+        a = monitor.observe(self.A)
+        monitor.observe(vary(self.A, 1))
+        b = monitor.observe(self.B)
+        monitor.observe("INSERT INTO photoobj VALUES (1, 2.5)")
+        profile = monitor.utilization_profile()
+        # Keyed by template id, normalized over advisable (SELECT,
+        # unquarantined) traffic only — DML contributes nothing.
+        assert set(profile) == {a.template_id, b.template_id}
+        assert profile[a.template_id] == pytest.approx(2 / 3)
+        assert profile[b.template_id] == pytest.approx(1 / 3)
+        assert sum(profile.values()) == pytest.approx(1.0)
+
+    def test_utilization_profile_excludes_held_templates(self):
+        monitor = WorkloadMonitor(window_size=16)
+        a = monitor.observe(self.A)
+        b = monitor.observe(self.B)
+        monitor.quarantine(a.template_id)
+        profile = monitor.utilization_profile()
+        assert set(profile) == {b.template_id}
+        assert profile[b.template_id] == pytest.approx(1.0)
+        # An unparseable (auto-held) template is excluded the same way.
+        monitor.observe("SELECT ra FROM")
+        assert set(monitor.utilization_profile()) == {b.template_id}
+
+    def test_utilization_profile_follows_window_truncation(self):
+        monitor = WorkloadMonitor(window_size=2)
+        a = monitor.observe(self.A)
+        monitor.observe(self.B)
+        monitor.observe(vary(self.B, 1))  # A slides out of the window
+        profile = monitor.utilization_profile()
+        assert a.template_id not in profile
+        assert sum(profile.values()) == pytest.approx(1.0)
+
+    def test_utilization_profile_empty_cases(self):
+        monitor = WorkloadMonitor(window_size=4)
+        assert monitor.utilization_profile() == {}
+        # A window holding only DML has no advisable share to split.
+        monitor.observe("INSERT INTO photoobj VALUES (1, 2.5)")
+        assert monitor.utilization_profile() == {}
+
     def test_save_load_round_trip(self):
         monitor = WorkloadMonitor(window_size=4, decay=0.9)
         statements = [

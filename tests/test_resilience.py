@@ -313,6 +313,16 @@ class TestEngineFaults:
         assert engine.map(str, [7, 8]) == ["7", "8"]
         assert [d.action for d in engine.degraded] == ["retried"]
 
+    def test_drain_degraded_returns_and_clears(self):
+        injector = FaultInjector.from_spec("worker.task:1")
+        engine = EvaluationEngine(workers=1, fault_injector=injector)
+        assert engine.map(str, [1, 2]) == ["1", "2"]
+        drained = engine.drain_degraded()
+        assert [d.action for d in drained] == ["retried"]
+        assert engine.degraded == []
+        # A second drain with no new faults yields nothing.
+        assert engine.drain_degraded() == []
+
     def test_idle_injector_changes_nothing(self):
         idle = EvaluationEngine(workers=4, mode="thread",
                                 fault_injector=FaultInjector())
