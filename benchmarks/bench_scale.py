@@ -1,0 +1,252 @@
+#!/usr/bin/env python
+"""Scale benchmark: CoPhy-style advising over 10k-statement streams.
+
+The scale mode's promise is that advisor cost tracks query *shapes*,
+not raw statement counts: ``compress_statements`` folds the stream onto
+canonical templates (O(stream) tokenizer work), and the ILP then only
+sees one representative per template with an occurrence-count weight.
+This benchmark measures end-to-end advise time (fold + prune + solve)
+over SDSS-derived streams of 100, 1 000, and 10 000 statements and fits
+the scaling exponent on log-log axes.
+
+Three gates, all hard (nonzero exit):
+
+* **subquadratic**: the fitted exponent from 100 to 10k statements is
+  below 2.0 (in practice the fold dominates and it sits near 1);
+* **deadline**: the 10k-statement advise, run under the solver
+  deadline, finishes with status ``optimal`` or ``feasible`` — never
+  an error, never a blown cap;
+* **bit identity**: advising the compressed stream and advising its
+  weight-equivalent expanded workload produce byte-identical
+  recommendations (every float compared as IEEE-754 bytes).
+
+Everything lands in ``BENCH_SCALE.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_scale.py          # full
+    PYTHONPATH=src python benchmarks/bench_scale.py --smoke  # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import struct
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.advisor.compress import compress_statements  # noqa: E402
+from repro.advisor.ilp_advisor import IlpIndexAdvisor  # noqa: E402
+from repro.online.monitor import render_statement  # noqa: E402
+from repro.sql.tokenizer import Token, TokenType, tokenize  # noqa: E402
+from repro.workloads.sdss import build_sdss_database, sdss_workload  # noqa: E402
+from repro.workloads.workload import Query, Workload  # noqa: E402
+
+SIZES = (100, 1_000, 10_000)
+BUDGET_PAGES = 400
+SOLVER_DEADLINE = 20.0
+EXPONENT_GATE = 2.0
+REPEATS = 3
+UPDATE_EVERY = 7
+UPDATE_SQL = "UPDATE photoobj SET status = {status} WHERE objid = {objid}"
+
+
+def vary(sql: str, salt: int) -> str:
+    """A literal-perturbed instance of ``sql`` (same template)."""
+    out = []
+    occurrence = 0
+    for token in tokenize(sql):
+        if token.type is TokenType.NUMBER and "." in token.value:
+            occurrence += 1
+            nudged = float(token.value) + (salt * 31 + occurrence) * 1e-7
+            token = Token(TokenType.NUMBER, repr(nudged), token.position)
+        out.append(token)
+    return render_statement(out)
+
+
+def build_stream(size: int) -> list[str]:
+    """A deterministic ``size``-statement stream cycling the full SDSS
+    survey with literal-perturbed instances plus periodic UPDATEs."""
+    shapes = [q.sql.strip() for q in sdss_workload()]
+    statements: list[str] = []
+    salt = 0
+    while len(statements) < size:
+        statements.append(vary(shapes[salt % len(shapes)], salt))
+        if len(statements) % UPDATE_EVERY == 0 and len(statements) < size:
+            statements.append(
+                UPDATE_SQL.format(status=salt % 3, objid=1000 + salt)
+            )
+        salt += 1
+    return statements[:size]
+
+
+def expand(stream: list[str]) -> tuple[Workload, dict[str, float]]:
+    """The weight-1 expansion of the stream's SELECTs plus per-table
+    DML rates (the compressor's own aggregation, done by hand)."""
+    queries = []
+    rates: dict[str, float] = {}
+    for i, sql in enumerate(stream):
+        head = sql.split(None, 1)[0].lower()
+        if head == "select":
+            queries.append(Query(name=f"s{i}", sql=sql))
+        elif head in ("insert", "update", "delete"):
+            rates[sql.split()[1].lower()] = (
+                rates.get(sql.split()[1].lower(), 0.0) + 1.0
+            )
+    return Workload(queries=queries, name="expanded"), rates
+
+
+def packed(result) -> tuple:
+    """Every float and structural field of a recommendation, floats as
+    exact IEEE-754 bytes."""
+    floats = [result.cost_before, result.cost_after, result.maintenance_cost]
+    for q in result.per_query:
+        floats.extend([q.cost_before, q.cost_after])
+    return (
+        b"".join(struct.pack("<d", value) for value in floats),
+        [(ix.table_name, ix.columns) for ix in result.indexes],
+        [(q.name, tuple(q.indexes_used)) for q in result.per_query],
+        result.size_pages,
+    )
+
+
+def advise(catalog, stream, *, deadline=None):
+    """Fold + advise one stream; returns (result, cres, seconds)."""
+    advisor = IlpIndexAdvisor(
+        catalog, compress=True, solver_deadline=deadline
+    )
+    started = time.perf_counter()
+    cres = compress_statements(stream)
+    result = advisor.recommend(
+        cres.workload,
+        BUDGET_PAGES,
+        update_rates=cres.workload.update_rates or None,
+    )
+    return result, cres, time.perf_counter() - started
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small database and fewer timing repeats (CI-sized)",
+    )
+    parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_SCALE.json"))
+    args = parser.parse_args()
+
+    photo_rows = 2000 if args.smoke else 8000
+    repeats = 1 if args.smoke else REPEATS
+
+    print(f"building SDSS database (photo_rows={photo_rows}) ...")
+    db = build_sdss_database(photo_rows=photo_rows, seed=42)
+
+    points = []
+    last = None
+    for size in SIZES:
+        stream = build_stream(size)
+        best = None
+        for _ in range(repeats):
+            result, cres, seconds = advise(
+                db.catalog, stream, deadline=SOLVER_DEADLINE
+            )
+            best = seconds if best is None else min(best, seconds)
+        last = result
+        points.append(
+            {
+                "statements": size,
+                "templates": cres.templates,
+                "dml_statements": cres.dml_statements,
+                "advise_seconds": round(best, 4),
+                "solver_status": result.solver_status,
+                "candidates_pruned": result.candidates_pruned,
+                "solver_nodes": result.solver_nodes,
+            }
+        )
+        print(
+            f"  {size:>6} statements -> {cres.templates} templates, "
+            f"{best:.3f}s ({result.solver_status})"
+        )
+
+    logs = np.log([p["statements"] for p in points])
+    logt = np.log([max(p["advise_seconds"], 1e-4) for p in points])
+    exponent = float(np.polyfit(logs, logt, 1)[0])
+    subquadratic = exponent < EXPONENT_GATE
+
+    deadline_ok = last is not None and last.solver_status in (
+        "optimal",
+        "feasible",
+    )
+
+    # Bit-identity gate at the mid size: compressed stream vs its
+    # weight-equivalent expansion, compared byte-for-byte.
+    stream = build_stream(SIZES[1])
+    cres = compress_statements(stream)
+    expanded, rates = expand(stream)
+    advisor = IlpIndexAdvisor(db.catalog, compress=True)
+    r_compressed = advisor.recommend(
+        cres.workload, BUDGET_PAGES, update_rates=rates or None
+    )
+    r_expanded = advisor.recommend(
+        expanded, BUDGET_PAGES, update_rates=rates or None
+    )
+    bit_identical = packed(r_compressed) == packed(r_expanded)
+
+    report = {
+        "benchmark": "scale advising over SDSS statement streams",
+        "photo_rows": photo_rows,
+        "budget_pages": BUDGET_PAGES,
+        "solver_deadline_seconds": SOLVER_DEADLINE,
+        "points": points,
+        "scaling_exponent": round(exponent, 4),
+        "exponent_gate": EXPONENT_GATE,
+        "subquadratic": subquadratic,
+        "deadline_status_ok": deadline_ok,
+        "bit_identical": bit_identical,
+        "environment": {
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+        },
+    }
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"scaling exponent: {exponent:.3f} (gate < {EXPONENT_GATE})")
+    print(f"10k solver status: {last.solver_status}")
+    print(f"bit identical: {bit_identical}")
+    print(f"wrote {args.output}")
+
+    failed = False
+    if not subquadratic:
+        print(
+            f"ERROR: fitted scaling exponent {exponent:.3f} is not below "
+            f"{EXPONENT_GATE}",
+            file=sys.stderr,
+        )
+        failed = True
+    if not deadline_ok:
+        print(
+            "ERROR: 10k-statement advise under the solver deadline did not "
+            f"finish optimal or feasible (got {last.solver_status!r})",
+            file=sys.stderr,
+        )
+        failed = True
+    if not bit_identical:
+        print(
+            "ERROR: compressed and expanded advising disagree byte-for-byte",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,7 +14,9 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Mapping
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+import numpy as np
 
 from repro.catalog.catalog import Catalog
 from repro.catalog.schema import Index
@@ -217,3 +219,60 @@ def generate_candidates(
             for index, size in zip(indexes, sizes)
         )
     return candidates
+
+
+def prune_dominated(
+    candidates: Sequence[CandidateIndex],
+    savings: np.ndarray,
+    maintenance: Sequence[float],
+) -> list[int]:
+    """Positions of candidates that survive dominance pruning.
+
+    Candidate ``j`` is dropped when some *same-table* candidate ``i``
+    is pointwise at least as good on every query's benefit
+    (``savings[:, i] >= savings[:, j]``), no larger
+    (``size_pages[i] <= size_pages[j]``), and no costlier to maintain —
+    with at least one strict inequality, or ``i < j`` as the
+    deterministic tie-break for exact duplicates. Any solution using
+    ``j`` can then swap in ``i`` without losing objective or violating
+    the budget, so pruning never changes the optimum.
+
+    Restricting the comparison to one table is what keeps the swap
+    argument sound: the ILP's atomic-configuration constraint says a
+    query uses at most one access path *per table*, so replacing ``j``
+    with a same-table ``i`` reuses ``j``'s slot, while a cross-table
+    ``i`` might already occupy its own table's slot in the query.
+
+    ``savings`` is the dense (queries × candidates) benefit array with
+    sub-threshold entries already clipped to zero, so this function and
+    the advisor's solve path agree on what counts as benefit.
+    """
+    n = len(candidates)
+    if savings.shape[1] != n or len(maintenance) != n:
+        raise AdvisorError("savings/maintenance shape does not match candidates")
+    maint = np.asarray(maintenance, dtype=float)
+    sizes = np.array([c.size_pages for c in candidates], dtype=float)
+
+    by_table: dict[str, list[int]] = {}
+    for position, candidate in enumerate(candidates):
+        by_table.setdefault(candidate.index.table_name, []).append(position)
+
+    dominated = np.zeros(n, dtype=bool)
+    for positions in by_table.values():
+        for j in positions:
+            for i in positions:
+                if i == j or dominated[i]:
+                    continue
+                if sizes[i] > sizes[j] or maint[i] > maint[j]:
+                    continue
+                if np.any(savings[:, i] < savings[:, j]):
+                    continue
+                strict = (
+                    sizes[i] < sizes[j]
+                    or maint[i] < maint[j]
+                    or bool(np.any(savings[:, i] > savings[:, j]))
+                )
+                if strict or i < j:
+                    dominated[j] = True
+                    break
+    return [p for p in range(n) if not dominated[p]]

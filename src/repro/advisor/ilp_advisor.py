@@ -40,7 +40,11 @@ from typing import Mapping
 import numpy as np
 
 from repro.advisor.benefits import BenefitMatrix
-from repro.advisor.candidates import CandidateIndex, generate_candidates
+from repro.advisor.candidates import (
+    CandidateIndex,
+    generate_candidates,
+    prune_dominated,
+)
 from repro.catalog.catalog import Catalog
 from repro.catalog.schema import Index
 from repro.errors import AdvisorError, FaultInjected, SolverError
@@ -114,6 +118,13 @@ class AdvisorResult:
     # benefit_matrix, solve, refine, apply_pricing, ...): attributes
     # where elapsed_seconds went instead of one opaque number.
     phase_seconds: dict[str, float] = field(default_factory=dict)
+    # Candidates dropped by dominance pruning before the ILP was built
+    # (0 unless scale mode enabled pruning).
+    candidates_pruned: int = 0
+    # Queries folded away by workload compression: raw queries in minus
+    # weighted templates advised (0 when compression was off or the
+    # input was already compressed).
+    queries_folded: int = 0
 
     @property
     def speedup(self) -> float:
@@ -144,6 +155,9 @@ class IlpIndexAdvisor:
         solver_deadline: float | None = None,
         fault_injector: FaultInjector | None = None,
         vectorize: bool | None = None,
+        compress: bool = False,
+        prune_dominated: bool | None = None,
+        bound_epsilon: float | None = None,
     ) -> None:
         """Args (performance knobs; the rest are search-space knobs):
 
@@ -166,6 +180,25 @@ class IlpIndexAdvisor:
             the scalar loops, roughly an order of magnitude faster).
             ``None`` defers to ``REPRO_VECTORIZE`` (default on); the
             scalar path stays reachable for differential testing.
+        compress: Scale mode (CoPhy). Every ``recommend`` call first
+            folds the workload onto canonical templates
+            (:func:`repro.advisor.compress.fold_workload`) so advisor
+            cost tracks query *shapes*, not raw statements. Because
+            *all* inputs go through the same fold, advising a raw
+            stream and advising its pre-compressed equivalent are
+            bit-identical. Also enables dominance pruning and bound
+            pruning unless those are overridden explicitly.
+        prune_dominated: Drop candidates pointwise-dominated by a
+            cheaper same-table candidate before building the ILP
+            (never changes the optimum; see
+            :func:`repro.advisor.candidates.prune_dominated`). ``None``
+            follows ``compress``.
+        bound_epsilon: Relative branch-and-bound fathoming slack; a
+            node is pruned when its LP bound cannot beat the incumbent
+            by more than ``bound_epsilon × |incumbent|``. ``None``
+            means ``1e-4`` in compress mode (give up at most 0.01% of
+            objective for a much smaller tree) and exact ``0.0``
+            otherwise.
         """
         if vectorize is None:
             vectorize = os.environ.get("REPRO_VECTORIZE", "1").lower() not in (
@@ -186,6 +219,11 @@ class IlpIndexAdvisor:
         self._cost_cache = cost_cache
         self._solver_deadline = solver_deadline
         self._fault_injector = fault_injector
+        if bound_epsilon is not None and bound_epsilon < 0:
+            raise AdvisorError("bound_epsilon must be non-negative")
+        self._compress = compress
+        self._prune_dominated = prune_dominated
+        self._bound_epsilon = bound_epsilon
 
     # ------------------------------------------------------------------
 
@@ -197,6 +235,7 @@ class IlpIndexAdvisor:
         max_update_cost: float | None = None,
         refine: bool = True,
         candidates: list[CandidateIndex] | None = None,
+        compress: bool | None = None,
     ) -> AdvisorResult:
         """Suggest the optimal index set within ``budget_pages``.
 
@@ -215,6 +254,11 @@ class IlpIndexAdvisor:
                 subset of the pool the fleet evaluator was compiled
                 for). The selection still only picks what benefits
                 *this* workload within the budget.
+            compress: Per-call override of the constructor's scale-mode
+                knob (``None`` inherits it). When active, the workload
+                is folded onto canonical templates before anything else
+                — see the constructor docstring for the bit-identity
+                contract this provides.
             refine: Run a local-search polish over the ILP solution
                 using *full* INUM configuration estimates. The ILP's
                 benefit matrix is additive per index (INUM makes it so
@@ -233,6 +277,28 @@ class IlpIndexAdvisor:
             now = time.perf_counter()
             phases[phase] = phases.get(phase, 0.0) + (now - mark)
             mark = now
+
+        scale_mode = self._compress if compress is None else compress
+        prune = (
+            self._prune_dominated
+            if self._prune_dominated is not None
+            else scale_mode
+        )
+        epsilon = (
+            self._bound_epsilon
+            if self._bound_epsilon is not None
+            else (1e-4 if scale_mode else 0.0)
+        )
+        queries_folded = 0
+        if scale_mode:
+            # Deferred import: compress pulls in the online monitor's
+            # canonicalizer, whose package imports this module.
+            from repro.advisor.compress import fold_workload
+
+            folded = fold_workload(workload)
+            queries_folded = len(workload) - len(folded)
+            workload = folded
+            lap("compress")
 
         cache = self._cost_cache if self._cost_cache is not None else CostCache()
         bound = bind_workload(self._catalog, workload, cache)
@@ -268,11 +334,35 @@ class IlpIndexAdvisor:
         maintenance = self._maintenance_costs(candidates, update_rates)
         lap("benefit_matrix")
 
+        allowed: set[int] | None = None
+        candidates_pruned = 0
+        if prune and candidates:
+            savings = self._savings_array(workload, benefits, len(candidates))
+            kept = prune_dominated(
+                candidates,
+                savings,
+                [maintenance.get(p, 0.0) for p in range(len(candidates))],
+            )
+            allowed = set(kept)
+            candidates_pruned = len(candidates) - len(kept)
+            if candidates_pruned:
+                # Rebuild the benefit mapping without the pruned
+                # positions, preserving iteration order — that order
+                # fixes solver variable order downstream.
+                benefits = {
+                    key: value
+                    for key, value in benefits.items()
+                    if key[1] in allowed
+                }
+            lap("prune")
+
         solver_fallback = False
         try:
             chosen = self._solve(
                 workload, candidates, benefits, budget_pages, maintenance,
                 max_update_cost,
+                aggregate_coupling=scale_mode,
+                bound_epsilon=epsilon,
             )
         except (SolverError, FaultInjected) as exc:
             # Degradation ladder: an exhausted or crashed solver is
@@ -292,6 +382,7 @@ class IlpIndexAdvisor:
             chosen = self._refine(
                 workload, models, candidates, chosen, budget_pages,
                 maintenance, max_update_cost, evaluator=evaluator,
+                allowed=allowed,
             )
         lap("refine")
         result = self._price_recommendation(
@@ -310,6 +401,8 @@ class IlpIndexAdvisor:
         result.cache_misses = cache.misses
         result.cache_stats = cache.stats()
         result.degraded = degraded
+        result.candidates_pruned = candidates_pruned
+        result.queries_folded = queries_folded
         if solver_fallback:
             result.solver_status = "greedy-fallback"
         return result
@@ -400,6 +493,29 @@ class IlpIndexAdvisor:
                     benefits[(query.name, position)] = saving
         return benefits
 
+    @staticmethod
+    def _savings_array(
+        workload: Workload,
+        benefits: Mapping[tuple[str, int], float],
+        n_candidates: int,
+    ) -> np.ndarray:
+        """Dense (queries × candidates) savings with sub-threshold
+        entries clipped to exactly 0.
+
+        Both benefit-matrix representations (the vectorized
+        :class:`BenefitMatrix` and the scalar dict) reduce to the same
+        clipped array, so dominance pruning makes identical decisions
+        on either path.
+        """
+        if isinstance(benefits, BenefitMatrix):
+            raw = benefits.array
+            return np.where(raw > _MIN_BENEFIT, raw, 0.0)
+        rows = {query.name: i for i, query in enumerate(workload)}
+        dense = np.zeros((len(rows), n_candidates))
+        for (query_name, position), saving in benefits.items():
+            dense[rows[query_name], position] = saving
+        return dense
+
     def _maintenance_costs(
         self,
         candidates: list[CandidateIndex],
@@ -430,8 +546,21 @@ class IlpIndexAdvisor:
         budget_pages: int,
         maintenance: dict[int, float],
         max_update_cost: float | None,
+        aggregate_coupling: bool = False,
+        bound_epsilon: float = 0.0,
     ) -> list[int]:
-        """Build and solve the ILP; returns chosen candidate positions."""
+        """Build and solve the ILP; returns chosen candidate positions.
+
+        ``aggregate_coupling`` (scale mode) replaces the per-pair
+        ``y_{q,i} <= x_i`` rows with one per-candidate row
+        ``sum_q y_{q,i} <= n_i * x_i``. The integer feasible set is
+        unchanged (``x_i = 0`` still forces every ``y_{q,i}`` to 0;
+        ``x_i = 1`` makes the row vacuous) but the constraint count
+        drops from O(queries × candidates) to O(candidates), keeping
+        the model sparse as queries grow. The LP relaxation is weaker,
+        which ``bound_epsilon`` fathoming and the rounding-heuristic
+        incumbent compensate for.
+        """
         self._last_solution = None
         if not benefits:
             return []
@@ -443,13 +572,25 @@ class IlpIndexAdvisor:
         }
         y_vars: dict[tuple[str, int], object] = {}
         objective: dict[object, float] = {}
+        uses_of: dict[int, list[object]] = {}
         for (query_name, position), saving in benefits.items():
             y = program.add_binary(f"y_{query_name}_{position}")
             y_vars[(query_name, position)] = y
             objective[y] = saving
-            program.add_constraint(
-                {y: 1.0, x_vars[position]: -1.0}, Sense.LE, 0.0
-            )
+            if aggregate_coupling:
+                uses_of.setdefault(position, []).append(y)
+            else:
+                program.add_constraint(
+                    {y: 1.0, x_vars[position]: -1.0}, Sense.LE, 0.0
+                )
+        if aggregate_coupling:
+            for position in useful:
+                ys = uses_of.get(position, [])
+                coefficients: dict[object, float] = {y: 1.0 for y in ys}
+                coefficients[x_vars[position]] = -float(len(ys))
+                program.add_constraint(
+                    coefficients, Sense.LE, 0.0, name=f"uses_{position}"
+                )
         for position, cost in maintenance.items():
             if position in x_vars:
                 objective[x_vars[position]] = -cost
@@ -477,9 +618,10 @@ class IlpIndexAdvisor:
                     )
             for table, ys in by_table.items():
                 if len(ys) > 1:
-                    program.add_constraint(
-                        {y: 1.0 for y in ys}, Sense.LE, 1.0
-                    )
+                    # Atomic configuration: at most one access path per
+                    # table per query (emits the same row as the old
+                    # inline constraint — bit-identity relies on that).
+                    program.add_exclusive(ys)
 
         # Storage budget over Equation-1 sizes.
         program.add_constraint(
@@ -493,6 +635,7 @@ class IlpIndexAdvisor:
             backend=self._backend,
             deadline_seconds=self._solver_deadline,
             fault_injector=self._fault_injector,
+            bound_epsilon=bound_epsilon,
         )
         solution = solver.solve(program)
         self._last_solution = solution
@@ -560,13 +703,22 @@ class IlpIndexAdvisor:
         max_update_cost: float | None,
         max_rounds: int = 6,
         evaluator: WorkloadEvaluator | None = None,
+        allowed: set[int] | None = None,
     ) -> list[int]:
         """Hill-climb over full INUM estimates: drop, add, swap.
 
         Moves are accepted only when the full-estimate workload cost
         (plus maintenance) strictly improves and the storage/update
         budgets stay satisfied, so the result dominates the ILP seed.
+        ``allowed`` (scale mode) restricts add/swap moves to candidate
+        positions that survived dominance pruning; ``None`` considers
+        every candidate, which is the exact pre-scale behaviour.
         """
+        pool = (
+            list(range(len(candidates)))
+            if allowed is None
+            else sorted(allowed)
+        )
 
         # The climb re-prices configurations it has already seen (every
         # trial of the terminating round is a repeat); memoize on the
@@ -618,14 +770,12 @@ class IlpIndexAdvisor:
                 [[p for p in current if p != position] for position in current]
             )
             extras = [
-                p
-                for p in range(len(candidates))
-                if p not in current and fits(current + [p])
+                p for p in pool if p not in current and fits(current + [p])
             ]
             evaluator.prime_extensions(current, extras)
             pairs = []
             in_current = set(current)
-            for position in range(len(candidates)):
+            for position in pool:
                 if position in in_current:
                     continue
                 table = candidates[position].index.table_name
@@ -650,7 +800,7 @@ class IlpIndexAdvisor:
                     current, current_cost = trial, cost
                     improved = True
             # Adds and same-table swaps.
-            for position in range(len(candidates)):
+            for position in pool:
                 if position in current:
                     continue
                 addition = current + [position]

@@ -143,7 +143,14 @@ def cmd_suggest_indexes(args: argparse.Namespace) -> int:
         budget_bytes=int(args.budget_mb * 1024 * 1024),
         backend=args.backend,
         single_column_only=args.single_column,
+        compress=args.compress,
     )
+    if args.compress and result.queries_folded:
+        print(
+            f"Compressed {len(workload)} statements onto "
+            f"{len(workload) - result.queries_folded} templates "
+            f"({result.candidates_pruned} candidates pruned)."
+        )
     print(
         f"Considered {result.candidates_considered} candidates; "
         f"solver {result.solver_status} ({result.solver_nodes} nodes, "
@@ -384,6 +391,7 @@ def cmd_tune(args: argparse.Namespace) -> int:
         workers=args.workers,
         background=args.background,
         listener=listener,
+        compress=args.compress,
     ) as tuner:
         if resume_position:
             print(
@@ -606,6 +614,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backend", choices=["builtin", "scipy"], default="builtin")
     p.add_argument("--single-column", action="store_true",
                    help="COLT-style single-column candidates only")
+    p.add_argument("--compress", action="store_true",
+                   help="CoPhy scale mode: fold the workload onto "
+                        "canonical templates and prune the ILP")
     p.add_argument("--create", action="store_true",
                    help="materialize the suggestions")
     p.add_argument("-v", "--verbose", action="store_true")
@@ -651,6 +662,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="statements before the first advise (default: window)")
     p.add_argument("--build-cost-per-page", type=float, default=4.0,
                    help="hysteresis: per-page cost charged to new indexes")
+    p.add_argument("--compress", action="store_true",
+                   help="CoPhy scale mode: re-advise the full decayed "
+                        "template profile with workload compression and "
+                        "pruned ILP (for 10k+ statement streams)")
     p.add_argument("--workers", type=int, default=1)
     p.add_argument("--cache-entries", type=int, default=4096,
                    help="per-section CostCache bound (LRU)")

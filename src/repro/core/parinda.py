@@ -124,7 +124,8 @@ class Parinda:
         of starting cold — saving is the caller's job. ``knobs`` pass
         through to :class:`OnlineTuner` (``window_size``,
         ``check_interval``, ``build_cost_per_page``, ``workers``,
-        ``background``, ``listener``, ...).
+        ``background``, ``listener``, ``compress`` for CoPhy scale
+        mode on long streams, ...).
 
         ``auto_apply=True`` materializes every adopted design through
         :meth:`apply_design` (journaled at ``apply_journal`` when set);
@@ -254,11 +255,18 @@ class Parinda:
         single_column_only: bool = False,
         workers: int = 1,
         parallel_mode: str = "auto",
+        compress: bool = False,
     ) -> AdvisorResult:
         """Optimal index set within a storage budget (INUM + ILP).
 
         ``workers=N`` fans per-query INUM model construction out over a
         pool; the recommendation is bit-identical to ``workers=1``.
+
+        ``compress=True`` enables CoPhy scale mode: the workload is
+        folded onto canonical templates before advising (10k raw
+        statements collapse to their few dozen shapes) and the ILP runs
+        with dominance and bound pruning. Advising a raw stream and its
+        pre-compressed equivalent then produce bit-identical results.
         """
         if budget_pages is None:
             if budget_bytes is None:
@@ -273,6 +281,7 @@ class Parinda:
             parallel_mode=parallel_mode,
             cost_cache=self._cost_cache,
             fault_injector=self._fault_injector,
+            compress=compress,
         )
         return advisor.recommend(workload, budget_pages)
 

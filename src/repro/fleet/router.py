@@ -28,10 +28,23 @@ variations of a tuned template route identically. A statement whose
 shape the tuner never saw has no cost row; it falls back to the
 least-loaded replica (deterministic: lowest id on ties) and is counted
 on :attr:`Router.unknown_routed`.
+
+**Degenerate pricing.** Construction rejects non-finite or negative
+cost entries with a typed :class:`~repro.errors.ReproError` — they can
+only come from a broken pricing step, and min() over NaN rows would
+silently produce order-dependent routes. An *all-zero* cost row is
+legal but uninformative (an empty or zero-cost pricing workload);
+rather than pinning every such statement to replica 0 by tie-break,
+the router balances them like unknown templates — least-loaded, ties
+to the lowest id, which under uniform weights degenerates to a clean
+round-robin — and counts them on :attr:`Router.unpriced_routed`. An
+empty cost table is likewise legal: every statement takes the
+least-loaded fallback.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Mapping, Sequence
 
 from repro.errors import ReproError
@@ -78,6 +91,7 @@ class Router:
         self.n_replicas = n_replicas
         self.max_share = max_share
         self._costs: dict[str, tuple[float, ...]] = {}
+        self._unpriced: set[str] = set()
         for name, row in costs.items():
             row = tuple(float(c) for c in row)
             if len(row) != n_replicas:
@@ -85,6 +99,28 @@ class Router:
                     f"cost row for {name!r} has {len(row)} entries; "
                     f"expected {n_replicas}"
                 )
+            for cost in row:
+                if not math.isfinite(cost):
+                    raise ReproError(
+                        f"cost row for {name!r} contains non-finite "
+                        f"entry {cost!r}"
+                    )
+                if cost < 0:
+                    raise ReproError(
+                        f"cost row for {name!r} contains negative "
+                        f"entry {cost!r}"
+                    )
+            if not any(row):
+                # All-zero row: the pricing step estimated zero cost
+                # everywhere (empty evaluation workload, fully cached
+                # zero-cost template...). "Cheapest replica" is
+                # meaningless here, and min-with-tie-break would pin
+                # every such statement to replica 0 — so treat the
+                # template like an unpriced one and keep the fleet
+                # level instead (least-loaded, ties to lowest id, which
+                # under uniform weights is a deterministic round-robin).
+                self._unpriced.add(name)
+                continue
             self._costs[name] = row
         self._fingerprints = dict(fingerprints or {})
         self._loads = [0.0] * n_replicas
@@ -92,6 +128,9 @@ class Router:
         self._grain = 0.0
         #: Statements routed without a known template (fallback path).
         self.unknown_routed = 0
+        #: Statements whose template had an all-zero cost row and was
+        #: routed by load balance instead of price.
+        self.unpriced_routed = 0
         #: Total statements routed.
         self.routed = 0
 
@@ -100,8 +139,13 @@ class Router:
     def route(self, statement: str, weight: float = 1.0) -> int:
         """Route one SQL statement; returns the chosen replica id."""
         name = self._fingerprints.get(canonicalize(statement))
-        if name is None or name not in self._costs:
+        if name is None or (
+            name not in self._costs and name not in self._unpriced
+        ):
             self.unknown_routed += 1
+            return self._assign(None, weight)
+        if name in self._unpriced:
+            self.unpriced_routed += 1
             return self._assign(None, weight)
         return self._assign(self._costs[name], weight)
 
@@ -109,7 +153,10 @@ class Router:
         """Route by template/query name (the tuner's own route step)."""
         row = self._costs.get(name)
         if row is None:
-            self.unknown_routed += 1
+            if name in self._unpriced:
+                self.unpriced_routed += 1
+            else:
+                self.unknown_routed += 1
         return self._assign(row, weight)
 
     def costs_for(self, name: str) -> tuple[float, ...] | None:
@@ -163,6 +210,7 @@ class Router:
         self._total = 0.0
         self._grain = 0.0
         self.unknown_routed = 0
+        self.unpriced_routed = 0
         self.routed = 0
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -58,17 +58,36 @@ class BranchAndBoundSolver:
         backend: str = "builtin",
         deadline_seconds: float | None = None,
         fault_injector: FaultInjector | None = None,
+        bound_epsilon: float = 0.0,
     ) -> None:
+        """``bound_epsilon`` is the CoPhy-style relative fathoming slack:
+        a node whose LP-relaxation bound cannot beat the incumbent by
+        more than ``bound_epsilon × |incumbent|`` is pruned without
+        branching. ``0.0`` (default) keeps the solve exact up to
+        ``gap_tolerance``; the scale-mode advisor passes a small
+        positive epsilon to trade a bounded sliver of objective for a
+        much smaller search tree on large workloads.
+        """
         if backend not in ("builtin", "scipy"):
             raise SolverError(f"unknown MILP backend {backend!r}")
         if deadline_seconds is not None and deadline_seconds <= 0:
             raise SolverError("deadline_seconds must be positive")
+        if bound_epsilon < 0:
+            raise SolverError("bound_epsilon must be non-negative")
         self._max_nodes = max_nodes
         self._gap_tolerance = gap_tolerance
         self._backend = backend
         self._deadline = deadline_seconds
         self._faults = fault_injector
+        self._bound_epsilon = bound_epsilon
         self._simplex = SimplexSolver()
+
+    def _fathom_threshold(self, best_objective: float) -> float:
+        """Bound below which a node cannot usefully improve the incumbent."""
+        slack = self._gap_tolerance
+        if self._bound_epsilon and math.isfinite(best_objective):
+            slack = max(slack, self._bound_epsilon * abs(best_objective))
+        return best_objective + slack
 
     # ------------------------------------------------------------------
 
@@ -94,23 +113,44 @@ class BranchAndBoundSolver:
         limited = 0
         deadline_hit = False
         started = time.monotonic()
+        stop = None
+        if self._deadline is not None:
+            deadline_at = started + self._deadline
+            stop = lambda: time.monotonic() > deadline_at  # noqa: E731
 
         while heap and nodes < self._max_nodes:
-            if (
-                self._deadline is not None
-                and time.monotonic() - started > self._deadline
-            ):
+            if stop is not None and stop():
                 deadline_hit = True
                 break
             node = heapq.heappop(heap)
             node_bound = -node.priority
-            if node_bound <= best_objective + self._gap_tolerance:
+            if node_bound <= self._fathom_threshold(best_objective):
                 continue  # cannot improve
             nodes += 1
             faults.check("solver.iterate", f"node {nodes}", self._faults)
 
             reduced, offset, keep = fix_variables(compiled, node.fixed)
-            result = self._simplex.solve(reduced)
+            # Only thread the stop callable when a deadline is armed, so
+            # injected simplex doubles with the plain signature keep
+            # working.
+            if stop is None:
+                result = self._simplex.solve(reduced)
+            else:
+                result = self._simplex.solve(reduced, stop=stop)
+            if result.status == "deadline":
+                # The deadline fired mid-LP. A phase-2 cut still yields
+                # a feasible relaxation point — salvage an incumbent
+                # from it before stopping, exactly like iteration_limit.
+                deadline_hit = True
+                if result.x is not None:
+                    x_full = self._expand(compiled, node.fixed, keep, result.x)
+                    rounded = self._round_heuristic(compiled, x_full)
+                    if rounded is not None:
+                        value = float(compiled.objective @ rounded)
+                        if value > best_objective:
+                            best_objective = value
+                            best_x = rounded
+                break
             if result.status == "infeasible":
                 continue
             if result.status == "unbounded":
@@ -139,7 +179,7 @@ class BranchAndBoundSolver:
             bound = offset + (result.objective or 0.0)
             if nodes == 1:
                 best_bound = bound
-            if bound <= best_objective + self._gap_tolerance:
+            if bound <= self._fathom_threshold(best_objective):
                 continue
 
             x_full = self._expand(compiled, node.fixed, keep, result.x)

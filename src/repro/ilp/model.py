@@ -114,6 +114,20 @@ class LinearProgram:
         self._constraints.append(constraint)
         return constraint
 
+    def add_exclusive(
+        self, variables: list[Variable], name: str | None = None
+    ) -> Constraint:
+        """At most one of ``variables`` may be active: ``sum(vars) <= 1``.
+
+        The advisor's per-(query, table) atomic-configuration rows — a
+        query uses at most one access path per table — all have this
+        shape; emitting them through one helper keeps the row layout
+        identical across advisor modes.
+        """
+        return self.add_constraint(
+            {var: 1.0 for var in variables}, Sense.LE, 1.0, name=name
+        )
+
     # ------------------------------------------------------------------
     # Introspection
 
@@ -134,6 +148,23 @@ class LinearProgram:
     @property
     def num_variables(self) -> int:
         return len(self._variables)
+
+    @property
+    def nnz(self) -> int:
+        """Structural non-zeros across all constraint rows."""
+        return sum(len(c.coefficients) for c in self._constraints)
+
+    def density(self) -> float:
+        """Fraction of the constraint matrix that is non-zero.
+
+        Scale diagnostics: the advisor's aggregated-coupling mode exists
+        to keep this (and the row count) from growing with the product
+        of queries and candidates.
+        """
+        cells = len(self._constraints) * len(self._variables)
+        if cells == 0:
+            return 0.0
+        return self.nnz / cells
 
     def objective_value(self, solution: np.ndarray) -> float:
         return float(

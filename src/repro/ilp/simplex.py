@@ -10,6 +10,7 @@ degeneracy stalls progress (anti-cycling).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -22,14 +23,16 @@ _TOL = 1e-9
 class SimplexResult:
     """Outcome of one LP solve.
 
-    On ``iteration_limit`` in phase 2 the tableau still holds a
-    *feasible* (just not proven-optimal) basic solution, so ``x`` and
-    ``objective`` are populated — branch and bound uses them to seed a
-    rounding heuristic instead of abandoning the node empty-handed. A
-    phase-1 limit yields no feasible point and leaves ``x`` None.
+    On ``iteration_limit`` (or a ``deadline`` stop) in phase 2 the
+    tableau still holds a *feasible* (just not proven-optimal) basic
+    solution, so ``x`` and ``objective`` are populated — branch and
+    bound uses them to seed a rounding heuristic instead of abandoning
+    the node empty-handed. A phase-1 cut yields no feasible point and
+    leaves ``x`` None.
     """
 
-    status: str  # "optimal" | "infeasible" | "unbounded" | "iteration_limit"
+    # "optimal" | "infeasible" | "unbounded" | "iteration_limit" | "deadline"
+    status: str
     x: np.ndarray | None
     objective: float | None
 
@@ -75,7 +78,19 @@ class SimplexSolver:
         self._max_iterations = max_iterations
         self._tol = tol
 
-    def solve(self, program: CompiledProgram) -> SimplexResult:
+    def solve(
+        self,
+        program: CompiledProgram,
+        stop: "Callable[[], bool] | None" = None,
+    ) -> SimplexResult:
+        """Solve ``program``; ``stop`` is polled once per pivot.
+
+        When ``stop()`` returns True the solve is abandoned with status
+        ``"deadline"``: mid-phase-2 that still yields a feasible point
+        (like ``iteration_limit``), mid-phase-1 it yields none. Branch
+        and bound threads its wall-clock deadline through here so one
+        long LP cannot overrun the solver deadline unboundedly.
+        """
         a_rows, b_rhs, n = self._standardize(program)
         m = len(b_rhs)
         if m == 0:
@@ -104,7 +119,9 @@ class SimplexSolver:
         cost1 = np.zeros(total_structural + m + 1)
         cost1[total_structural : total_structural + m] = -1.0
         self._set_objective_row(tableau, basis, cost1)
-        status = self._iterate(tableau, basis, allow_columns=total_structural + m)
+        status = self._iterate(
+            tableau, basis, allow_columns=total_structural + m, stop=stop
+        )
         if status != "optimal":
             return SimplexResult(status=status, x=None, objective=None)
         if tableau[-1, -1] < -1e-7:
@@ -115,8 +132,10 @@ class SimplexSolver:
         cost2 = np.zeros(total_structural + m + 1)
         cost2[:total_structural] = self._structural_cost
         self._set_objective_row(tableau, basis, cost2)
-        status = self._iterate(tableau, basis, allow_columns=total_structural)
-        if status not in ("optimal", "iteration_limit"):
+        status = self._iterate(
+            tableau, basis, allow_columns=total_structural, stop=stop
+        )
+        if status not in ("optimal", "iteration_limit", "deadline"):
             return SimplexResult(status=status, x=None, objective=None)
 
         # Every phase-2 basis is primal-feasible, so even a solve cut
@@ -192,12 +211,18 @@ class SimplexSolver:
                 tableau[-1, :] += coeff * tableau[row, :]
 
     def _iterate(
-        self, tableau: np.ndarray, basis: list[int], allow_columns: int
+        self,
+        tableau: np.ndarray,
+        basis: list[int],
+        allow_columns: int,
+        stop: "Callable[[], bool] | None" = None,
     ) -> str:
         m = tableau.shape[0] - 1
         stall = 0
         last_objective = tableau[-1, -1]
         for _ in range(self._max_iterations):
+            if stop is not None and stop():
+                return "deadline"
             reduced = tableau[-1, :allow_columns]
             use_bland = stall > 2 * m + 10
             if use_bland:

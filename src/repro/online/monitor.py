@@ -182,7 +182,14 @@ class QueryTemplate:
     target_table: str | None = None  # written table, DML kinds only
 
 
-def _template_id(fingerprint: str, sequence: int) -> str:
+def template_name(fingerprint: str, sequence: int) -> str:
+    """Stable template id (``t003_9f2a1c``) for a fingerprint.
+
+    Shared by the monitor and the workload compressor
+    (:mod:`repro.advisor.compress`) so a compressed stream and a
+    monitor snapshot of the same traffic name their queries
+    identically.
+    """
     digest = hashlib.sha1(fingerprint.encode()).hexdigest()[:6]
     return f"t{sequence:03d}_{digest}"
 
@@ -229,7 +236,7 @@ class WorkloadMonitor:
             kind, target_table = classify_tokens(tokens)
             sequence = len(self._templates) + 1
             template = QueryTemplate(
-                template_id=_template_id(fingerprint, sequence),
+                template_id=template_name(fingerprint, sequence),
                 fingerprint=fingerprint,
                 example_sql=sql.strip().rstrip(";"),
                 sequence=sequence,
@@ -391,8 +398,69 @@ class WorkloadMonitor:
             return {}
         return {tid: count / total for tid, count in counts.items()}
 
+    def profile_update_rates(self) -> dict[str, float]:
+        """Weighted DML statements per written table, decayed-profile units.
+
+        The long-horizon counterpart of :meth:`update_rates`: per-table
+        DML mass from the exponentially decayed profile, in the same
+        units as :meth:`profile_snapshot` query weights.
+        """
+        rates: dict[str, float] = {}
+        for fingerprint, weight in self._profile.items():
+            if weight <= 0.0:
+                continue
+            template = self._templates[fingerprint]
+            if template.kind in DML_KINDS and template.target_table:
+                rates[template.target_table] = (
+                    rates.get(template.target_table, 0.0) + weight
+                )
+        return rates
+
     # ------------------------------------------------------------------
     # Bridge back to the batch stack
+
+    def profile_snapshot(self, name: str | None = None) -> Workload:
+        """The full decayed profile as an advisor-ready ``Workload``.
+
+        Where :meth:`snapshot` answers "what ran in the last N
+        statements", this answers "what has this system been running",
+        with every advisable SELECT template ever observed weighted by
+        its decayed profile mass and the profile's DML mass on
+        ``update_rates`` — the input for re-advising against a day of
+        traffic rather than a window of it.
+
+        Templates whose profile mass has decayed all the way to zero
+        (vanished traffic pushed below float resolution by profile
+        renormalization) are filtered out here: a zero-weight query
+        would otherwise still generate candidates, benefit-matrix rows,
+        and ILP variables for statements that no longer run — and
+        ``Query`` rejects non-positive weights outright. Filtering
+        cannot change the recommendation: a query with zero weight
+        contributes zero benefit everywhere.
+        """
+        templates = sorted(
+            (
+                self._templates[fp]
+                for fp, weight in self._profile.items()
+                if weight > 0.0
+                and self._templates[fp].kind == "select"
+                and fp not in self._quarantined
+            ),
+            key=lambda t: t.sequence,
+        )
+        queries = [
+            Query(
+                name=t.template_id,
+                sql=t.example_sql,
+                weight=float(self._profile[t.fingerprint]),
+            )
+            for t in templates
+        ]
+        return Workload(
+            queries=queries,
+            name=name or f"profile@{self._observed}",
+            update_rates=self.profile_update_rates(),
+        )
 
     def snapshot(self, name: str | None = None) -> Workload:
         """The active window as a plain, advisor-ready ``Workload``.
@@ -478,7 +546,7 @@ class WorkloadMonitor:
         )
         for entry in state["templates"]:
             template = QueryTemplate(
-                template_id=_template_id(
+                template_id=template_name(
                     entry["fingerprint"], int(entry["sequence"])
                 ),
                 fingerprint=entry["fingerprint"],

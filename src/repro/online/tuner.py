@@ -191,6 +191,15 @@ class OnlineTuner:
             ``degrade_on_error`` (the design stays adopted, only
             materialization was lost), propagated otherwise. A
             successful call emits an ``applied`` event.
+        compress: CoPhy scale mode for long streams. Checkpoints carry
+            the monitor's *full decayed profile*
+            (:meth:`WorkloadMonitor.profile_snapshot`) instead of the
+            recency window, so a re-advise prices every template the
+            stream has ever shown (decay-weighted) rather than the last
+            ``window_size`` statements; and the advisor runs with
+            ``compress=True`` — template folding, dominance pruning,
+            and bound-pruned branch and bound — so that profile stays
+            cheap to advise at 10k+ observed statements.
     """
 
     def __init__(
@@ -217,6 +226,7 @@ class OnlineTuner:
         fault_injector: FaultInjector | None = None,
         degrade_on_error: bool = False,
         auto_apply: Callable[[list[Index]], object] | None = None,
+        compress: bool = False,
     ) -> None:
         if budget_pages <= 0:
             raise ReproError("budget_pages must be positive")
@@ -240,6 +250,7 @@ class OnlineTuner:
             else CostCache(max_entries=cache_max_entries)
         )
         self._faults = fault_injector
+        self.compress = bool(compress)
         self._advisor = IlpIndexAdvisor(
             catalog,
             self._config,
@@ -247,6 +258,7 @@ class OnlineTuner:
             parallel_mode=parallel_mode,
             cost_cache=self.cache,
             fault_injector=fault_injector,
+            compress=self.compress,
         )
         self._listener = listener
         self._events: deque[TuningEvent] = deque(maxlen=max_events)
@@ -391,10 +403,19 @@ class OnlineTuner:
     def _capture(
         self, kind: str, sequence: int, reason: str = ""
     ) -> _Checkpoint:
+        # Scale mode advises the whole decayed profile (every template
+        # the stream has shown, decay-weighted, underflowed ones
+        # filtered); default mode advises the recency window. Drift
+        # detection always compares window distributions either way.
+        snapshot = (
+            self.monitor.profile_snapshot()
+            if self.compress
+            else self.monitor.snapshot()
+        )
         return _Checkpoint(
             kind=kind,
             sequence=sequence,
-            snapshot=self.monitor.snapshot(),
+            snapshot=snapshot,
             distribution=self.monitor.window_distribution(),
             reason=reason,
         )

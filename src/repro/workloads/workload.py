@@ -85,6 +85,19 @@ class Workload:
     def bind_all(self, catalog: Catalog) -> list[BoundQuery]:
         return [q.bind(catalog) for q in self.queries]
 
+    def compress(self, name: str | None = None) -> "Workload":
+        """Fold duplicate-template queries into weighted representatives.
+
+        CoPhy-style workload compression: queries whose SQL shares a
+        canonical (literal-stripped) fingerprint collapse into one
+        query weighted by their summed weights, so advisor cost grows
+        with the number of query *shapes* instead of raw statements.
+        Idempotent; see :func:`repro.advisor.compress.fold_workload`.
+        """
+        from repro.advisor.compress import fold_workload
+
+        return fold_workload(self, name=name)
+
     @classmethod
     def from_sql(cls, statements: list[str], name: str = "workload") -> "Workload":
         """Build a workload from bare SQL strings (auto-named q1..qN)."""

@@ -138,3 +138,150 @@ class TestEdgeCases:
         solution = solve_milp(knapsack([10, 13, 7, 11], [5, 6, 4, 5], 10))
         assert solution.nodes_explored >= 1
         assert solution.gap <= 1e-6 + abs(solution.objective)
+
+
+class _FakeClock:
+    """Deterministic monotonic(): 0.0 for the first ``fire_at`` calls,
+    then a huge value forever — a deadline that fires at an exact,
+    repeatable call index instead of a wall-clock race."""
+
+    def __init__(self, fire_at: float = float("inf")) -> None:
+        self.fire_at = fire_at
+        self.calls = 0
+
+    def monotonic(self) -> float:
+        self.calls += 1
+        return 1e9 if self.calls > self.fire_at else 0.0
+
+
+class TestDeadlineMidNode:
+    """The deadline must interrupt the simplex loop *inside* a node, not
+    just between nodes, and a mid-node hit with an incumbent in hand
+    must come back ``feasible`` — never ``optimal``."""
+
+    def fractional_knapsack(self):
+        # Fractional LP root, so node 1 both branches AND seeds an
+        # incumbent through the rounding heuristic.
+        return knapsack([8, 5, 4, 7, 6], [6, 5, 4, 6, 5], 12)
+
+    def spans(self, monkeypatch, clock):
+        """Solve under ``clock``; returns (solution, per-node clock-call
+        spans of the inner simplex solves)."""
+        from repro.ilp import branch_bound as bb
+
+        monkeypatch.setattr(bb, "time", clock)
+        solver = BranchAndBoundSolver(deadline_seconds=1.0)
+        spans = []
+        real_solve = solver._simplex.solve
+
+        def counting_solve(program, stop=None):
+            start = clock.calls
+            result = real_solve(program, stop=stop)
+            spans.append((start, clock.calls))
+            return result
+
+        solver._simplex.solve = counting_solve
+        return solver.solve(lp := self.fractional_knapsack()), spans, lp
+
+    def test_deadline_fires_inside_second_node(self, monkeypatch):
+        # Dry run with a never-firing clock: map which clock calls land
+        # inside each node's LP solve.
+        baseline, spans, _ = self.spans(monkeypatch, _FakeClock())
+        assert baseline.status == "optimal"
+        assert len(spans) >= 2
+        start, end = spans[1]
+        assert end - start >= 2  # node 2's LP polls the stop callable
+
+        # Replay with the clock firing mid-way through node 2's pivots:
+        # strictly after the top-of-loop check, strictly before the LP
+        # completes. Node 1 already produced a rounding incumbent, so
+        # the cut-short solve must salvage it as "feasible".
+        from repro.ilp import branch_bound as bb
+
+        clock = _FakeClock(fire_at=start + 1)
+        monkeypatch.setattr(bb, "time", clock)
+        solution = BranchAndBoundSolver(deadline_seconds=1.0).solve(
+            self.fractional_knapsack()
+        )
+        assert solution.status == "feasible"
+        assert solution.objective is not None
+        assert solution.objective <= baseline.objective + 1e-9
+
+    def test_every_firing_point_feasible_never_optimal(self, monkeypatch):
+        # Sweep the deadline over every clock call of the full solve:
+        # wherever it lands, the result is either a salvaged feasible
+        # incumbent or a typed SolverError — never a claimed optimum.
+        from repro.ilp import branch_bound as bb
+
+        full = _FakeClock()
+        monkeypatch.setattr(bb, "time", full)
+        baseline = BranchAndBoundSolver(deadline_seconds=1.0).solve(
+            self.fractional_knapsack()
+        )
+        assert baseline.status == "optimal"
+        total_calls = full.calls
+
+        statuses = set()
+        for fire_at in range(1, total_calls):
+            clock = _FakeClock(fire_at=fire_at)
+            monkeypatch.setattr(bb, "time", clock)
+            solver = BranchAndBoundSolver(deadline_seconds=1.0)
+            try:
+                solution = solver.solve(self.fractional_knapsack())
+            except SolverError as exc:
+                assert "deadline" in str(exc)
+                statuses.add("error")
+                continue
+            assert solution.status == "feasible"
+            assert solution.objective <= baseline.objective + 1e-9
+            statuses.add("feasible")
+        # Both outcomes are reachable: early hits have no incumbent yet,
+        # later hits salvage one.
+        assert statuses == {"error", "feasible"}
+
+
+class TestBoundEpsilon:
+    def test_negative_rejected(self):
+        with pytest.raises(SolverError):
+            BranchAndBoundSolver(bound_epsilon=-1e-3)
+
+    def test_zero_epsilon_is_exact(self):
+        lp = knapsack([10, 13, 7, 11], [5, 6, 4, 5], 10)
+        exact = BranchAndBoundSolver().solve(lp)
+        eps0 = BranchAndBoundSolver(bound_epsilon=0.0).solve(
+            knapsack([10, 13, 7, 11], [5, 6, 4, 5], 10)
+        )
+        assert eps0.status == "optimal"
+        assert eps0.objective == exact.objective
+
+    @pytest.mark.parametrize("epsilon", [1e-4, 0.05, 0.5])
+    def test_epsilon_bound_guarantee(self, epsilon):
+        import random
+
+        rng = random.Random(11)
+        n = 14
+        values = [rng.randint(1, 30) for _ in range(n)]
+        sizes = [rng.randint(1, 15) for _ in range(n)]
+        capacity = 45
+        exact = solve_milp(knapsack(values, sizes, capacity))
+        pruned = BranchAndBoundSolver(bound_epsilon=epsilon).solve(
+            knapsack(values, sizes, capacity)
+        )
+        # A node is fathomed only when its bound <= best * (1 + eps), so
+        # the returned incumbent is within eps of optimal (relative).
+        assert pruned.has_solution
+        assert pruned.objective <= exact.objective + 1e-9
+        assert pruned.objective >= exact.objective / (1.0 + epsilon) - 1e-9
+
+    def test_epsilon_explores_no_more_nodes(self):
+        import random
+
+        rng = random.Random(5)
+        n = 16
+        values = [rng.randint(1, 30) for _ in range(n)]
+        sizes = [rng.randint(1, 15) for _ in range(n)]
+        exact = BranchAndBoundSolver().solve(knapsack(values, sizes, 50))
+        pruned = BranchAndBoundSolver(bound_epsilon=0.2).solve(
+            knapsack(values, sizes, 50)
+        )
+        assert pruned.nodes_explored <= exact.nodes_explored

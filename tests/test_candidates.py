@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.advisor.candidates import generate_candidates
+import numpy as np
+
+from repro.advisor.candidates import (
+    CandidateIndex,
+    generate_candidates,
+    prune_dominated,
+)
 from repro.errors import AdvisorError
 from repro.workloads.workload import Query, Workload
 
@@ -107,3 +113,111 @@ class TestKnobs:
     def test_empty_workload_rejected(self, db):
         with pytest.raises(AdvisorError):
             generate_candidates(db.catalog, Workload(queries=[]))
+
+
+def _cand(name, table, columns, size_pages):
+    from repro.catalog.schema import Index
+
+    return CandidateIndex(
+        index=Index(
+            name=name, table_name=table, columns=columns, hypothetical=True
+        ),
+        size_pages=size_pages,
+    )
+
+
+class TestDominancePruning:
+    """prune_dominated: drop candidates a same-table sibling beats
+    pointwise on benefit, size, and maintenance."""
+
+    def test_strictly_dominated_dropped(self):
+        cands = [
+            _cand("big", "people", ("age", "city"), 50),
+            _cand("small", "people", ("age",), 10),
+        ]
+        # "small" saves at least as much on every query and is smaller.
+        savings = np.array([[3.0, 3.0], [1.0, 2.0]])
+        kept = prune_dominated(cands, savings, [0.0, 0.0])
+        assert kept == [1]
+
+    def test_incomparable_pair_both_kept(self):
+        cands = [
+            _cand("a", "people", ("age",), 10),
+            _cand("b", "people", ("city",), 10),
+        ]
+        savings = np.array([[5.0, 1.0], [1.0, 5.0]])  # each wins a query
+        assert prune_dominated(cands, savings, [0.0, 0.0]) == [0, 1]
+
+    def test_exact_duplicates_tie_break_to_lowest_position(self):
+        cands = [
+            _cand("first", "people", ("age",), 10),
+            _cand("second", "people", ("age", "city"), 10),
+        ]
+        savings = np.array([[2.0, 2.0]])
+        assert prune_dominated(cands, savings, [0.5, 0.5]) == [0]
+
+    def test_cross_table_never_prunes(self):
+        # Pointwise dominated, but on a different table: the swap
+        # argument fails (the dominator may already hold its own
+        # table's access-path slot), so both must survive.
+        cands = [
+            _cand("p", "people", ("age",), 10),
+            _cand("q", "pets", ("weight",), 50),
+        ]
+        savings = np.array([[5.0, 1.0]])
+        assert prune_dominated(cands, savings, [0.0, 0.0]) == [0, 1]
+
+    def test_maintenance_blocks_domination(self):
+        # a saves more but costs more to maintain; b the reverse.
+        # Neither dominates: both survive.
+        cands = [
+            _cand("a", "people", ("age",), 10),
+            _cand("b", "people", ("city",), 10),
+        ]
+        savings = np.array([[2.0, 1.5]])
+        assert prune_dominated(cands, savings, [1.0, 0.0]) == [0, 1]
+        # Equal savings and size, cheaper maintenance: a dominates b.
+        equal = np.array([[2.0, 2.0]])
+        assert prune_dominated(cands, equal, [0.0, 1.0]) == [0]
+
+    def test_transitive_chain_keeps_minimal_element(self):
+        cands = [
+            _cand("a", "people", ("age",), 10),
+            _cand("b", "people", ("age", "city"), 20),
+            _cand("c", "people", ("age", "city", "height"), 30),
+        ]
+        savings = np.array([[3.0, 2.0, 1.0]])
+        assert prune_dominated(cands, savings, [0.0, 0.0, 0.0]) == [0]
+
+    def test_shape_mismatch_raises(self):
+        cands = [_cand("a", "people", ("age",), 10)]
+        with pytest.raises(AdvisorError):
+            prune_dominated(cands, np.zeros((1, 2)), [0.0])
+        with pytest.raises(AdvisorError):
+            prune_dominated(cands, np.zeros((1, 1)), [0.0, 0.0])
+
+    def test_pruning_preserves_ilp_optimum_on_real_workload(self, db):
+        # End-to-end soundness: with pruning forced on (folding and
+        # epsilon off), the ILP's optimal objective is unchanged — the
+        # pruned program may pick a different *tie-equivalent* set, but
+        # never a worse one.
+        from repro.advisor.ilp_advisor import IlpIndexAdvisor
+
+        wl = Workload.from_sql(
+            [
+                "select age from people where person_id = 44",
+                "select person_id from people where age between 20 and 22",
+                "select city, count(*) from people where height > 180 "
+                "group by city",
+            ]
+        )
+        adv_plain = IlpIndexAdvisor(db.catalog)
+        adv_plain.recommend(wl, 200, refine=False)
+        adv_pruned = IlpIndexAdvisor(
+            db.catalog, prune_dominated=True, bound_epsilon=0.0
+        )
+        pruned = adv_pruned.recommend(wl, 200, refine=False)
+        assert pruned.candidates_pruned > 0
+        assert adv_pruned._last_solution.objective == pytest.approx(
+            adv_plain._last_solution.objective
+        )

@@ -1,0 +1,249 @@
+"""Workload compression tests: folding, and the bit-identity contract.
+
+The CoPhy scale mode promises that advising a compressed stream and
+advising its weight-equivalent expanded workload produce *bit-identical*
+recommendations. These tests pin that with ``struct.pack`` on every
+reported float — not ``pytest.approx``.
+"""
+
+import struct
+
+import pytest
+
+from repro.advisor.compress import compress_statements, fold_workload
+from repro.advisor.ilp_advisor import IlpIndexAdvisor
+from repro.errors import AdvisorError
+from repro.resilience.faults import FaultInjector
+from repro.workloads.workload import Query, Workload
+
+from tests.conftest import make_people_db
+
+
+@pytest.fixture(scope="module")
+def db():
+    return make_people_db(rows=3000, seed=29)
+
+
+def people_stream(rounds: int = 12) -> list[str]:
+    """A deterministic statement stream: 4 SELECT shapes with varying
+    literals, plus an UPDATE every 5th statement."""
+    stream: list[str] = []
+    for i in range(rounds):
+        stream.append(f"select age from people where person_id = {40 + i}")
+        stream.append(
+            f"select person_id from people where age between {20 + i % 3} "
+            f"and {25 + i % 3}"
+        )
+        stream.append(
+            "select p.age, q.weight from people p, pets q "
+            f"where p.person_id = q.owner_id and q.weight > {30 + i}"
+        )
+        if i % 2 == 0:
+            stream.append(
+                "select city, count(*) from people "
+                f"where height > {180 + i} group by city"
+            )
+        if i % 5 == 4:
+            stream.append(
+                f"update people set age = {i} where person_id = {i + 1}"
+            )
+    return stream
+
+
+def expand(stream: list[str]) -> tuple[Workload, dict[str, float]]:
+    """The weight-1 expansion of the stream's SELECTs, plus the DML
+    statements' per-table rates (one unit per statement, like the
+    compressor's own aggregation)."""
+    queries = []
+    rates: dict[str, float] = {}
+    for i, sql in enumerate(stream):
+        head = sql.split(None, 1)[0].lower()
+        if head == "select":
+            queries.append(Query(name=f"s{i}", sql=sql))
+        elif head in ("update", "insert", "delete"):
+            table = sql.split()[1]
+            rates[table] = rates.get(table, 0.0) + 1.0
+    return Workload(queries=queries, name="expanded"), rates
+
+
+def packed(result) -> tuple:
+    """Every float and structural field of a recommendation, with the
+    floats rendered as exact IEEE-754 bytes."""
+    floats = [result.cost_before, result.cost_after, result.maintenance_cost]
+    for q in result.per_query:
+        floats.extend([q.cost_before, q.cost_after])
+    return (
+        b"".join(struct.pack("<d", value) for value in floats),
+        [(ix.table_name, ix.columns) for ix in result.indexes],
+        [(q.name, tuple(q.indexes_used)) for q in result.per_query],
+        result.size_pages,
+    )
+
+
+class TestCompressStatements:
+    def test_folds_stream_onto_templates(self):
+        stream = people_stream()
+        res = compress_statements(stream)
+        assert res.statements_in == len(stream)
+        # 4 SELECT shapes regardless of literal variation.
+        assert res.templates == 4
+        assert res.select_statements + res.dml_statements == len(stream)
+        assert res.ratio > 2.0
+
+    def test_weights_are_occurrence_counts(self):
+        res = compress_statements(people_stream(rounds=12))
+        by_sql_head = {q.sql.split()[1]: q.weight for q in res.workload}
+        assert by_sql_head["age"] == 12.0  # point query every round
+        assert by_sql_head["city,"] == 6.0  # group-by every other round
+        assert res.workload.total_weight == res.select_statements
+
+    def test_representative_is_first_occurrence(self):
+        res = compress_statements(people_stream())
+        point = next(q for q in res.workload if q.sql.startswith("select age"))
+        assert point.sql == "select age from people where person_id = 40"
+
+    def test_dml_aggregates_into_update_rates(self):
+        res = compress_statements(people_stream(rounds=12))
+        assert res.workload.update_rates == {"people": 2.0}
+        assert res.dml_statements == 2
+
+    def test_untemplatable_statements_skipped_not_fatal(self):
+        res = compress_statements(["select age from people", "$$$ nope"])
+        assert res.templates == 1
+        assert res.skipped == 1
+        assert res.skipped_reasons
+
+    def test_unparseable_select_shape_held(self):
+        # Templates fine, full parser rejects: counted skipped, advisable
+        # workload stays clean.
+        res = compress_statements(
+            ["select age from people", "select 1 frum people"]
+        )
+        assert res.templates == 1
+        assert res.skipped == 1
+
+
+class TestFoldWorkload:
+    def test_fold_expansion_matches_compressor(self):
+        stream = people_stream()
+        cres = compress_statements(stream)
+        expanded, rates = expand(stream)
+        expanded = Workload(
+            queries=expanded.queries, name="expanded", update_rates=rates
+        )
+        folded = fold_workload(expanded)
+        # Same templates, same representative SQL, and the SAME float in
+        # every weight: both sides accumulated + 1.0 in stream order.
+        assert [q.name for q in folded] == [
+            q.name for q in fold_workload(cres.workload)
+        ]
+        assert [q.sql for q in folded] == [q.sql for q in cres.workload]
+        assert [
+            struct.pack("<d", q.weight) for q in folded
+        ] == [struct.pack("<d", q.weight) for q in cres.workload]
+        assert folded.update_rates == cres.workload.update_rates
+
+    def test_fold_is_idempotent(self):
+        stream = people_stream()
+        expanded, _ = expand(stream)
+        once = fold_workload(expanded)
+        twice = fold_workload(once)
+        assert once.queries == twice.queries
+        assert once.update_rates == twice.update_rates
+
+    def test_workload_compress_method_delegates(self):
+        expanded, _ = expand(people_stream())
+        assert expanded.compress().queries == fold_workload(expanded).queries
+        assert expanded.compress(name="x").name == "x"
+
+    def test_fold_strips_trailing_semicolons(self):
+        wl = Workload(queries=[Query("a", "select age from people;")])
+        assert fold_workload(wl).queries[0].sql == "select age from people"
+
+
+class TestBitIdentity:
+    """recommend(compress=True) on a compressed stream vs its expansion."""
+
+    BUDGET = 200
+
+    def recommend(self, db, workload, rates, **knobs):
+        advisor = IlpIndexAdvisor(db.catalog, compress=True, **knobs)
+        return advisor.recommend(
+            workload, self.BUDGET, update_rates=rates or None
+        )
+
+    def test_compressed_equals_expanded(self, db):
+        stream = people_stream()
+        cres = compress_statements(stream)
+        expanded, _ = expand(stream)
+        r_compressed = self.recommend(db, cres.workload, None)
+        r_expanded = self.recommend(db, expanded, None)
+        assert packed(r_compressed) == packed(r_expanded)
+        assert r_expanded.queries_folded == len(expanded) - len(cres.workload)
+        assert r_compressed.queries_folded == 0
+
+    def test_compressed_equals_expanded_with_update_rates(self, db):
+        stream = people_stream()
+        cres = compress_statements(stream)
+        expanded, rates = expand(stream)
+        assert rates  # the stream must exercise the maintenance model
+        r_compressed = self.recommend(db, cres.workload, rates)
+        r_expanded = self.recommend(db, expanded, rates)
+        assert packed(r_compressed) == packed(r_expanded)
+
+    def test_bit_identity_survives_worker_faults(self, db):
+        # A worker.task fault is retried (pure task), so the floats must
+        # not move even when one side's model builds crash mid-batch.
+        stream = people_stream()
+        cres = compress_statements(stream)
+        expanded, rates = expand(stream)
+        clean = self.recommend(db, cres.workload, rates)
+        faulty = self.recommend(
+            db,
+            expanded,
+            rates,
+            workers=2,
+            parallel_mode="thread",
+            fault_injector=FaultInjector.from_spec("worker.task:1,3"),
+        )
+        assert packed(clean) == packed(faulty)
+        assert any(d.point == "worker.task" for d in faulty.degraded)
+
+    def test_scale_mode_result_is_sane(self, db):
+        stream = people_stream()
+        cres = compress_statements(stream)
+        result = self.recommend(db, cres.workload, None)
+        assert result.solver_status in ("optimal", "feasible")
+        assert result.size_pages <= self.BUDGET
+        assert result.cost_after <= result.cost_before
+        assert result.candidates_pruned >= 0
+        assert "compress" in result.phase_seconds
+
+    def test_scale_mode_close_to_exact(self, db):
+        # Dominance pruning is exact; the bound epsilon gives up at most
+        # ~0.01% of objective. The scale-mode answer must land within a
+        # whisker of the exact one.
+        stream = people_stream()
+        cres = compress_statements(stream)
+        exact = IlpIndexAdvisor(db.catalog).recommend(cres.workload, self.BUDGET)
+        scaled = self.recommend(db, cres.workload, None)
+        assert scaled.cost_after <= exact.cost_after * 1.001 + 1e-6
+
+
+class TestAdvisorKnobValidation:
+    def test_negative_bound_epsilon_rejected(self, db):
+        with pytest.raises(AdvisorError):
+            IlpIndexAdvisor(db.catalog, bound_epsilon=-0.1)
+
+    def test_per_call_compress_override(self, db):
+        stream = people_stream(rounds=6)
+        expanded, _ = expand(stream)
+        advisor = IlpIndexAdvisor(db.catalog)  # compress off by default
+        on = advisor.recommend(expanded, 200, compress=True)
+        off = advisor.recommend(expanded, 200)
+        assert on.queries_folded > 0
+        assert off.queries_folded == 0
+        # Folding prices the representative's literals for the whole
+        # template, so totals only agree approximately — the templates'
+        # shapes (and thus the interesting index set) are identical.
+        assert on.cost_before == pytest.approx(off.cost_before, rel=0.05)

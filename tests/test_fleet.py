@@ -25,7 +25,7 @@ from repro.fleet import (
     WorkloadClusterer,
 )
 from repro.inum.batch import WorkloadEvaluator
-from repro.online.monitor import WorkloadMonitor
+from repro.online.monitor import WorkloadMonitor, canonicalize
 from repro.parallel.engine import bind_workload
 from repro.resilience.faults import FaultInjector
 from repro.workloads.sdss import build_sdss_database, sdss_workload
@@ -238,8 +238,6 @@ class TestRouterProperties:
         assert router.unknown_routed == 1
         # Known statements match by canonical fingerprint.
         fingerprints = {}
-        from repro.online.monitor import canonicalize
-
         sql = "SELECT ra FROM photoobj WHERE ra < 1.5"
         fingerprints[canonicalize(sql)] = "q"
         router = Router(
@@ -462,3 +460,64 @@ class TestFacadeAndCli:
         assert "Replica 0:" in out and "Replica 1:" in out
         assert "CREATE INDEX ON" in out
         assert "Uniform-design baseline:" in out
+
+
+class TestRouterDegeneratePricing:
+    """Satellite: all-zero, non-finite, and empty cost tables."""
+
+    def test_non_finite_costs_rejected(self):
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ReproError):
+                Router({"q": [1.0, bad]}, 2)
+
+    def test_negative_costs_rejected(self):
+        with pytest.raises(ReproError):
+            Router({"q": [1.0, -0.5]}, 2)
+
+    def test_all_zero_row_routes_round_robin(self):
+        # Zero everywhere = no pricing signal; min-by-cost would pin
+        # every statement on replica 0. The router must level the fleet
+        # instead: with uniform weights that is a clean round-robin.
+        router = Router({"z": [0.0, 0.0, 0.0]}, 3)
+        routes = [router.route_template("z") for _ in range(9)]
+        assert routes == [0, 1, 2, 0, 1, 2, 0, 1, 2]
+        assert router.unpriced_routed == 9
+        assert router.unknown_routed == 0
+        assert router.costs_for("z") is None
+
+    def test_all_zero_row_via_statement_path(self):
+        sql = "SELECT ra FROM photoobj WHERE ra < 1.5"
+        fingerprints = {canonicalize(sql): "z"}
+        router = Router(
+            {"z": [0.0, 0.0]}, 2, fingerprints=fingerprints
+        )
+        assert router.route("SELECT ra FROM photoobj WHERE ra < 2.5") == 0
+        assert router.route("SELECT ra FROM photoobj WHERE ra < 3.5") == 1
+        assert router.unpriced_routed == 2
+        assert router.unknown_routed == 0
+
+    def test_mixed_zero_and_priced_rows(self):
+        router = Router({"z": [0.0, 0.0], "q": [9.0, 1.0]}, 2)
+        assert router.route_template("q") == 1  # priced normally
+        assert router.route_template("z") == 0  # balanced, not pinned
+        assert router.unpriced_routed == 1
+
+    def test_empty_cost_table_is_legal(self):
+        router = Router({}, 3)
+        routes = [router.route_template(f"t{i}") for i in range(6)]
+        assert routes == [0, 1, 2, 0, 1, 2]
+        assert router.unknown_routed == 6
+        assert router.unpriced_routed == 0
+
+    def test_reset_clears_unpriced_counter(self):
+        router = Router({"z": [0.0, 0.0]}, 2)
+        router.route_template("z")
+        assert router.unpriced_routed == 1
+        router.reset()
+        assert router.unpriced_routed == 0
+        assert router.routed == 0
+
+    def test_zero_weight_statement_still_rejected(self):
+        router = Router({"z": [0.0, 0.0]}, 2)
+        with pytest.raises(ReproError):
+            router.route_template("z", weight=0.0)

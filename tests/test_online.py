@@ -1048,3 +1048,111 @@ class TestFacadeAndCli:
         out = capsys.readouterr().out
         assert "Stream done" in out
         assert self._design_lines(out) == reference
+
+
+# ----------------------------------------------------------------------
+# CoPhy scale mode: profile snapshots and compressed re-advising
+
+
+class TestProfileSnapshot:
+    def test_profile_covers_templates_outside_window(self, sdss_wl):
+        monitor = WorkloadMonitor(window_size=4)
+        for sql in stream_of(sdss_wl, PRE, 2):  # 6 statements, window 4
+            monitor.observe(sql)
+        window = monitor.snapshot()
+        profile = monitor.profile_snapshot()
+        assert len(window.queries) < len(PRE) or len(window.queries) == len(PRE)
+        assert len(profile.queries) == len(PRE)
+        assert all(q.weight > 0 for q in profile.queries)
+
+    def test_profile_weights_are_decayed_not_counts(self, sdss_wl):
+        monitor = WorkloadMonitor(window_size=64, decay=0.9)
+        stream = stream_of(sdss_wl, PRE, 4)
+        for sql in stream:
+            monitor.observe(sql)
+        profile = monitor.profile_snapshot()
+        weights = [q.weight for q in profile.queries]
+        # All three templates appeared 4 times, but later observations
+        # decay less: the weights must not be flat occurrence counts.
+        assert len(weights) == 3
+        assert max(weights) > min(weights)
+
+    def test_underflowed_template_filtered_not_fatal(self):
+        # ~27 renormalizations (decay 0.5 => one every ~40 statements)
+        # push an absent template's decayed weight to exact 0.0. A naive
+        # snapshot would then crash Query's positive-weight check; the
+        # profile snapshot must silently drop it instead.
+        monitor = WorkloadMonitor(window_size=8, decay=0.5)
+        monitor.observe("select ra from photoobj where ra < 1.0")
+        for i in range(1200):
+            monitor.observe(f"select dec from photoobj where dec > {i % 7}")
+        profile = monitor.profile_snapshot()
+        assert len(profile.queries) == 1
+        assert profile.queries[0].sql.startswith("select dec")
+        assert profile.queries[0].weight > 0
+
+    def test_profile_update_rates_aggregate_dml(self):
+        monitor = WorkloadMonitor(window_size=8)
+        monitor.observe("select ra from photoobj where ra < 1.0")
+        monitor.observe("update photoobj set status = 1 where objid = 4")
+        monitor.observe("update specobj set sclass = 2 where specid = 9")
+        monitor.observe("update photoobj set status = 2 where objid = 5")
+        rates = monitor.profile_update_rates()
+        assert set(rates) == {"photoobj", "specobj"}
+        assert rates["photoobj"] > rates["specobj"] > 0
+        snapshot = monitor.profile_snapshot()
+        assert snapshot.update_rates == rates
+
+    def test_profile_respects_quarantine(self):
+        monitor = WorkloadMonitor(window_size=8)
+        template = monitor.observe("select ra from photoobj where ra < 1.0")
+        monitor.observe("select dec from photoobj where dec > 2.0")
+        monitor.quarantine(template.template_id)
+        profile = monitor.profile_snapshot()
+        assert [q.sql for q in profile.queries] == [
+            "select dec from photoobj where dec > 2.0"
+        ]
+
+
+class TestCompressedTuning:
+    def test_compress_tuner_advises_full_profile(self, sdss_db, sdss_wl):
+        # Window of 9 holds only the newest statements; scale mode must
+        # still re-advise every template the stream has shown.
+        tuner = OnlineTuner(
+            sdss_db.catalog,
+            budget_pages=BUDGET,
+            window_size=9,
+            check_interval=3,
+            compress=True,
+        )
+        tuner.run(
+            stream_of(sdss_wl, PRE, 4) + stream_of(sdss_wl, POST, 4, salt0=50)
+        )
+        result = tuner.readvise(reason="test")
+        advised = {b.name for b in result.per_query}
+        assert len(advised) == len(PRE) + len(POST)
+        assert result.solver_status in ("optimal", "feasible")
+
+    def test_compress_off_advises_window_only(self, sdss_db, sdss_wl):
+        tuner = OnlineTuner(
+            sdss_db.catalog,
+            budget_pages=BUDGET,
+            window_size=9,
+            check_interval=3,
+        )
+        tuner.run(
+            stream_of(sdss_wl, PRE, 4) + stream_of(sdss_wl, POST, 4, salt0=50)
+        )
+        result = tuner.readvise(reason="test")
+        # The 9-statement window only holds the POST templates.
+        assert len(result.per_query) == len(POST)
+
+    def test_compress_knob_reaches_facade(self, sdss_db, sdss_wl):
+        parinda = Parinda(sdss_db)
+        with parinda.online(
+            budget_pages=BUDGET, window_size=9, compress=True
+        ) as tuner:
+            assert tuner.compress is True
+            for sql in stream_of(sdss_wl, PRE, 4):
+                tuner.observe(sql)
+            assert tuner.design is not None

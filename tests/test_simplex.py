@@ -119,3 +119,60 @@ class TestFixVariables:
         assert check_feasible(compiled, np.array([0.25]))
         assert not check_feasible(compiled, np.array([0.75]))
         assert not check_feasible(compiled, np.array([-0.1]))
+
+
+class TestStopCallable:
+    """The per-pivot ``stop`` hook: deterministic sweep over every poll
+    index of a full solve."""
+
+    def program(self):
+        lp = LinearProgram()
+        a = lp.add_variable("a", objective=3.0)
+        b = lp.add_variable("b", objective=5.0)
+        c = lp.add_variable("c", objective=4.0)
+        lp.add_constraint({a: 2.0, b: 3.0}, Sense.LE, 8.0)
+        lp.add_constraint({b: 2.0, c: 5.0}, Sense.LE, 10.0)
+        lp.add_constraint({a: 3.0, b: 2.0, c: 4.0}, Sense.LE, 15.0)
+        return lp.compile()
+
+    def test_sweep_every_poll_index(self):
+        compiled = self.program()
+        polls = 0
+
+        def count():
+            nonlocal polls
+            polls += 1
+            return False
+
+        full = SimplexSolver().solve(compiled, stop=count)
+        assert full.status == "optimal"
+        assert polls >= 3
+
+        saw_point = saw_empty = False
+        for fire_at in range(1, polls + 1):
+            calls = 0
+
+            def stop():
+                nonlocal calls
+                calls += 1
+                return calls >= fire_at
+
+            result = SimplexSolver().solve(compiled, stop=stop)
+            # The stop fires strictly before natural completion, so the
+            # status is always "deadline"; a phase-2 cut still carries a
+            # feasible point, a phase-1 cut carries none.
+            assert result.status == "deadline"
+            if result.x is None:
+                saw_empty = True
+            else:
+                saw_point = True
+                assert check_feasible(compiled, result.x)
+                assert result.objective <= full.objective + 1e-9
+        assert saw_empty and saw_point
+
+    def test_none_stop_matches_default(self):
+        compiled = self.program()
+        plain = SimplexSolver().solve(compiled)
+        hooked = SimplexSolver().solve(compiled, stop=lambda: False)
+        assert plain.status == hooked.status == "optimal"
+        assert np.array_equal(plain.x, hooked.x)
