@@ -72,6 +72,13 @@ EXIT_STREAM_LOST = 3
 # crash so supervisors know an operator has to resolve the journal.
 EXIT_APPLY_CONFLICT = 4
 
+# ``fleet --serve`` exit code when the run ends with the fleet frozen:
+# a sustained regression rolled one replica back and halted further
+# drift-driven rollouts. Serving continued (the stream was drained),
+# but an operator should inspect the regressed design before thawing
+# by starting a fresh serve run.
+EXIT_ROLLOUT_FROZEN = 5
+
 
 def _warn(message: str) -> None:
     print(f"warning: {message}", file=sys.stderr)
@@ -234,6 +241,8 @@ def cmd_suggest_combined(args: argparse.Namespace) -> int:
 
 
 def cmd_fleet(args: argparse.Namespace) -> int:
+    if args.serve:
+        return _fleet_serve(args)
     db = _load_database(args.db)
     workload = _load_workload(args.workload, args.db)
     parinda = Parinda(db)
@@ -287,6 +296,120 @@ def cmd_fleet(args: argparse.Namespace) -> int:
             f"divergent design saves {delta:.1f}%."
         )
     return 0
+
+
+def _fleet_serve(args: argparse.Namespace) -> int:
+    """The ``fleet --serve`` loop: closed-loop serving over a stream.
+
+    Feeds every stream statement into a
+    :class:`~repro.fleet.serve.FleetController`, which routes, watches
+    drift, re-tunes, rolls designs out replica by replica through
+    journaled applies, and rolls a sustained regression back
+    automatically. With ``--state`` the rollout is journaled: killing
+    the process at any point and re-running the same command resumes to
+    the same terminal fleet state. Exits
+    :data:`EXIT_ROLLOUT_FROZEN` when the run ends frozen (a regression
+    rollback halted further rollouts), :data:`EXIT_STREAM_LOST` when
+    the stream went away mid-run, 0 otherwise.
+    """
+    if args.state_interval <= 0:
+        raise SystemExit("--state-interval must be positive")
+    db = _load_database(args.db)
+    parinda = Parinda(db, cache_max_entries=args.cache_entries)
+
+    def listener(event) -> None:
+        if event.kind in ("quarantined", "degraded", "regressed", "frozen"):
+            _warn(str(event))
+            return
+        print(event)
+
+    controller = parinda.fleet_serve(
+        args.replicas,
+        budget_bytes=int(args.budget_mb * 1024 * 1024),
+        state_file=args.state,
+        window_size=args.window,
+        check_interval=args.check_interval,
+        warmup=args.warmup,
+        state_interval=args.state_interval,
+        regression_windows=args.regression_windows,
+        regression_tolerance=args.tolerance,
+        probation_windows=args.probation,
+        max_share=args.max_share,
+        max_rounds=args.rounds,
+        seed=args.seed,
+        workers=args.workers,
+        listener=listener,
+    )
+    resume_position = 0
+    if controller.resumed:
+        resume_position = controller.position
+        print(
+            f"Resuming from {args.state}: position {resume_position}, "
+            f"phase {controller.phase}."
+        )
+        # Converge first (finish any interrupted rollout / rollback)
+        # so the skipped stream prefix replays against a settled fleet.
+        controller.resume()
+
+    position = 0
+    skipped = 0
+    stream_lost: str | None = None
+    try:
+        for statement in iter_statements(args.stream):
+            # Same contract as ``tune``: checked before the position
+            # counter moves, so a resume never skips the lost statement.
+            faults.check("stream.read", f"statement {position + 1}")
+            position += 1
+            if position <= resume_position:
+                continue
+            try:
+                controller.observe(statement)
+            except (TokenizeError, CanonicalizeError) as exc:
+                skipped += 1
+                _warn(f"skipped untemplatable statement: {exc}")
+    except OSError as exc:
+        stream_lost = str(exc)
+    except FaultInjected as exc:
+        # Only the stream's own fault point means "input went away";
+        # anything deeper (rollout.journal, journal.write) stands in
+        # for a crash and must kill the process like one.
+        if exc.point != "stream.read":
+            raise
+        stream_lost = str(exc)
+    if stream_lost is not None:
+        _warn(
+            f"statement stream lost after {position} statement(s): "
+            f"{stream_lost}; flushing final checkpoint"
+        )
+    if args.state:
+        try:
+            resilience_state.dump_state(args.state, controller.save_state())
+        except (OSError, FaultInjected) as exc:
+            _warn(f"state checkpoint to {args.state} failed ({exc})")
+
+    counts = controller.event_counts
+    print(
+        f"\nStream done: {controller.position} statements, phase "
+        f"{controller.phase}"
+        + (f", {skipped} skipped" if skipped else "")
+        + f"; {counts['drifted']} drift(s), {counts['re-tuned']} "
+        f"re-tune(s), {counts['rollout-finished']} rollout(s), "
+        f"{counts['rolled-back']} rollback(s), "
+        f"{counts['quarantined']} quarantined."
+    )
+    for runtime in controller.replicas:
+        status = runtime.status
+        detail = f" ({runtime.detail})" if runtime.detail else ""
+        print(
+            f"Replica {runtime.replica_id} [{status}{detail}]: "
+            f"{len(runtime.design)} index(es)"
+        )
+        for index in runtime.design:
+            print(f"  CREATE INDEX ON {index.table_name} "
+                  f"({', '.join(index.columns)});")
+    if controller.frozen:
+        return EXIT_ROLLOUT_FROZEN
+    return EXIT_STREAM_LOST if stream_lost is not None else 0
 
 
 def _save_tuner_state(path: str, tuner, position: int) -> bool:
@@ -709,6 +832,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--baseline", action="store_true",
                    help="also tune the uniform single-design baseline "
                         "and report the divergent saving")
+    p.add_argument("--serve", action="store_true",
+                   help="closed-loop serving: route a statement stream, "
+                        "re-tune on drift, roll designs out replica by "
+                        "replica with journaled applies, auto-rollback "
+                        "sustained regressions")
+    p.add_argument("--stream", default="-", metavar="FILE",
+                   help="with --serve: semicolon-separated SQL stream; "
+                        "'-' reads stdin")
+    p.add_argument("--state", metavar="FILE",
+                   help="with --serve: journal rollout state here so a "
+                        "killed run resumes to the same terminal fleet")
+    p.add_argument("--state-interval", type=int, default=64,
+                   help="statements between steady-state checkpoints")
+    p.add_argument("--window", type=int, default=64,
+                   help="per-replica monitor window (statements)")
+    p.add_argument("--check-interval", type=int, default=32,
+                   help="statements between drift/validation checks")
+    p.add_argument("--warmup", type=int, default=None,
+                   help="statements before the first tune (default: window)")
+    p.add_argument("--regression-windows", type=int, default=2,
+                   help="consecutive regressing windows that trigger "
+                        "automatic rollback of a replica")
+    p.add_argument("--tolerance", type=float, default=0.1,
+                   help="relative window-cost slack before a validation "
+                        "counts as regressing")
+    p.add_argument("--probation", type=int, default=4,
+                   help="validation windows a fresh design stays under "
+                        "the health gate")
+    p.add_argument("--cache-entries", type=int, default=4096,
+                   help="per-section CostCache bound (LRU)")
     p.add_argument("-v", "--verbose", action="store_true",
                    help="list the templates each replica serves")
     p.set_defaults(func=cmd_fleet)

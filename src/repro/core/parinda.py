@@ -213,6 +213,59 @@ class Parinda:
             **knobs,
         )
 
+    def fleet_serve(
+        self,
+        n_replicas: int,
+        budget_pages: int | None = None,
+        budget_bytes: int | None = None,
+        state_file: str | None = None,
+        **knobs,
+    ) -> "FleetController":
+        """A closed-loop serving controller over an ``n_replicas`` fleet.
+
+        Returns a :class:`~repro.fleet.serve.FleetController` whose
+        replicas are forked from this facade's database (replica 0 *is*
+        this database; the rest are :meth:`Database.clone` views over
+        the same rows)::
+
+            fleet = parinda.fleet_serve(3, budget_bytes=16 << 20,
+                                        state_file="fleet.state")
+            for sql in statement_stream:
+                fleet.observe(sql)
+            print(fleet.designs(), fleet.phase)
+
+        The controller routes every statement, watches per-replica and
+        fleet-level drift, re-tunes through :class:`DivergentTuner`,
+        rolls new designs out one replica at a time through journaled
+        applies, re-validates each replica against its live window, and
+        rolls a sustained regression back automatically. With a
+        ``state_file`` the rollout is journaled so a killed process
+        resumes to the same terminal fleet state. The budget is **per
+        replica**; ``knobs`` pass through to :class:`FleetController`
+        (``window_size``, ``check_interval``, ``regression_windows``,
+        ``listener``, ...).
+        """
+        from repro.fleet.serve import FleetController
+
+        if budget_pages is None:
+            if budget_bytes is None:
+                raise ValueError("provide budget_bytes or budget_pages")
+            budget_pages = max(1, budget_bytes // BLOCK_SIZE)
+        knobs.setdefault("fault_injector", self._fault_injector)
+        knobs.setdefault("cost_cache", self._cost_cache)
+        if self._cache_bounded:
+            knobs.setdefault("cache_max_entries", self._cache_max_entries)
+        databases = [self._db] + [
+            self._db.clone() for _ in range(n_replicas - 1)
+        ]
+        return FleetController(
+            databases,
+            self._config,
+            budget_pages=budget_pages,
+            state_path=state_file,
+            **knobs,
+        )
+
     # ------------------------------------------------------------------
     # Scenario 2: automatic partition suggestion
 

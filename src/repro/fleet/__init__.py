@@ -6,12 +6,15 @@ INUM evaluator), tunes one :class:`Replica` per cluster with the ILP
 advisor fanned over the parallel engine, and routes statements to
 whichever replica's design prices them cheapest. See
 :mod:`repro.fleet.tuner` for the cluster→tune→route loop and its
-convergence contract.
+convergence contract, and :mod:`repro.fleet.serve` for the closed
+serving loop that re-tunes on drift, rolls designs out replica by
+replica, and rolls a regressing replica back automatically.
 """
 
 from repro.fleet.clusterer import WorkloadClusterer
 from repro.fleet.replica import Replica
 from repro.fleet.router import Router
+from repro.fleet.serve import FleetController, FleetEvent
 from repro.fleet.tuner import (
     DivergentTuner,
     FleetResult,
@@ -21,6 +24,8 @@ from repro.fleet.tuner import (
 
 __all__ = [
     "DivergentTuner",
+    "FleetController",
+    "FleetEvent",
     "FleetResult",
     "FleetRound",
     "Replica",

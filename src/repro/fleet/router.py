@@ -40,6 +40,22 @@ to the lowest id, which under uniform weights degenerates to a clean
 round-robin — and counts them on :attr:`Router.unpriced_routed`. An
 empty cost table is likewise legal: every statement takes the
 least-loaded fallback.
+
+**Rotation control.** The fleet controller takes replicas out of
+serving rotation one at a time (a rollout transition, a quarantined
+apply): :meth:`Router.exclude` removes a replica from every subsequent
+assignment — its load re-prices onto the survivors — and
+:meth:`Router.restore` puts it back. Excluding the last serving
+replica is refused: a fleet with nobody in rotation cannot route.
+While replicas are excluded the load-cap invariant is measured against
+the *surviving* rotation, so the cap may be exceeded on survivors by
+exactly the excluded replicas' share — capacity loss, not a bug.
+
+**Persistence.** :meth:`Router.save`/:meth:`Router.load` round-trip
+the whole router (cost table, fingerprint map, loads, exclusions,
+fallback counters) through a JSON-able dict so a restarted controller
+resumes routing deterministically: the restored router routes any
+suffix of the stream exactly as the original would have.
 """
 
 from __future__ import annotations
@@ -53,6 +69,9 @@ from repro.online.monitor import canonicalize
 # Float-comparison slack for the eligibility test; routed weights are
 # sums of user-supplied weights, so exact equality is too brittle.
 _EPS = 1e-9
+
+# Serialization format of Router.save()/load().
+ROUTER_STATE_VERSION = 1
 
 
 class Router:
@@ -123,6 +142,7 @@ class Router:
                 continue
             self._costs[name] = row
         self._fingerprints = dict(fingerprints or {})
+        self._excluded: set[int] = set()
         self._loads = [0.0] * n_replicas
         self._total = 0.0
         self._grain = 0.0
@@ -170,11 +190,16 @@ class Router:
             raise ReproError("statement weight must be positive")
         grain = max(self._grain, weight)
         cap = self.max_share * (self._total + weight) + grain + _EPS
-        eligible = [
-            r for r in range(self.n_replicas) if self._loads[r] + weight <= cap
+        rotation = [
+            r for r in range(self.n_replicas) if r not in self._excluded
         ]
-        if not eligible:  # unreachable with max_share >= 1/N (see module doc)
-            eligible = list(range(self.n_replicas))
+        eligible = [r for r in rotation if self._loads[r] + weight <= cap]
+        if not eligible:
+            # With every replica in rotation this is unreachable for
+            # max_share >= 1/N (see module doc); with exclusions the
+            # survivors legitimately absorb the excluded share, so the
+            # cap yields to availability.
+            eligible = rotation
         if row is None:
             # No pricing: keep the fleet level. Lowest load wins, ties
             # toward the lowest replica id.
@@ -186,6 +211,97 @@ class Router:
         self._grain = grain
         self.routed += 1
         return chosen
+
+    # ------------------------------------------------------------------
+    # Rotation control (fleet rollouts / quarantine)
+
+    def _check_replica(self, replica_id: int) -> int:
+        replica_id = int(replica_id)
+        if not 0 <= replica_id < self.n_replicas:
+            raise ReproError(
+                f"replica id {replica_id} out of range 0..{self.n_replicas - 1}"
+            )
+        return replica_id
+
+    def exclude(self, replica_id: int) -> None:
+        """Take one replica out of serving rotation.
+
+        Subsequent assignments never pick it; its share re-prices onto
+        the survivors. Idempotent. Refused when it would leave nobody
+        in rotation — an empty rotation cannot route anything.
+        """
+        replica_id = self._check_replica(replica_id)
+        if len(self._excluded | {replica_id}) >= self.n_replicas:
+            raise ReproError(
+                "cannot exclude the last replica in serving rotation"
+            )
+        self._excluded.add(replica_id)
+
+    def restore(self, replica_id: int) -> None:
+        """Return an excluded replica to serving rotation (idempotent)."""
+        self._excluded.discard(self._check_replica(replica_id))
+
+    @property
+    def excluded(self) -> frozenset[int]:
+        """Replica ids currently out of serving rotation."""
+        return frozenset(self._excluded)
+
+    # ------------------------------------------------------------------
+    # Persistence
+
+    def save(self) -> dict:
+        """The full router state as a versioned, JSON-able dict."""
+        return {
+            "version": ROUTER_STATE_VERSION,
+            "n_replicas": self.n_replicas,
+            "max_share": self.max_share,
+            "costs": {name: list(row) for name, row in self._costs.items()},
+            "unpriced": sorted(self._unpriced),
+            "fingerprints": dict(self._fingerprints),
+            "excluded": sorted(self._excluded),
+            "loads": list(self._loads),
+            "total": self._total,
+            "grain": self._grain,
+            "unknown_routed": self.unknown_routed,
+            "unpriced_routed": self.unpriced_routed,
+            "routed": self.routed,
+        }
+
+    @classmethod
+    def load(cls, state: dict) -> "Router":
+        """Rebuild a router from :meth:`save` output.
+
+        The restored router routes any statement suffix exactly as the
+        saved one would have: cost table, fingerprint map, per-replica
+        loads, the granularity allowance, exclusions, and the fallback
+        counters all round-trip.
+        """
+        version = state.get("version")
+        if version != ROUTER_STATE_VERSION:
+            raise ReproError(
+                f"unsupported router state version {version!r} "
+                f"(expected {ROUTER_STATE_VERSION})"
+            )
+        router = cls(
+            {name: row for name, row in state["costs"].items()},
+            int(state["n_replicas"]),
+            max_share=float(state["max_share"]),
+            fingerprints=state.get("fingerprints") or {},
+        )
+        # Unpriced (all-zero) rows were filtered out of the cost table
+        # at construction; restore their membership directly.
+        router._unpriced = set(state.get("unpriced", ()))
+        for replica_id in state.get("excluded", ()):
+            router.exclude(replica_id)
+        router._loads = [float(load) for load in state["loads"]]
+        if len(router._loads) != router.n_replicas:
+            raise ReproError("router state loads do not match n_replicas")
+        router._total = float(state["total"])
+        router._grain = float(state["grain"])
+        router.unknown_routed = int(state["unknown_routed"])
+        router.unpriced_routed = int(state["unpriced_routed"])
+        router.routed = int(state["routed"])
+        return router
 
     # ------------------------------------------------------------------
 
@@ -205,10 +321,21 @@ class Router:
         return tuple(load / self._total for load in self._loads)
 
     def reset(self) -> None:
-        """Clear the load counters (costs and fingerprints stay)."""
+        """Erase every routing decision; keep the pricing.
+
+        Pinned semantics (property-tested): after ``reset()`` the
+        router behaves exactly like a freshly constructed
+        ``Router(costs, n_replicas, max_share=..., fingerprints=...)``
+        — loads, the granularity allowance, exclusions, and all three
+        fallback counters are cleared, so a fresh rollout can never
+        inherit stale assignments or a stale rotation. Only the static
+        pricing inputs (cost table, unpriced set, fingerprint map)
+        survive.
+        """
         self._loads = [0.0] * self.n_replicas
         self._total = 0.0
         self._grain = 0.0
+        self._excluded = set()
         self.unknown_routed = 0
         self.unpriced_routed = 0
         self.routed = 0

@@ -495,6 +495,99 @@ class WorkloadMonitor:
             update_rates=self.update_rates(),
         )
 
+    def clear_window(self) -> None:
+        """Drop the active window; keep templates, profile, quarantine.
+
+        The fleet controller clears a replica's window when its routing
+        assignment changes (a rollout re-prices traffic), so drift
+        baselines and post-apply health-gate validations compare
+        against the traffic the replica *now* serves rather than a mix
+        it no longer receives. Long-term state — learned templates,
+        the decayed profile, quarantine — survives; only the sliding
+        window restarts.
+        """
+        self._window.clear()
+        self._window_counts = {}
+
+    # ------------------------------------------------------------------
+    # Sharded deployments
+
+    def merge(self, other: "WorkloadMonitor") -> "WorkloadMonitor":
+        """Combine two shard monitors into one fleet-level view.
+
+        Multi-frontend deployments observe the same logical stream
+        through several monitors (one per frontend / per replica); the
+        drift check needs the combined picture. The merge is
+        non-mutating and returns a new monitor whose window holds both
+        shards' windows in full (``window_size`` is the sum, so nothing
+        is evicted by the merge itself): window counts add, per-table
+        update rates add, quarantine sets union (self's reason wins on
+        overlap), and ``observed`` totals add.
+
+        Template identity is by fingerprint. Self's templates keep
+        their sequences (and therefore their template ids); templates
+        only the other shard has seen are appended in that shard's
+        first-seen order and re-sequenced, so the merged monitor's ids
+        stay stable and deterministic for a deterministic pair of
+        shards.
+
+        Decayed profiles cannot be merged exactly without the global
+        interleaving order, which sharding has discarded. Each shard's
+        profile is rescaled so its most recent observation carries
+        weight 1 — concurrently fed shards are "equally recent" — and
+        the rescaled masses add. The *window* statistics, which is what
+        drift detection consumes, merge exactly: as long as neither
+        shard has evicted, the merged window counts equal those of a
+        single monitor that observed the combined stream, so merged
+        drift decisions match the combined monitor's (pinned by test).
+
+        Both monitors must share the same ``decay``.
+        """
+        if other.decay != self.decay:
+            raise ReproError(
+                f"cannot merge monitors with different decay "
+                f"({self.decay} vs {other.decay})"
+            )
+        merged = WorkloadMonitor(
+            window_size=self.window_size + other.window_size,
+            decay=self.decay,
+        )
+        for source in (self, other):
+            for template in sorted(
+                source._templates.values(), key=lambda t: t.sequence
+            ):
+                if template.fingerprint in merged._templates:
+                    continue
+                sequence = len(merged._templates) + 1
+                renamed = QueryTemplate(
+                    template_id=template_name(template.fingerprint, sequence),
+                    fingerprint=template.fingerprint,
+                    example_sql=template.example_sql,
+                    sequence=sequence,
+                    kind=template.kind,
+                    target_table=template.target_table,
+                )
+                merged._templates[renamed.fingerprint] = renamed
+                merged._by_id[renamed.template_id] = renamed.fingerprint
+            for fingerprint in source._quarantined:
+                merged._quarantined.add(fingerprint)
+                reason = source._quarantine_reasons.get(fingerprint, "")
+                if reason:
+                    merged._quarantine_reasons.setdefault(fingerprint, reason)
+            for fingerprint in source._window:
+                merged._window.append(fingerprint)
+                merged._window_counts[fingerprint] = (
+                    merged._window_counts.get(fingerprint, 0) + 1
+                )
+            scale = source._profile_weight
+            for fingerprint, mass in source._profile.items():
+                merged._profile[fingerprint] = (
+                    merged._profile.get(fingerprint, 0.0) + mass / scale
+                )
+            merged._observed += source._observed
+        merged._profile_weight = 1.0
+        return merged
+
     # ------------------------------------------------------------------
     # Durability
 

@@ -86,6 +86,13 @@ def _index_from_dict(data: dict) -> Index:
     )
 
 
+# Public aliases: the fleet rollout journal (repro.fleet.serve)
+# serializes designs with exactly the shape the apply journal uses, so
+# one pair of helpers defines the wire format for both.
+index_to_dict = _index_to_dict
+index_from_dict = _index_from_dict
+
+
 def materialized_name(
     index: Index, taken: Iterable[str] = (), managed_prefix: str = MANAGED_PREFIX
 ) -> str:

@@ -62,6 +62,9 @@ FAULT_POINT_DOCS: dict[str, str] = {
     "index.build": "one B-Tree bulk build inside Database.create_index",
     "page.read": "one heap page/column read (executor scan, index build)",
     "journal.write": "one apply-journal write (ApplyExecutor)",
+    "replica.apply": "one replica design apply inside a fleet rollout",
+    "rollout.journal": "one fleet-rollout state-journal write (FleetController)",
+    "validate.window": "one post-apply health-gate window validation",
 }
 
 FAULT_POINTS = tuple(FAULT_POINT_DOCS)

@@ -159,6 +159,23 @@ class Database:
             created.append(self.create_table(frag_table, data))
         return created
 
+    def clone(self) -> "Database":
+        """An independent database view over the same stored rows.
+
+        The catalog and B-Tree registry are copied (DDL on the clone —
+        creating or dropping indexes — never leaks back), while the
+        heap relations are **shared**: the fleet layer clones one built
+        database into N replicas, and replica divergence is entirely a
+        matter of catalog + index state, never of row data. Existing
+        B-Trees are shared too (they are immutable once built); a clone
+        that drops one merely unregisters it from its own view.
+        """
+        other = Database.__new__(Database)
+        other.catalog = self.catalog.clone()
+        other._relations = dict(self._relations)
+        other._btrees = dict(self._btrees)
+        return other
+
     def timed_create_index(self, index: Index) -> tuple[BTreeIndex, float]:
         """Build an index and report the wall-clock build time (E4)."""
         started = time.perf_counter()
