@@ -1,0 +1,284 @@
+#!/usr/bin/env python
+"""Pluggable fenced state-store benchmark: host loss, fencing, retry.
+
+Gates the three promises the store layer makes (all hard gates,
+nonzero exit):
+
+* **host-loss convergence**: a ``fleet --serve`` loop journaling into a
+  :class:`~repro.resilience.store.DatabaseStateStore` is killed at a
+  torn journal write; the resume runs on a **fresh host** — new
+  database objects, a new store instance, zero local state files
+  besides the store's dsn — and still reaches the same terminal phase
+  and per-replica designs as an uninterrupted run;
+* **stale-lease rejection**: after a failover bumps the lease epoch,
+  the superseded daemon's next journal write raises
+  ``StaleLeaseError`` and the new owner's journal is untouched;
+* **transient retry**: a single injected ``store.write`` blip is
+  absorbed by the bounded retry ladder, while a persistent fault
+  exhausts exactly ``retries + 1`` attempts and propagates.
+
+Everything lands in ``BENCH_STORE.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_store.py          # full
+    PYTHONPATH=src python benchmarks/bench_store.py --smoke  # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.catalog.schema import index_signature  # noqa: E402
+from repro.core.parinda import Parinda  # noqa: E402
+from repro.errors import FaultInjected, StaleLeaseError  # noqa: E402
+from repro.resilience.faults import FaultInjector  # noqa: E402
+from repro.resilience.state import backup_path  # noqa: E402
+from repro.resilience.store import (  # noqa: E402
+    DatabaseStateStore,
+    FileStateStore,
+)
+from repro.workloads.sdss import build_sdss_database  # noqa: E402
+
+N_REPLICAS = 2
+SEED = 42
+
+
+def photo_q(i: int) -> str:
+    return f"SELECT objid FROM photoobj WHERE psfmag_r < {14 + i % 6}.5"
+
+
+def spec_q(i: int) -> str:
+    return f"SELECT specobjid FROM specobj WHERE z < 0.{1 + i % 5}"
+
+
+def ext_q(i: int) -> str:
+    return f"SELECT objid FROM photoobj WHERE extinction_r < 0.{1 + i % 4}"
+
+
+def drifting_stream(n: int):
+    half = n // 2
+    return [photo_q(i) if i % 2 else spec_q(i) for i in range(half)] + [
+        ext_q(i) if i % 2 else spec_q(i) for i in range(half, n)
+    ]
+
+
+def terminal_of(fleet):
+    return {
+        "phase": fleet.phase,
+        "designs": [
+            sorted(index_signature(ix) for ix in rt.design)
+            for rt in fleet.replicas
+        ],
+    }
+
+
+def leg_host_loss(photo_rows, stream_len, workdir):
+    """Kill mid-journal, lose the host, resume from the dsn alone."""
+    stream = drifting_stream(stream_len)
+
+    def drive(dsn, injector=None):
+        db = build_sdss_database(photo_rows=photo_rows, seed=SEED)
+        store = DatabaseStateStore(db, dsn, fault_injector=injector)
+        parinda = Parinda(db)
+        fleet = parinda.fleet_serve(
+            n_replicas=N_REPLICAS,
+            budget_bytes=4 << 20,
+            state_store=store,
+            fault_injector=injector,
+            window_size=24,
+            check_interval=12,
+            warmup=24,
+            regression_windows=2,
+            probation_windows=3,
+            max_rounds=3,
+        )
+        resume_from = fleet.position if fleet.resumed else 0
+        killed = None
+        for position, sql in enumerate(stream, start=1):
+            if position <= resume_from:
+                continue
+            try:
+                fleet.observe(sql)
+            except FaultInjected as exc:
+                killed = str(exc)
+                break
+        return fleet, killed
+
+    clean_dir = Path(workdir) / "clean"
+    clean_dir.mkdir()
+    clean, _ = drive(str(clean_dir / "dbstate.json"))
+    expected = terminal_of(clean)
+
+    kill_dir = Path(workdir) / "kill"
+    kill_dir.mkdir()
+    dsn = str(kill_dir / "dbstate.json")
+    _, killed = drive(dsn, FaultInjector.from_spec("rollout.journal:2"))
+    # Host loss, not process loss: everything local except the store's
+    # dsn pair disappears with the machine.
+    survivors = {os.path.basename(dsn), os.path.basename(backup_path(dsn))}
+    strays = sorted(set(os.listdir(kill_dir)) - survivors)
+    started = time.perf_counter()
+    resumed, _ = drive(dsn)
+    resume_seconds = time.perf_counter() - started
+    observed = terminal_of(resumed)
+    return {
+        "statements": stream_len,
+        "killed_at": killed,
+        "resume_seconds": round(resume_seconds, 3),
+        "expected": expected,
+        "resumed": observed,
+        "stray_local_files": strays,
+        "gates": {
+            "kill_fired_mid_rollout": killed is not None,
+            "no_local_state_besides_dsn": not strays,
+            "fresh_host_resume_converges": observed == expected,
+        },
+    }
+
+
+def leg_stale_lease(photo_rows, workdir):
+    """A superseded daemon cannot write past a failover."""
+    dsn = str(Path(workdir) / "dbstate.json")
+    old_db = build_sdss_database(photo_rows=photo_rows, seed=SEED)
+    old = DatabaseStateStore(old_db, dsn)
+    old.acquire(owner="old-daemon")
+    old.write("", {"owner": "old", "generation": 1})
+    new_db = build_sdss_database(photo_rows=photo_rows, seed=SEED)
+    new = DatabaseStateStore(new_db, dsn)
+    new_epoch = new.acquire(owner="new-daemon")
+    new.write("", {"owner": "new", "generation": 2})
+    rejected = False
+    try:
+        old.write("", {"owner": "old", "generation": 3})
+    except StaleLeaseError:
+        rejected = True
+    surviving, _source = DatabaseStateStore(
+        build_sdss_database(photo_rows=photo_rows, seed=SEED), dsn
+    ).read("")
+    return {
+        "old_epoch": old.epoch,
+        "new_epoch": new_epoch,
+        "surviving_state": surviving,
+        "gates": {
+            "epoch_bumped": new_epoch == (old.epoch or 0) + 1,
+            "stale_writer_rejected": rejected,
+            "new_owner_journal_intact": surviving.get("owner") == "new",
+        },
+    }
+
+
+def leg_transient_retry(workdir):
+    """One blip is absorbed; a persistent fault exhausts the budget."""
+    base = str(Path(workdir) / "STATE")
+    blip = FaultInjector.from_spec("store.write:1")
+    store = FileStateStore(base, fault_injector=blip, retries=2, backoff=0.0)
+    absorbed = True
+    try:
+        store.write("", {"generation": 1})
+    except FaultInjected:
+        absorbed = False
+
+    hard = FaultInjector.from_spec("store.write:*")
+    broken = FileStateStore(
+        str(Path(workdir) / "BROKEN"),
+        fault_injector=hard,
+        retries=2,
+        backoff=0.0,
+    )
+    exhausted = False
+    try:
+        broken.write("", {"generation": 1})
+    except FaultInjected:
+        exhausted = True
+    return {
+        "blip_attempts": blip.fired("store.write") + 1,
+        "exhausted_attempts": hard.fired("store.write"),
+        "gates": {
+            "single_blip_absorbed": absorbed
+            and blip.fired("store.write") == 1,
+            "budget_is_retries_plus_one": exhausted
+            and hard.fired("store.write") == 3,
+        },
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small database and short streams (CI-sized)",
+    )
+    parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_STORE.json"))
+    args = parser.parse_args()
+
+    photo_rows = 800 if args.smoke else 2000
+    stream_len = 192 if args.smoke else 384
+
+    print(f"host-loss convergence (photo_rows={photo_rows}) ...")
+    with tempfile.TemporaryDirectory() as workdir:
+        host_loss = leg_host_loss(photo_rows, stream_len, workdir)
+    print(f"  killed: {host_loss['killed_at']}")
+    print(
+        f"  fresh-host resume converges: "
+        f"{host_loss['gates']['fresh_host_resume_converges']} "
+        f"({host_loss['resume_seconds']}s)"
+    )
+
+    print("stale-lease rejection after failover ...")
+    with tempfile.TemporaryDirectory() as workdir:
+        stale = leg_stale_lease(photo_rows, workdir)
+    print(
+        f"  epochs {stale['old_epoch']} -> {stale['new_epoch']}; "
+        f"stale writer rejected: {stale['gates']['stale_writer_rejected']}"
+    )
+
+    print("transient-retry ladder ...")
+    with tempfile.TemporaryDirectory() as workdir:
+        retry = leg_transient_retry(workdir)
+    print(
+        f"  blip absorbed in {retry['blip_attempts']} attempts; "
+        f"persistent fault exhausted after {retry['exhausted_attempts']}"
+    )
+
+    legs = {
+        "host_loss": host_loss,
+        "stale_lease": stale,
+        "transient_retry": retry,
+    }
+    report = {
+        "benchmark": "pluggable fenced state store",
+        "photo_rows": photo_rows,
+        "n_replicas": N_REPLICAS,
+        "seed": SEED,
+        **legs,
+        "environment": {
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+        },
+    }
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    failed = False
+    for leg_name, leg in legs.items():
+        for gate, passed in leg["gates"].items():
+            if not passed:
+                print(f"ERROR: {leg_name}.{gate} failed", file=sys.stderr)
+                failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,11 +37,23 @@ command and ``tune --rollback`` restores the journaled pre-apply
 design. A journal that records a *different* unfinished run exits with
 :data:`EXIT_APPLY_CONFLICT` — resolve it (re-run or roll back) before
 applying something new.
+
+``--store`` (on ``tune`` and ``fleet``) swaps the local state file for
+a pluggable :class:`~repro.resilience.store.StateStore`: ``file:PATH``
+keeps today's checksummed files behind the interface, ``db:[PATH]``
+keeps state *inside the monitored database*, so a daemon restarted on
+a fresh host with zero local files resumes the same loop. The daemon
+acquires a fenced writer lease at startup; a superseded daemon (another
+one acquired after it) exits :data:`EXIT_STALE_LEASE` on its next
+write instead of corrupting the new owner's journal. Exit codes live
+in :mod:`repro.exit_codes`, one module, pinned to the README table by
+a doc-drift test.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.bench.reporting import ResultTable
@@ -51,33 +63,29 @@ from repro.errors import (
     CanonicalizeError,
     FaultInjected,
     ReproError,
+    StaleLeaseError,
     StateCorruptError,
     TokenizeError,
+)
+
+# Re-exported here for back-compat: scripts (and the test suite) import
+# exit codes from repro.cli; their single source of truth — with docs
+# and the README doc-drift pin — is repro.exit_codes.
+from repro.exit_codes import (
+    EXIT_APPLY_CONFLICT,
+    EXIT_OK,
+    EXIT_ROLLOUT_FROZEN,
+    EXIT_STALE_LEASE,
+    EXIT_STREAM_LOST,
 )
 from repro.optimizer.explain import explain
 from repro.resilience import faults
 from repro.resilience import state as resilience_state
+from repro.resilience.store import StateStore, store_from_spec
 from repro.storage.database import Database
 from repro.workloads.sdss import build_sdss_database, sdss_workload
 from repro.workloads.star import build_star_database, star_workload
 from repro.workloads.workload import Workload, iter_statements
-
-# ``tune`` exit code when the statement stream became unreadable
-# mid-run; the final state checkpoint is still flushed first.
-EXIT_STREAM_LOST = 3
-
-# ``tune`` exit code when an apply journal blocks the request: an
-# unfinished journal records a different design, a rollback is in
-# progress, or --rollback found nothing recoverable. Distinct from a
-# crash so supervisors know an operator has to resolve the journal.
-EXIT_APPLY_CONFLICT = 4
-
-# ``fleet --serve`` exit code when the run ends with the fleet frozen:
-# a sustained regression rolled one replica back and halted further
-# drift-driven rollouts. Serving continued (the stream was drained),
-# but an operator should inspect the regressed design before thawing
-# by starting a fresh serve run.
-EXIT_ROLLOUT_FROZEN = 5
 
 
 def _warn(message: str) -> None:
@@ -102,6 +110,27 @@ def _load_database(spec: str) -> Database:
     if name == "star":
         return build_star_database(fact_rows=int(scale) if scale else 8_000)
     raise SystemExit(f"unknown --db {spec!r}; use sdss[:rows] or star[:rows]")
+
+
+def _build_store(args: argparse.Namespace, db: Database) -> StateStore | None:
+    """Resolve ``--store`` and acquire the fenced writer lease.
+
+    Acquiring bumps the persisted epoch, so any daemon still holding
+    the previous lease is fenced out: its next store write raises
+    :class:`~repro.errors.StaleLeaseError` and the process exits
+    :data:`EXIT_STALE_LEASE` instead of clobbering this run's journal.
+    """
+    spec = getattr(args, "store", None)
+    if not spec:
+        return None
+    try:
+        store = store_from_spec(spec, database=db)
+    except ReproError as exc:
+        raise SystemExit(str(exc))
+    owner = f"pid:{os.getpid()}"
+    epoch = store.acquire(owner=owner)
+    print(f"State store {store.describe()}: lease epoch {epoch} ({owner}).")
+    return store
 
 
 def _load_workload(path: str | None, db_spec: str) -> Workload:
@@ -307,15 +336,22 @@ def _fleet_serve(args: argparse.Namespace) -> int:
     journaled applies, and rolls a sustained regression back
     automatically. With ``--state`` the rollout is journaled: killing
     the process at any point and re-running the same command resumes to
-    the same terminal fleet state. Exits
+    the same terminal fleet state. ``--store`` swaps the journal's home
+    for a pluggable state store (``db:`` keeps it inside the monitored
+    database, surviving host loss). ``--thaw`` acknowledges a frozen
+    fleet — it prints the regressed design for inspection, unfreezes,
+    and resumes re-tuning in-process; ``--release N`` puts a
+    quarantined replica back into rotation. Exits
     :data:`EXIT_ROLLOUT_FROZEN` when the run ends frozen (a regression
     rollback halted further rollouts), :data:`EXIT_STREAM_LOST` when
-    the stream went away mid-run, 0 otherwise.
+    the stream went away mid-run, :data:`EXIT_STALE_LEASE` when a newer
+    daemon fenced this one off the store, 0 otherwise.
     """
     if args.state_interval <= 0:
         raise SystemExit("--state-interval must be positive")
     db = _load_database(args.db)
     parinda = Parinda(db, cache_max_entries=args.cache_entries)
+    store = _build_store(args, db)
 
     def listener(event) -> None:
         if event.kind in ("quarantined", "degraded", "regressed", "frozen"):
@@ -326,7 +362,8 @@ def _fleet_serve(args: argparse.Namespace) -> int:
     controller = parinda.fleet_serve(
         args.replicas,
         budget_bytes=int(args.budget_mb * 1024 * 1024),
-        state_file=args.state,
+        state_file=None if store is not None else args.state,
+        state_store=store,
         window_size=args.window,
         check_interval=args.check_interval,
         warmup=args.warmup,
@@ -343,13 +380,35 @@ def _fleet_serve(args: argparse.Namespace) -> int:
     resume_position = 0
     if controller.resumed:
         resume_position = controller.position
+        source = store.describe() if store is not None else args.state
         print(
-            f"Resuming from {args.state}: position {resume_position}, "
+            f"Resuming from {source}: position {resume_position}, "
             f"phase {controller.phase}."
         )
         # Converge first (finish any interrupted rollout / rollback)
         # so the skipped stream prefix replays against a settled fleet.
         controller.resume()
+
+    if args.thaw:
+        if controller.frozen:
+            info = controller.thaw() or {}
+            names = ", ".join(
+                "{}({})".format(ix["table_name"], ", ".join(ix["columns"]))
+                for ix in info.get("design", [])
+            ) or "-"
+            print(
+                f"Thawed: regressed design on replica {info.get('replica')} "
+                f"at position {info.get('position')} was [{names}]; "
+                "re-tuning resumed."
+            )
+        else:
+            _warn("--thaw: fleet is not frozen; nothing to acknowledge")
+    if args.release is not None:
+        try:
+            controller.release(args.release)
+            print(f"Replica {args.release} released from quarantine.")
+        except ReproError as exc:
+            _warn(f"release blocked: {exc}")
 
     position = 0
     skipped = 0
@@ -381,7 +440,12 @@ def _fleet_serve(args: argparse.Namespace) -> int:
             f"statement stream lost after {position} statement(s): "
             f"{stream_lost}; flushing final checkpoint"
         )
-    if args.state:
+    if store is not None:
+        try:
+            store.write("", controller.save_state())
+        except (OSError, FaultInjected) as exc:
+            _warn(f"state checkpoint to {store.describe()} failed ({exc})")
+    elif args.state:
         try:
             resilience_state.dump_state(args.state, controller.save_state())
         except (OSError, FaultInjected) as exc:
@@ -437,6 +501,28 @@ def _save_tuner_state(path: str, tuner, position: int) -> bool:
     return True
 
 
+def _save_tuner_state_to(store: StateStore, tuner, position: int) -> bool:
+    """Checkpoint the tuner into a state store's primary slot.
+
+    Same degradation contract as :func:`_save_tuner_state` — transient
+    store errors and injected crash points warn and return False — with
+    one deliberate exception: :class:`~repro.errors.StaleLeaseError`
+    propagates, because a fenced-out daemon must die, not keep serving
+    while another daemon owns the journal.
+    """
+    try:
+        tuner.save_state_to(
+            store, drain=False, extra={"stream_position": position}
+        )
+    except (OSError, FaultInjected) as exc:
+        _warn(
+            f"state checkpoint to {store.describe()} failed ({exc}); "
+            "continuing"
+        )
+        return False
+    return True
+
+
 def cmd_tune(args: argparse.Namespace) -> int:
     if args.state_interval <= 0:
         raise SystemExit("--state-interval must be positive")
@@ -446,6 +532,7 @@ def cmd_tune(args: argparse.Namespace) -> int:
         raise SystemExit("--rollback excludes --apply/--dry-run")
     db = _load_database(args.db)
     parinda = Parinda(db, cache_max_entries=args.cache_entries)
+    store = _build_store(args, db)
     journal_path = args.journal or (
         f"{args.state}.apply" if args.state else "repro-apply.json"
     )
@@ -453,7 +540,10 @@ def cmd_tune(args: argparse.Namespace) -> int:
     if args.rollback:
         # No streaming: restore the journaled pre-apply design and exit.
         try:
-            report = parinda.rollback_design(journal_path)
+            if store is not None:
+                report = parinda.rollback_design(store=store)
+            else:
+                report = parinda.rollback_design(journal_path)
         except ApplyConflictError as exc:
             _warn(f"rollback blocked: {exc}")
             return EXIT_APPLY_CONFLICT
@@ -485,7 +575,23 @@ def cmd_tune(args: argparse.Namespace) -> int:
     # rather than dying on its own state file.
     resume_position = 0
     state_file = args.state
-    if args.state and resilience_state.has_state(args.state):
+    state_store = store
+    if store is not None:
+        # The store replaces the local state file entirely: the resume
+        # position comes out of the primary slot, and a slot both of
+        # whose underlying copies are torn degrades to a cold start the
+        # same way a torn file pair does.
+        state_file = None
+        if store.exists(""):
+            try:
+                saved, _source = store.read("")
+            except StateCorruptError as exc:
+                _warn(f"state store unrecoverable ({exc}); starting cold")
+                state_store = None
+            else:
+                if args.stream != "-":
+                    resume_position = int(saved.get("stream_position", 0))
+    elif args.state and resilience_state.has_state(args.state):
         try:
             saved, source = resilience_state.load_state(args.state)
         except StateCorruptError as exc:
@@ -506,6 +612,7 @@ def cmd_tune(args: argparse.Namespace) -> int:
     with parinda.online(
         budget_pages=max(1, int(args.budget_mb * 1024 * 1024) // 8192),
         state_file=state_file,
+        state_store=state_store,
         degrade_on_error=True,
         window_size=args.window,
         check_interval=args.check_interval,
@@ -517,8 +624,9 @@ def cmd_tune(args: argparse.Namespace) -> int:
         compress=args.compress,
     ) as tuner:
         if resume_position:
+            source = store.describe() if store is not None else args.state
             print(
-                f"Resuming from {args.state}: {tuner.monitor.observed} "
+                f"Resuming from {source}: {tuner.monitor.observed} "
                 f"statements already observed; skipping {resume_position} "
                 "stream statement(s)."
             )
@@ -543,8 +651,11 @@ def cmd_tune(args: argparse.Namespace) -> int:
                     # cannot fail every future snapshot re-advise.
                     skipped += 1
                     _warn(f"skipped untemplatable statement: {exc}")
-                if args.state and position % args.state_interval == 0:
-                    _save_tuner_state(args.state, tuner, position)
+                if position % args.state_interval == 0:
+                    if store is not None:
+                        _save_tuner_state_to(store, tuner, position)
+                    elif args.state:
+                        _save_tuner_state(args.state, tuner, position)
         except (OSError, FaultInjected) as exc:
             # The stream is gone; what was observed is still good.
             # Flush a final checkpoint (below, after the drain) and
@@ -561,7 +672,9 @@ def cmd_tune(args: argparse.Namespace) -> int:
             tuner.readvise(reason="end of stream")
 
     # The context manager has drained; persist the settled final state.
-    if args.state:
+    if store is not None:
+        _save_tuner_state_to(store, tuner, position)
+    elif args.state:
         _save_tuner_state(args.state, tuner, position)
 
     counts = tuner.event_counts
@@ -602,7 +715,7 @@ def cmd_tune(args: argparse.Namespace) -> int:
                 "re-run with --apply"
             )
         else:
-            code = _tune_apply(args, parinda, tuner, journal_path)
+            code = _tune_apply(args, parinda, tuner, journal_path, store)
             if code != 0:
                 return code
     if args.verbose:
@@ -622,7 +735,9 @@ def cmd_tune(args: argparse.Namespace) -> int:
     return EXIT_STREAM_LOST if stream_lost is not None else 0
 
 
-def _tune_apply(args, parinda, tuner, journal_path: str) -> int:
+def _tune_apply(
+    args, parinda, tuner, journal_path: str, store: StateStore | None = None
+) -> int:
     """The ``tune --apply`` tail: materialize the standing design.
 
     Passes the tuner's full :class:`AdvisorResult` through when it
@@ -646,7 +761,8 @@ def _tune_apply(args, parinda, tuner, journal_path: str) -> int:
             workload=tuner.monitor.snapshot() if args.validate else None,
             dry_run=args.dry_run,
             validate=args.validate,
-            journal_path=journal_path,
+            journal_path=None if store is not None else journal_path,
+            store=store,
         )
     except ApplyConflictError as exc:
         _warn(f"apply blocked: {exc}")
@@ -663,10 +779,11 @@ def _tune_apply(args, parinda, tuner, journal_path: str) -> int:
         for name in report.built:
             print(f"  CREATE INDEX {name};")
         return 0
+    journal_desc = store.describe("apply") if store is not None else journal_path
     print(
         f"Applied design{' (resumed)' if report.resumed else ''}: "
         f"built {len(report.built)}, dropped {len(report.dropped)}, "
-        f"skipped {len(report.skipped)}; journal {journal_path} "
+        f"skipped {len(report.skipped)}; journal {journal_desc} "
         f"{report.phase}."
     )
     for entry in report.validation:
@@ -773,6 +890,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "state to this JSON file (survives restarts)")
     p.add_argument("--state-interval", type=int, default=32,
                    help="statements between --state checkpoints")
+    p.add_argument("--store", metavar="SPEC",
+                   help="pluggable state store replacing --state: "
+                        "file:PATH (checksummed local files) or db:[PATH] "
+                        "(state lives inside the monitored database and "
+                        "survives host loss); acquires a fenced writer "
+                        "lease at startup")
     p.add_argument("--background", action="store_true",
                    help="run drift checks and re-advising on a background "
                         "thread so observation never blocks")
@@ -843,6 +966,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--state", metavar="FILE",
                    help="with --serve: journal rollout state here so a "
                         "killed run resumes to the same terminal fleet")
+    p.add_argument("--store", metavar="SPEC",
+                   help="with --serve: pluggable state store replacing "
+                        "--state: file:PATH or db:[PATH] (rollout journal "
+                        "lives inside the monitored database and survives "
+                        "host loss); acquires a fenced writer lease at "
+                        "startup")
+    p.add_argument("--thaw", action="store_true",
+                   help="with --serve: acknowledge a frozen fleet — print "
+                        "the regressed design, unfreeze, and resume "
+                        "re-tuning in-process")
+    p.add_argument("--release", type=int, default=None, metavar="R",
+                   help="with --serve: release quarantined replica R back "
+                        "into serving rotation before streaming")
     p.add_argument("--state-interval", type=int, default=64,
                    help="statements between steady-state checkpoints")
     p.add_argument("--window", type=int, default=64,
@@ -884,7 +1020,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except StaleLeaseError as exc:
+        # A newer daemon acquired the store lease; this one must stop
+        # rather than clobber the new owner's journal. Distinct code so
+        # supervisors do NOT blindly restart it against the same store.
+        _warn(f"fenced off the state store: {exc}")
+        return EXIT_STALE_LEASE
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

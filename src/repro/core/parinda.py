@@ -29,6 +29,7 @@ from repro.resilience.apply import (
     materialized_name,
 )
 from repro.resilience.faults import FaultInjector
+from repro.resilience.store import StateStore
 from repro.storage.database import Database
 from repro.workloads.workload import Query, Workload
 
@@ -102,6 +103,7 @@ class Parinda:
         budget_pages: int | None = None,
         budget_bytes: int | None = None,
         state_file: str | None = None,
+        state_store: StateStore | None = None,
         **knobs,
     ) -> OnlineTuner:
         """An online tuning session over this database's catalog.
@@ -121,8 +123,12 @@ class Parinda:
         cache. ``state_file`` names a JSON file written by
         ``OnlineTuner.save_state``; when it exists, the tuner resumes
         from it (templates, window, baseline, standing design) instead
-        of starting cold — saving is the caller's job. ``knobs`` pass
-        through to :class:`OnlineTuner` (``window_size``,
+        of starting cold — saving is the caller's job. ``state_store``
+        does the same through a
+        :class:`~repro.resilience.store.StateStore` slot ``""`` (and
+        wins over ``state_file``): with the database backend, the tuner
+        resumes on a host that has no local state files at all.
+        ``knobs`` pass through to :class:`OnlineTuner` (``window_size``,
         ``check_interval``, ``build_cost_per_page``, ``workers``,
         ``background``, ``listener``, ``compress`` for CoPhy scale
         mode on long streams, ...).
@@ -159,7 +165,10 @@ class Parinda:
             budget_pages=budget_pages,
             **knobs,
         )
-        if resilience_state.has_state(state_file):
+        if state_store is not None:
+            if state_store.exists(""):
+                tuner.restore_state_from(state_store)
+        elif resilience_state.has_state(state_file):
             # load_state verifies the checksum envelope and falls back
             # to the rotated .bak when the primary is torn or missing;
             # legacy bare-dict files load unverified.
@@ -219,6 +228,7 @@ class Parinda:
         budget_pages: int | None = None,
         budget_bytes: int | None = None,
         state_file: str | None = None,
+        state_store: StateStore | None = None,
         **knobs,
     ) -> "FleetController":
         """A closed-loop serving controller over an ``n_replicas`` fleet.
@@ -240,7 +250,12 @@ class Parinda:
         applies, re-validates each replica against its live window, and
         rolls a sustained regression back automatically. With a
         ``state_file`` the rollout is journaled so a killed process
-        resumes to the same terminal fleet state. The budget is **per
+        resumes to the same terminal fleet state; a ``state_store``
+        (which wins over ``state_file``) swaps the journal's home — the
+        :class:`~repro.resilience.store.DatabaseStateStore` keeps it
+        inside the monitored database, surviving host loss, and a
+        fenced store rejects a superseded daemon's writes with
+        :class:`~repro.errors.StaleLeaseError`. The budget is **per
         replica**; ``knobs`` pass through to :class:`FleetController`
         (``window_size``, ``check_interval``, ``regression_windows``,
         ``listener``, ...).
@@ -263,6 +278,7 @@ class Parinda:
             self._config,
             budget_pages=budget_pages,
             state_path=state_file,
+            store=state_store,
             **knobs,
         )
 
@@ -390,6 +406,8 @@ class Parinda:
         dry_run: bool = False,
         validate: bool = False,
         journal_path: str | None = None,
+        store: StateStore | None = None,
+        journal_key: str = "apply",
         retry_steps: bool = True,
     ) -> ApplyReport:
         """Materialize an advised design through the journaled executor.
@@ -400,7 +418,11 @@ class Parinda:
         ``journal_path`` is set, every step is preceded by a
         checksummed intent-journal write so a killed process resumes
         (re-run the same call) or rolls back (:meth:`rollback_design`)
-        cleanly.
+        cleanly. A ``store`` (which wins over ``journal_path``) puts
+        the journal in a pluggable
+        :class:`~repro.resilience.store.StateStore` slot
+        ``journal_key`` instead — with the database backend the intent
+        journal survives host loss, not just process loss.
 
         ``result`` is an :class:`AdvisorResult` or a plain index
         sequence. ``dry_run`` reports the delta without touching
@@ -415,7 +437,9 @@ class Parinda:
         )
         executor = ApplyExecutor(
             self._db,
-            journal_path=journal_path,
+            journal_path=None if store is not None else journal_path,
+            store=store,
+            journal_key=journal_key,
             fault_injector=self._fault_injector,
         )
         report = executor.apply(
@@ -448,11 +472,19 @@ class Parinda:
                 )
         return report
 
-    def rollback_design(self, journal_path: str) -> ApplyReport:
+    def rollback_design(
+        self,
+        journal_path: str | None = None,
+        *,
+        store: StateStore | None = None,
+        journal_key: str = "apply",
+    ) -> ApplyReport:
         """Restore the pre-apply design recorded in the apply journal."""
         executor = ApplyExecutor(
             self._db,
-            journal_path=journal_path,
+            journal_path=None if store is not None else journal_path,
+            store=store,
+            journal_key=journal_key,
             fault_injector=self._fault_injector,
         )
         return executor.rollback()

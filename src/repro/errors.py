@@ -148,6 +148,19 @@ class StateCorruptError(ResilienceError):
     """A persisted state file is corrupt, truncated, or fails its checksum."""
 
 
+class StaleLeaseError(ResilienceError):
+    """A state-store write carried a fencing token that is no longer current.
+
+    Raised by :class:`~repro.resilience.store.StateStore` backends when
+    a writer whose lease epoch has been superseded (an old host coming
+    back after failover) tries to write: the store refuses the write
+    *before* touching any slot, so a fenced-out daemon can never
+    clobber the new owner's journal. The only recovery is to re-acquire
+    the lease — which concedes that the other writer's state is now the
+    truth — or to exit; the CLI maps this to its own exit code.
+    """
+
+
 class ApplyConflictError(ResilienceError):
     """An apply journal blocks the requested materialization.
 

@@ -34,17 +34,28 @@ answer and guards it. The :class:`FleetController` closes the loop:
   it leaves serving rotation, the survivors absorb its load, and the
   rollout moves on instead of aborting the fleet.
 
-**Durability.** With a ``state_path``, every rollout step is journaled
-into a checksummed ``repro-state-v1`` envelope (through the
-``rollout.journal`` fault point) *before* the step becomes observable,
-and the per-replica apply journals ride alongside
-(``STATE.rN.apply``). A SIGKILL at any instant — between journal
-writes, mid-apply, mid-rollback — resumes from the envelope to the
-same terminal fleet state an uninterrupted run reaches: standing
-designs re-materialize idempotently, an in-flight transition re-runs
-its (resumable) apply, an in-flight rollback finishes, and the
-statement suffix replays from the journaled stream position, repeating
-every drift check and validation verdict deterministically.
+**Durability.** All rollout state flows through a pluggable
+:class:`~repro.resilience.store.StateStore`: a ``state_path`` is sugar
+for a :class:`~repro.resilience.store.FileStateStore` on that path
+(byte-compatible with pre-store envelopes), and a ``store`` argument
+can swap in the :class:`~repro.resilience.store.DatabaseStateStore`,
+which keeps the envelope and every per-replica apply journal *inside
+the monitored database* — a daemon restarted on a fresh host with zero
+local state files resumes the same serve loop. Every rollout step is
+journaled (through the ``rollout.journal`` fault point) *before* the
+step becomes observable, and the per-replica apply journals ride
+alongside in slots ``rN.apply`` (files ``STATE.rN.apply`` under the
+file backend). A SIGKILL at any instant — between journal writes,
+mid-apply, mid-rollback — resumes from the envelope to the same
+terminal fleet state an uninterrupted run reaches: standing designs
+re-materialize idempotently, an in-flight transition re-runs its
+(resumable) apply, an in-flight rollback finishes, and the statement
+suffix replays from the journaled stream position, repeating every
+drift check and validation verdict deterministically. A fenced store
+(one whose lease was acquired) additionally rejects every write from a
+superseded daemon with :class:`~repro.errors.StaleLeaseError`, so a
+stale host coming back after failover cannot clobber the new owner's
+journal.
 
 Fault points: ``replica.apply`` (one replica's apply inside a rollout
 — quarantines), ``rollout.journal`` (one controller journal write —
@@ -74,7 +85,6 @@ from repro.online.monitor import WorkloadMonitor
 from repro.optimizer.config import PlannerConfig
 from repro.optimizer.planner import Planner
 from repro.parallel.caches import CostCache
-from repro.resilience import state as resilience_state
 from repro.resilience.apply import (
     MANAGED_PREFIX,
     ApplyExecutor,
@@ -82,6 +92,7 @@ from repro.resilience.apply import (
     index_to_dict,
 )
 from repro.resilience.faults import FaultInjector, resolve
+from repro.resilience.store import FileStateStore, StateStore
 from repro.storage.database import Database
 from repro.workloads.workload import Workload
 
@@ -108,6 +119,8 @@ FLEET_EVENT_KINDS = (
     "quarantined",
     "degraded",
     "resumed",
+    "thawed",
+    "released",
 )
 
 #: Replica lifecycle states.
@@ -141,12 +154,12 @@ class _ReplicaRuntime:
         replica_id: int,
         database: Database,
         monitor: WorkloadMonitor,
-        journal_path: str | None,
+        journal_key: str | None,
     ) -> None:
         self.replica_id = replica_id
         self.database = database
         self.monitor = monitor
-        self.journal_path = journal_path
+        self.journal_key = journal_key
         self.design: tuple[Index, ...] = ()
         self.status = "serving"
         self.detail = ""  # quarantine/rollback reason, for reporting
@@ -175,9 +188,20 @@ class FleetController:
         config: Planner configuration shared by routing-cost validation
             and re-tuning.
         budget_pages: Per-replica storage budget for re-tunes.
-        state_path: Rollout journal / resume envelope. ``None`` runs
-            purely in memory (no crash safety). Per-replica apply
-            journals derive from it (``STATE.rN.apply``).
+        state_path: Rollout journal / resume envelope as a local file —
+            sugar for ``store=FileStateStore(state_path)``, byte-
+            compatible with envelopes written before the store existed.
+            ``None`` (with no ``store``) runs purely in memory (no
+            crash safety). Per-replica apply journals derive from it
+            (``STATE.rN.apply``).
+        store: A :class:`~repro.resilience.store.StateStore` holding
+            the envelope (slot ``""``) and the per-replica apply
+            journals (slots ``rN.apply``). Wins over ``state_path``.
+            With a :class:`DatabaseStateStore` the whole serve loop
+            survives host loss; with a fenced store a superseded
+            daemon's writes raise
+            :class:`~repro.errors.StaleLeaseError` instead of
+            corrupting the journal.
         window_size: Per-replica monitor window.
         check_interval: Statements between drift/validation checks.
         warmup: Statements before the first tune (default: window_size).
@@ -208,6 +232,7 @@ class FleetController:
         *,
         budget_pages: int,
         state_path: str | None = None,
+        store: StateStore | None = None,
         window_size: int = 64,
         check_interval: int = 32,
         warmup: int | None = None,
@@ -242,6 +267,9 @@ class FleetController:
         self._config = config or PlannerConfig()
         self._budget_pages = int(budget_pages)
         self._state_path = state_path
+        if store is None and state_path:
+            store = FileStateStore(state_path, fault_injector=fault_injector)
+        self._store = store
         self.window_size = window_size
         self.check_interval = check_interval
         self.warmup = window_size if warmup is None else warmup
@@ -266,7 +294,7 @@ class FleetController:
                 rid,
                 db,
                 WorkloadMonitor(window_size=window_size, decay=decay),
-                f"{state_path}.r{rid}.apply" if state_path else None,
+                f"r{rid}.apply" if self._store is not None else None,
             )
             for rid, db in enumerate(databases)
         ]
@@ -288,15 +316,16 @@ class FleetController:
         self._position = 0
         self._phase = "serving"
         self._rollout: dict | None = None
+        self._regressed: dict | None = None
         self._retunes = 0
         self._validation_catalogs: dict[frozenset, object] = {}
         self.events: list[FleetEvent] = []
         self.event_counts: dict[str, int] = {k: 0 for k in FLEET_EVENT_KINDS}
         self.resumed = False
         self._pending_resume = False
-        if state_path and resilience_state.has_state(state_path):
+        if self._store is not None and self._store.exists(""):
             try:
-                state, _source = resilience_state.load_state(state_path)
+                state, _source = self._store.read("")
             except StateCorruptError as exc:
                 # Only the first-ever write can tear both candidates
                 # (no .bak exists yet), and it happens before anything
@@ -317,6 +346,21 @@ class FleetController:
     @property
     def router(self) -> Router:
         return self._router
+
+    @property
+    def store(self) -> StateStore | None:
+        """The state store holding the envelope and apply journals."""
+        return self._store
+
+    @property
+    def regressed(self) -> dict | None:
+        """The design a confirmed regression rolled back (while frozen).
+
+        ``{"replica": id, "design": [index dicts], "position": n}`` —
+        what ``thaw()`` reports to the acknowledging operator; ``None``
+        when the fleet is not frozen.
+        """
+        return dict(self._regressed) if self._regressed else None
 
     @property
     def position(self) -> int:
@@ -404,7 +448,7 @@ class FleetController:
             untemplatable = exc
         if self._position % self.check_interval == 0:
             self._checkpoint_cycle()
-        if self._state_path and self._position % self.state_interval == 0:
+        if self._store is not None and self._position % self.state_interval == 0:
             self._save_periodic()
         if untemplatable is not None:
             raise untemplatable
@@ -531,7 +575,8 @@ class FleetController:
         if self._phase == "frozen":
             raise ReproError(
                 "the fleet is frozen after a regression rollback; inspect "
-                "the regressed design and start a new serve run to thaw"
+                "the regressed design and acknowledge it with thaw() "
+                "(fleet --serve --thaw) to resume re-tuning"
             )
         if self._rollout is not None:
             raise ReproError("a rollout is already in progress")
@@ -673,19 +718,26 @@ class FleetController:
         return executor.apply(target, retry_steps=self._retry_steps)
 
     def _executor(self, runtime: _ReplicaRuntime) -> ApplyExecutor:
+        if runtime.journal_key is None:
+            return ApplyExecutor(
+                runtime.database, fault_injector=self._fault_injector
+            )
         return ApplyExecutor(
             runtime.database,
-            journal_path=runtime.journal_path,
             fault_injector=self._fault_injector,
+            store=self._store,
+            journal_key=runtime.journal_key,
         )
 
     def _journal_phase(self, runtime: _ReplicaRuntime) -> str | None:
-        if runtime.journal_path is None or not resilience_state.has_state(
-            runtime.journal_path
+        if (
+            runtime.journal_key is None
+            or self._store is None
+            or not self._store.exists(runtime.journal_key)
         ):
             return None
         try:
-            journal, _source = resilience_state.load_state(runtime.journal_path)
+            journal, _source = self._store.read(runtime.journal_key)
         except StateCorruptError:
             return None
         return journal.get("phase")
@@ -839,6 +891,13 @@ class FleetController:
             rollout_active = self._rollout is not None
             self._phase = "frozen"
             self._rollout = None
+            # Remembered for the acknowledging operator: thaw() reports
+            # exactly which design regressed, where, before resuming.
+            self._regressed = {
+                "replica": rid,
+                "design": [index_to_dict(ix) for ix in runtime.design],
+                "position": self._position,
+            }
             self._emit(
                 "frozen",
                 rid,
@@ -856,7 +915,7 @@ class FleetController:
             index_from_dict(d) for d in (runtime.probation or {}).get("old", [])
         )
         executor = self._executor(runtime)
-        if runtime.journal_path is not None and self._journal_phase(runtime):
+        if runtime.journal_key is not None and self._journal_phase(runtime):
             report = executor.rollback(retry_steps=self._retry_steps)
         else:
             # No journal (in-memory controller): restore by applying
@@ -867,6 +926,90 @@ class FleetController:
         runtime.detail = "regression rollback"
         runtime.probation = None
         self._emit("rolled-back", runtime.replica_id, report.summary())
+        self._journal_state()
+
+    # ------------------------------------------------------------------
+    # Operator controls
+
+    def thaw(self) -> dict | None:
+        """Acknowledge a confirmed regression; resume drift-driven tuning.
+
+        A confirmed regression freezes the fleet so an unattended loop
+        cannot keep re-applying a design that made things worse; thaw
+        is the explicit operator acknowledgement. Returns the regressed
+        record (``{"replica", "design", "position"}``) so the caller
+        can show exactly what was rolled back — the same traffic mix
+        may well re-derive the same design, and accepting that risk is
+        what the acknowledgement means. The fleet goes back to
+        ``serving`` in-process (no restart) and the decision is
+        journaled immediately.
+
+        Raises:
+            ReproError: the fleet is not frozen.
+        """
+        self._ensure_resumed()
+        if self._phase != "frozen":
+            raise ReproError("the fleet is not frozen; nothing to thaw")
+        info = self._regressed
+        self._regressed = None
+        self._phase = "serving"
+        detail = "regression acknowledged; re-tuning resumed"
+        if info:
+            names = ", ".join(
+                d.get("name", "?") for d in info.get("design", [])
+            ) or "empty design"
+            detail = (
+                f"acknowledged regressed design on replica "
+                f"{info.get('replica')} ({names}); re-tuning resumed"
+            )
+        self._emit("thawed", detail=detail)
+        self._journal_state()
+        return dict(info) if info else None
+
+    def release(self, replica_id: int) -> None:
+        """Release one quarantined replica back into serving rotation.
+
+        Converges any journal the crashed apply left behind (an
+        in-flight rollback finishes, an in-flight apply resumes), then
+        re-materializes the replica's standing design idempotently,
+        restores it to the router, and restarts its window — the same
+        re-entry path a transitioned replica takes, so the health
+        machinery judges it on traffic it actually serves.
+
+        Raises:
+            ReproError: the replica is not quarantined, or a rollout is
+                in flight (release between rollouts).
+        """
+        self._ensure_resumed()
+        if not 0 <= replica_id < self.n_replicas:
+            raise ReproError(f"no replica {replica_id} in this fleet")
+        if self._rollout is not None:
+            raise ReproError("cannot release a replica mid-rollout")
+        runtime = self._replicas[replica_id]
+        if runtime.status != "quarantined":
+            raise ReproError(
+                f"replica {replica_id} is {runtime.status}, not quarantined"
+            )
+        executor = self._executor(runtime)
+        journal_phase = self._journal_phase(runtime)
+        if journal_phase == "rollback-in-progress":
+            executor.rollback(retry_steps=self._retry_steps)
+        elif journal_phase == "in-progress":
+            executor.apply(retry_steps=self._retry_steps)
+        if not executor.plan(runtime.design).is_noop:
+            executor.apply(tuple(runtime.design), retry_steps=self._retry_steps)
+        runtime.status = "serving"
+        runtime.detail = ""
+        runtime.probation = None
+        runtime.monitor.clear_window()
+        runtime.baseline = None
+        try:
+            self._router.restore(replica_id)
+        except ReproError:
+            pass  # was never excluded (sole replica kept in rotation)
+        self._emit(
+            "released", replica_id, "quarantine released; back in rotation"
+        )
         self._journal_state()
 
     # ------------------------------------------------------------------
@@ -884,6 +1027,7 @@ class FleetController:
             "router": self._router.save(),
             "event_counts": dict(self.event_counts),
             "rollout": dict(self._rollout) if self._rollout else None,
+            "regressed": dict(self._regressed) if self._regressed else None,
             "replicas": [
                 {
                     "status": runtime.status,
@@ -919,6 +1063,8 @@ class FleetController:
         self.event_counts.update(state.get("event_counts") or {})
         rollout = state.get("rollout")
         self._rollout = dict(rollout) if rollout else None
+        regressed = state.get("regressed")
+        self._regressed = dict(regressed) if regressed else None
         for runtime, saved in zip(self._replicas, state["replicas"]):
             runtime.status = saved["status"]
             runtime.detail = saved.get("detail", "")
@@ -935,27 +1081,28 @@ class FleetController:
 
         Every observable rollout step is journaled *before* the next
         step runs, through the ``rollout.journal`` fault point — this
-        is the hook the SIGKILL sweep drives. Without a ``state_path``
-        journaling is off (in-memory fleet, no crash safety).
+        is the hook the SIGKILL sweep drives. Without a store
+        journaling is off (in-memory fleet, no crash safety). A
+        :class:`~repro.errors.StaleLeaseError` propagates too: a fenced-
+        out controller must stop, not keep serving on a journal it no
+        longer owns.
         """
-        if self._state_path is None:
+        if self._store is None:
             return
-        resilience_state.dump_state(
-            self._state_path,
-            self.save_state(),
-            fault_injector=self._fault_injector,
-            fault_point="rollout.journal",
+        self._store.write(
+            "", self.save_state(), fault_point="rollout.journal"
         )
 
     def _save_periodic(self) -> None:
-        """Best-effort steady-state checkpoint (stream position bump)."""
+        """Best-effort steady-state checkpoint (stream position bump).
+
+        I/O errors and injected write faults degrade (the previous
+        checkpoint still resumes correctly); losing the lease does not —
+        ``StaleLeaseError`` propagates so a superseded daemon dies
+        instead of silently serving without durability.
+        """
         try:
-            resilience_state.dump_state(
-                self._state_path,
-                self.save_state(),
-                fault_injector=self._fault_injector,
-                fault_point="state.write",
-            )
+            self._store.write("", self.save_state(), fault_point="state.write")
         except (OSError, FaultInjected) as exc:
             self._emit("degraded", detail=f"state checkpoint failed: {exc}")
 

@@ -14,6 +14,10 @@ the two halves of that safety layer:
   when they shed work instead of aborting;
 * :mod:`repro.resilience.state` — checksummed state files with
   last-good-checkpoint recovery for the durable tuner;
+* :mod:`repro.resilience.store` — the pluggable fenced
+  :class:`StateStore` (file or in-database backend) every durable
+  component writes through, with a writer lease whose stale holders
+  get :class:`StaleLeaseError` instead of clobbering the journal;
 * :mod:`repro.resilience.apply` — crash-safe design materialization:
   :class:`DesignDelta` diffs, the journaled :class:`ApplyExecutor`,
   and rollback to the journaled pre-apply design.
@@ -27,6 +31,7 @@ from repro.errors import (
     ApplyConflictError,
     FaultInjected,
     ResilienceError,
+    StaleLeaseError,
     StateCorruptError,
     WorkerCrashError,
 )
@@ -47,6 +52,13 @@ from repro.resilience.state import (
     has_state,
     load_state,
 )
+from repro.resilience.store import (
+    DatabaseStateStore,
+    FileStateStore,
+    StateStore,
+    store_from_spec,
+    torn_slot_paths,
+)
 
 # Imported last: apply builds on faults/state above, and its runtime
 # imports stay clear of repro.storage (TYPE_CHECKING only) so the
@@ -64,15 +76,19 @@ __all__ = [
     "ApplyExecutor",
     "ApplyReport",
     "DEGRADE_ACTIONS",
+    "DatabaseStateStore",
     "DegradedResult",
     "DesignDelta",
     "FAULT_POINT_DOCS",
     "FAULT_POINTS",
     "FaultInjected",
     "FaultInjector",
+    "FileStateStore",
     "ResilienceError",
     "STATE_FORMAT",
+    "StaleLeaseError",
     "StateCorruptError",
+    "StateStore",
     "ValidationEntry",
     "WorkerCrashError",
     "ambient",
@@ -84,4 +100,6 @@ __all__ = [
     "materialized_name",
     "reset_ambient",
     "resolve",
+    "store_from_spec",
+    "torn_slot_paths",
 ]

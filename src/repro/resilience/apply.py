@@ -44,7 +44,7 @@ from repro.errors import (
     StateCorruptError,
 )
 from repro.resilience.degrade import DegradedResult
-from repro.resilience.state import dump_state, has_state, load_state
+from repro.resilience.store import FileStateStore, StateStore
 
 if TYPE_CHECKING:  # pragma: no cover - import-cycle firewall
     from repro.resilience.faults import FaultInjector
@@ -287,13 +287,20 @@ class ApplyExecutor:
 
     Args:
         database: The database to materialize against.
-        journal_path: Where the intent journal lives; ``None`` disables
-            journaling entirely (pure in-memory applies — no crash
-            safety, no rollback).
+        journal_path: Where the intent journal lives; ``None`` (with no
+            ``store``) disables journaling entirely (pure in-memory
+            applies — no crash safety, no rollback). A bare path is
+            sugar for a :class:`FileStateStore` on that path, byte-
+            compatible with journals written before the store existed.
         fault_injector: Explicit injector threaded into index builds
             and journal writes; ``None`` falls through to the ambient
             ``REPRO_FAULTS`` injector at each call site.
         managed_prefix: Name prefix marking indexes this executor owns.
+        store: A :class:`~repro.resilience.store.StateStore` to keep the
+            journal in instead of a local file — with the database
+            backend the intent journal survives host loss, and a fenced
+            store rejects writes from a superseded daemon.
+        journal_key: The slot the journal occupies inside ``store``.
     """
 
     def __init__(
@@ -302,11 +309,21 @@ class ApplyExecutor:
         journal_path: str | None = None,
         fault_injector: "FaultInjector | None" = None,
         managed_prefix: str = MANAGED_PREFIX,
+        store: StateStore | None = None,
+        journal_key: str = "",
     ) -> None:
         self._db = database
         self._journal_path = journal_path
         self._fault_injector = fault_injector
         self._managed_prefix = managed_prefix
+        if store is None and journal_path is not None:
+            store = FileStateStore(journal_path, fault_injector=fault_injector)
+            journal_key = ""
+        self._store = store
+        self._journal_key = journal_key
+        self._journal_desc = (
+            store.describe(journal_key) if store is not None else None
+        )
 
     # ------------------------------------------------------------------
     # Planning
@@ -321,14 +338,9 @@ class ApplyExecutor:
     # Journal plumbing
 
     def _write_journal(self, journal: dict) -> None:
-        if self._journal_path is None:
+        if self._store is None:
             return
-        dump_state(
-            self._journal_path,
-            journal,
-            fault_injector=self._fault_injector,
-            fault_point="journal.write",
-        )
+        self._store.write(self._journal_key, journal, fault_point="journal.write")
 
     def _load_journal(self) -> tuple[dict | None, str | None]:
         """(journal, source) when one loads; (None, None) when none exists.
@@ -337,9 +349,9 @@ class ApplyExecutor:
             StateCorruptError: a journal exists but neither the primary
                 nor the ``.bak`` survives verification.
         """
-        if self._journal_path is None or not has_state(self._journal_path):
+        if self._store is None or not self._store.exists(self._journal_key):
             return None, None
-        journal, source = load_state(self._journal_path)
+        journal, source = self._store.read(self._journal_key)
         return journal, source
 
     def _fresh_journal(self, delta: DesignDelta, phase: str) -> dict:
@@ -496,7 +508,7 @@ class ApplyExecutor:
             report.degraded.append(
                 DegradedResult(
                     point="journal.write",
-                    subject=self._journal_path or "-",
+                    subject=self._journal_desc or "-",
                     action="recovered",
                     detail=f"journal unreadable, restarting apply: {exc}",
                 )
@@ -505,7 +517,7 @@ class ApplyExecutor:
             report.degraded.append(
                 DegradedResult(
                     point="journal.write",
-                    subject=self._journal_path or "-",
+                    subject=self._journal_desc or "-",
                     action="recovered",
                     detail="journal primary torn; resumed from .bak",
                 )
@@ -577,8 +589,8 @@ class ApplyExecutor:
         Raises:
             ApplyConflictError: no journal exists, or it is corrupt.
         """
-        if self._journal_path is None:
-            raise ApplyConflictError("rollback needs a journal path")
+        if self._store is None:
+            raise ApplyConflictError("rollback needs a journal path or store")
         try:
             journal, source = self._load_journal()
         except StateCorruptError as exc:
@@ -587,14 +599,14 @@ class ApplyExecutor:
             ) from exc
         if journal is None:
             raise ApplyConflictError(
-                f"no apply journal at {self._journal_path}; nothing to roll back"
+                f"no apply journal at {self._journal_desc}; nothing to roll back"
             )
         report = ApplyReport(phase="rollback-in-progress")
         if source == "backup":
             report.degraded.append(
                 DegradedResult(
                     point="journal.write",
-                    subject=self._journal_path,
+                    subject=self._journal_desc or "-",
                     action="recovered",
                     detail="journal primary torn; resumed from .bak",
                 )

@@ -65,6 +65,9 @@ FAULT_POINT_DOCS: dict[str, str] = {
     "replica.apply": "one replica design apply inside a fleet rollout",
     "rollout.journal": "one fleet-rollout state-journal write (FleetController)",
     "validate.window": "one post-apply health-gate window validation",
+    "store.read": "one state-store slot read (file or database backend)",
+    "store.write": "one state-store slot write (file or database backend)",
+    "lease.acquire": "one fenced writer-lease acquisition on a state store",
 }
 
 FAULT_POINTS = tuple(FAULT_POINT_DOCS)

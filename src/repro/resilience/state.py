@@ -52,7 +52,7 @@ def dump_state(
     path: str,
     state: dict,
     fault_injector: FaultInjector | None = None,
-    fault_point: str = "state.write",
+    fault_point: str | None = "state.write",
 ) -> None:
     """Atomically write ``state`` to ``path`` inside a checksummed envelope.
 
@@ -62,13 +62,17 @@ def dump_state(
     truncated primary behind, the way a mid-write crash would.
     ``fault_point`` is ``state.write`` for tuner checkpoints and
     ``journal.write`` when the apply executor persists its intent
-    journal, so the two write streams have independent schedules.
+    journal, so the two write streams have independent schedules; pass
+    ``None`` when the caller already checked its own fault point (the
+    state store guards its writes with ``store.write`` before it gets
+    here).
     """
     text = json.dumps(
         {"format": STATE_FORMAT, "sha256": _checksum(state), "state": state}
     )
     try:
-        faults.check(fault_point, path, fault_injector)
+        if fault_point is not None:
+            faults.check(fault_point, path, fault_injector)
     except FaultInjected:
         # Emulate the torn write this envelope exists to survive: the
         # primary is clobbered with a prefix, the .bak stays good.

@@ -43,6 +43,25 @@ class Database:
         self.analyze(table.name)
         return relation
 
+    def replace_rows(
+        self, table_name: str, data: Mapping[str, Sequence[Any]]
+    ) -> Relation:
+        """Swap a stored relation's rows without re-ANALYZE or a DDL bump.
+
+        This exists for *system* tables — the resilience layer's
+        ``repro_state`` store mirrors its journal rows into the
+        monitored database on every write, and re-analyzing (which
+        bumps the catalog version and evicts every cached plan) on each
+        journal write would turn durability into a planner-cache storm.
+        Statistics for the table go stale; that is deliberate and
+        harmless for tables no workload query touches. Regular data
+        loading should keep using :meth:`create_table`.
+        """
+        relation = self.relation(table_name)
+        replaced = Relation(relation.table, data)
+        self._relations[table_name] = replaced
+        return replaced
+
     def drop_table(self, name: str) -> None:
         self.catalog.drop_table(name)
         self._relations.pop(name, None)

@@ -1,7 +1,10 @@
 """CLI tests: the three scenario subcommands."""
 
+import re
+
 import pytest
 
+from repro import exit_codes
 from repro.cli import build_parser, main
 
 
@@ -130,3 +133,60 @@ class TestSuggestCombined:
         )
         assert "Combined workload cost" in out
         assert "Partitions:" in out
+
+
+class TestExitCodes:
+    """One module defines every exit code; the README table is pinned to it.
+
+    Supervisors branch on these numbers, so a new code must land in
+    :data:`repro.exit_codes.EXIT_CODE_DOCS` *and* in the README table
+    — these tests fail on either half drifting.
+    """
+
+    def _readme_rows(self) -> dict[int, str]:
+        text = open("README.md").read()
+        marker = "| code | meaning |"
+        assert marker in text, "README lost its exit-code table"
+        rows: dict[int, str] = {}
+        for line in text.split(marker, 1)[1].splitlines():
+            line = line.strip()
+            if not line.startswith("|"):
+                if rows:
+                    break
+                continue
+            match = re.match(r"\|\s*(\d+)\s*\|(.+)\|", line)
+            if match:
+                rows[int(match.group(1))] = match.group(2)
+        return rows
+
+    def _constants(self) -> dict[int, str]:
+        return {
+            value: name
+            for name, value in vars(exit_codes).items()
+            if name.startswith("EXIT_") and isinstance(value, int)
+        }
+
+    def test_docs_cover_every_constant_and_nothing_else(self):
+        assert set(exit_codes.EXIT_CODE_DOCS) == set(self._constants())
+
+    def test_python_and_argparse_codes_stay_unclaimed(self):
+        # 1 is any uncaught ReproError, 2 is an argparse usage error;
+        # claiming either would make supervisor branching ambiguous.
+        assert 1 not in exit_codes.EXIT_CODE_DOCS
+        assert 2 not in exit_codes.EXIT_CODE_DOCS
+
+    def test_readme_table_lists_exactly_the_documented_codes(self):
+        assert set(self._readme_rows()) == set(exit_codes.EXIT_CODE_DOCS)
+
+    def test_readme_rows_name_their_constants(self):
+        names = self._constants()
+        for code, meaning in self._readme_rows().items():
+            assert names[code] in meaning, (
+                f"README row for exit code {code} must mention {names[code]}"
+            )
+
+    def test_cli_reexports_match(self):
+        import repro.cli as cli
+
+        for code, name in self._constants().items():
+            assert getattr(cli, name) == code

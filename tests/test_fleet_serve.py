@@ -757,3 +757,97 @@ class TestCli:
         codes = {EXIT_STREAM_LOST, EXIT_APPLY_CONFLICT, EXIT_ROLLOUT_FROZEN}
         assert len(codes) == 3
         assert EXIT_ROLLOUT_FROZEN == 5
+
+
+# ----------------------------------------------------------------------
+# Operator controls: thaw (acknowledge a frozen fleet) and per-replica
+# quarantine release
+
+
+class TestThawAndRelease:
+    def _frozen(self, tmp_path, **knobs):
+        databases = fleet_databases(2)
+        controller = make_controller(
+            databases,
+            state_path=str(tmp_path / "fleet.state"),
+            warmup=10_000,
+            regression_tolerance=0.05,
+            regression_windows=1,
+            **knobs,
+        )
+        for sql in stable_stream(48):
+            controller.observe(sql)
+        good = [(AGE_INDEX, HEIGHT_INDEX)] * 2
+        controller.rollout(good)
+        for sql in stable_stream(48):
+            controller.observe(sql)
+        controller.rollout([()] * 2)  # regressing design on every replica
+        for sql in stable_stream(64):
+            controller.observe(sql)
+        assert controller.frozen
+        return controller, good
+
+    def test_thaw_returns_the_regressed_record_and_resumes(self, tmp_path):
+        controller, good = self._frozen(tmp_path)
+        record = controller.regressed
+        assert record is not None
+        assert set(record) >= {"replica", "design", "position"}
+        info = controller.thaw()
+        assert info == record
+        assert controller.phase == "serving"
+        assert controller.regressed is None
+        assert controller.event_counts["thawed"] == 1
+        # Acknowledging re-arms the rollout machinery in-process.
+        controller.rollout([good[0]] * 2)
+        assert controller.event_counts["rollout-finished"] >= 3
+
+    def test_thaw_requires_a_frozen_fleet(self, tmp_path):
+        controller = make_controller(fleet_databases(2), warmup=10_000)
+        with pytest.raises(ReproError, match="not frozen"):
+            controller.thaw()
+
+    def test_regressed_record_survives_save_restore(self, tmp_path):
+        controller, _ = self._frozen(tmp_path)
+        resumed = make_controller(
+            fleet_databases(2),
+            state_path=str(tmp_path / "fleet.state"),
+            warmup=10_000,
+        )
+        assert resumed.resumed
+        resumed.resume()
+        assert resumed.frozen
+        assert resumed.regressed == controller.regressed
+        info = resumed.thaw()
+        assert info is not None
+        assert resumed.phase == "serving"
+
+    def test_release_returns_replica_to_rotation(self, tmp_path):
+        controller = make_controller(
+            fleet_databases(3),
+            state_path=str(tmp_path / "fleet.state"),
+            warmup=10_000,
+            fault_injector=FaultInjector.from_spec("replica.apply:1"),
+        )
+        for sql in stable_stream(24):
+            controller.observe(sql)
+        controller.rollout([(AGE_INDEX,)] * 3)
+        assert controller.replicas[0].status == "quarantined"
+        assert controller.router.excluded == frozenset({0})
+        controller.release(0)
+        runtime = controller.replicas[0]
+        assert runtime.status == "serving"
+        assert runtime.probation is None
+        assert runtime.baseline is None
+        assert controller.router.excluded == frozenset()
+        assert controller.event_counts["released"] == 1
+        # The released replica takes the next rollout like any other.
+        controller.rollout([(AGE_INDEX, HEIGHT_INDEX)] * 3)
+        assert controller.replicas[0].status == "serving"
+        assert len(controller.replicas[0].design) == 2
+
+    def test_release_rejects_wrong_states(self, tmp_path):
+        controller = make_controller(fleet_databases(2), warmup=10_000)
+        with pytest.raises(ReproError, match="no replica"):
+            controller.release(5)
+        with pytest.raises(ReproError, match="not quarantined"):
+            controller.release(0)

@@ -1,0 +1,693 @@
+"""The pluggable fenced state store (PR 10 tentpole).
+
+Acceptance pinned here:
+
+* both backends round-trip keyed slots, and the file backend stays
+  byte-identical to the pre-store ``dump_state``/``load_state`` files
+  (old state directories keep loading, new ones load with old code);
+* fencing — a writer holding a superseded lease epoch gets
+  ``StaleLeaseError`` *before any slot is touched* and cannot corrupt
+  the new owner's journal;
+* transient store faults (``store.read``/``store.write``/
+  ``lease.acquire``, plain ``OSError``) are absorbed by bounded retry,
+  while caller crash points keep their kill-mid-write semantics;
+* **host-loss convergence** — SIGKILL at every journal write, then a
+  resume with *fresh databases and zero local state files besides the
+  store's dsn*, lands on a terminal fleet byte-identical to an
+  uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.errors import (
+    FaultInjected,
+    ReproError,
+    StaleLeaseError,
+    StateCorruptError,
+)
+from repro.fleet.router import Router
+from repro.resilience import faults
+from repro.resilience import state as resilience_state
+from repro.resilience.apply import ApplyExecutor
+from repro.resilience.faults import FAULT_POINT_DOCS, FaultInjector
+from repro.resilience.store import (
+    LEASE_KEY,
+    STORE_TABLE,
+    DatabaseStateStore,
+    FileStateStore,
+    StateStore,
+    store_from_spec,
+    torn_slot_paths,
+)
+
+from tests.conftest import make_people_db
+from tests.test_fleet_serve import (
+    AGE_INDEX,
+    HEIGHT_INDEX,
+    db_fingerprint,
+    drifting_stream,
+    fleet_databases,
+    make_controller,
+)
+
+
+@pytest.fixture(autouse=True)
+def _ambient_isolation():
+    faults.reset_ambient()
+    yield
+    faults.reset_ambient()
+
+
+STATE_A = {"version": 1, "payload": "alpha"}
+STATE_B = {"version": 1, "payload": "beta"}
+
+
+def _tear(path: str) -> None:
+    with open(path, "w") as handle:
+        handle.write("{ torn mid-write")
+
+
+# ----------------------------------------------------------------------
+# File backend: slots, paths, byte-compat, .bak ladder
+
+
+class TestFileStateStore:
+    def test_round_trip_and_sources(self, tmp_path):
+        store = FileStateStore(str(tmp_path / "STATE"))
+        assert not store.exists("")
+        store.write("", STATE_A)
+        state, source = store.read("")
+        assert state == STATE_A
+        assert source == "primary"
+        assert store.exists("")
+
+    def test_key_to_path_mapping_matches_legacy_layout(self, tmp_path):
+        base = str(tmp_path / "STATE")
+        store = FileStateStore(base)
+        assert store.path_for("") == base
+        assert store.path_for("apply") == f"{base}.apply"
+        # The fleet's per-replica journal slots land on exactly the
+        # paths the pre-store FleetController used.
+        assert store.path_for("r0.apply") == f"{base}.r0.apply"
+        assert store.lease_path == f"{base}.lease"
+
+    def test_files_byte_identical_to_dump_state(self, tmp_path):
+        legacy = str(tmp_path / "legacy.json")
+        via_store = str(tmp_path / "store.json")
+        resilience_state.dump_state(legacy, STATE_A)
+        FileStateStore(via_store).write("", STATE_A)
+        assert open(legacy, "rb").read() == open(via_store, "rb").read()
+
+    def test_old_files_load_new_files_load_old(self, tmp_path):
+        path = str(tmp_path / "STATE")
+        resilience_state.dump_state(path, STATE_A)
+        state, _source = FileStateStore(path).read("")
+        assert state == STATE_A
+        FileStateStore(path).write("", STATE_B)
+        state, source = resilience_state.load_state(path)
+        assert (state, source) == (STATE_B, "primary")
+
+    def test_torn_primary_falls_back_to_rotated_backup(self, tmp_path):
+        store = FileStateStore(str(tmp_path / "STATE"))
+        store.write("", STATE_A)
+        store.write("", STATE_B)  # rotates A's envelope to .bak
+        _tear(store.path_for(""))
+        state, source = store.read("")
+        assert (state, source) == (STATE_A, "backup")
+
+    def test_slots_are_independent(self, tmp_path):
+        store = FileStateStore(str(tmp_path / "STATE"))
+        store.write("", STATE_A)
+        store.write("r1.apply", STATE_B)
+        assert store.read("")[0] == STATE_A
+        assert store.read("r1.apply")[0] == STATE_B
+        assert not store.exists("r0.apply")
+
+    def test_empty_base_path_rejected(self):
+        with pytest.raises(ReproError):
+            FileStateStore("")
+
+
+# ----------------------------------------------------------------------
+# Database backend: in-database slots, fresh-host attach, mirror table
+
+
+class TestDatabaseStateStore:
+    def test_round_trip(self, tmp_path):
+        db = make_people_db(rows=60)
+        store = DatabaseStateStore(db, str(tmp_path / "dbstate.json"))
+        assert not store.exists("")
+        store.write("", STATE_A)
+        store.write("apply", STATE_B)
+        assert store.read("")[0] == STATE_A
+        assert store.read("apply")[0] == STATE_B
+
+    def test_fresh_host_resumes_from_dsn_alone(self, tmp_path):
+        dsn = str(tmp_path / "dbstate.json")
+        store = DatabaseStateStore(make_people_db(rows=60), dsn)
+        store.write("", STATE_A)
+        # Host lost: a brand-new database object and store instance,
+        # nothing shared in memory, only the dsn file survives.
+        fresh = DatabaseStateStore(make_people_db(rows=60), dsn)
+        assert fresh.exists("")
+        assert fresh.read("")[0] == STATE_A
+
+    def test_state_lives_in_a_real_table(self, tmp_path):
+        db = make_people_db(rows=60)
+        store = DatabaseStateStore(db, str(tmp_path / "dbstate.json"))
+        store.write("", STATE_A)
+        assert db.has_relation(STORE_TABLE)
+        relation = db.relation(STORE_TABLE)
+        keys = list(relation.heap.column("skey"))
+        payloads = list(relation.heap.column("payload"))
+        assert keys == [""]
+        assert json.loads(payloads[0]) == STATE_A
+
+    def test_attach_hydrates_mirror_from_dsn(self, tmp_path):
+        dsn = str(tmp_path / "dbstate.json")
+        DatabaseStateStore(make_people_db(rows=60), dsn).write("", STATE_A)
+        fresh_db = make_people_db(rows=60)
+        DatabaseStateStore(fresh_db, dsn)
+        keys = list(fresh_db.relation(STORE_TABLE).heap.column("skey"))
+        assert keys == [""]
+
+    def test_writes_do_not_churn_the_catalog(self, tmp_path):
+        # replace_rows skips the catalog bump and re-ANALYZE on
+        # purpose: journal writes must not storm the planner's
+        # catalog-versioned caches.
+        db = make_people_db(rows=60)
+        store = DatabaseStateStore(db, str(tmp_path / "dbstate.json"))
+        version = db.catalog.cache_key
+        for i in range(3):
+            store.write("", {"gen": i})
+        assert db.catalog.cache_key == version
+
+    def test_torn_dsn_pair_reads_as_cold(self, tmp_path):
+        dsn = str(tmp_path / "dbstate.json")
+        store = DatabaseStateStore(make_people_db(rows=60), dsn)
+        store.write("", STATE_A)
+        _tear(dsn)
+        _tear(resilience_state.backup_path(dsn))
+        fresh = DatabaseStateStore(make_people_db(rows=60), dsn)
+        assert not fresh.exists("")
+        with pytest.raises(StateCorruptError):
+            fresh.read("")
+
+    def test_empty_dsn_rejected(self):
+        with pytest.raises(ReproError):
+            DatabaseStateStore(make_people_db(rows=60), "")
+
+
+# ----------------------------------------------------------------------
+# Fencing: epochs, StaleLeaseError, journal integrity under a stale
+# writer (tentpole acceptance)
+
+
+def _file_store(tmp_path, **kw):
+    return FileStateStore(str(tmp_path / "STATE"), **kw)
+
+
+def _db_store(tmp_path, **kw):
+    return DatabaseStateStore(
+        make_people_db(rows=60), str(tmp_path / "dbstate.json"), **kw
+    )
+
+
+@pytest.mark.parametrize("make_store", [_file_store, _db_store])
+class TestFencing:
+    def test_acquire_bumps_epoch(self, tmp_path, make_store):
+        first = make_store(tmp_path)
+        assert first.epoch is None
+        assert first.acquire(owner="a") == 1
+        assert first.epoch == 1
+        second = make_store(tmp_path)
+        assert second.acquire(owner="b") == 2
+        assert first.epoch == 1  # the old token does not move
+
+    def test_stale_writer_rejected_and_cannot_corrupt(
+        self, tmp_path, make_store
+    ):
+        old = make_store(tmp_path)
+        old.acquire(owner="old")
+        old.write("", STATE_A)
+        new = make_store(tmp_path)
+        new.acquire(owner="new")
+        new.write("", STATE_B)
+        with pytest.raises(StaleLeaseError) as excinfo:
+            old.write("", {"payload": "clobber"})
+        assert "new" in str(excinfo.value)
+        # The new owner's journal is untouched by the rejected write.
+        assert new.read("")[0] == STATE_B
+        assert make_store(tmp_path).read("")[0] == STATE_B
+
+    def test_never_acquired_writer_fenced_once_lease_exists(
+        self, tmp_path, make_store
+    ):
+        make_store(tmp_path).acquire(owner="daemon")
+        bystander = make_store(tmp_path)
+        with pytest.raises(StaleLeaseError):
+            bystander.write("", STATE_A)
+
+    def test_unfenced_legacy_mode_without_any_lease(
+        self, tmp_path, make_store
+    ):
+        store = make_store(tmp_path)
+        store.write("", STATE_A)  # no acquire anywhere: legacy writer
+        assert store.read("")[0] == STATE_A
+
+    def test_reacquire_unfences_the_same_instance(self, tmp_path, make_store):
+        old = make_store(tmp_path)
+        old.acquire(owner="old")
+        make_store(tmp_path).acquire(owner="new")
+        with pytest.raises(StaleLeaseError):
+            old.write("", STATE_A)
+        old.acquire(owner="old-again")
+        old.write("", STATE_A)
+        assert old.read("")[0] == STATE_A
+
+
+# ----------------------------------------------------------------------
+# Failure semantics: transient retry vs crash points vs stale leases
+
+
+class TestRetrySemantics:
+    def test_new_fault_points_documented(self):
+        for point in ("store.read", "store.write", "lease.acquire"):
+            assert point in FAULT_POINT_DOCS
+
+    @pytest.mark.parametrize("point", ["store.read", "store.write"])
+    def test_single_transient_fault_absorbed(self, tmp_path, point):
+        injector = FaultInjector.from_spec(f"{point}:1")
+        store = FileStateStore(
+            str(tmp_path / "STATE"), fault_injector=injector, backoff=0.0
+        )
+        if point == "store.read":
+            FileStateStore(str(tmp_path / "STATE")).write("", STATE_A)
+            assert store.read("")[0] == STATE_A
+        else:
+            store.write("", STATE_A)
+            assert store.read("")[0] == STATE_A
+        assert injector.fired(point) == 1
+
+    def test_persistent_fault_exhausts_the_retry_budget(self, tmp_path):
+        injector = FaultInjector.from_spec("store.write:*")
+        store = FileStateStore(
+            str(tmp_path / "STATE"),
+            fault_injector=injector,
+            retries=2,
+            backoff=0.0,
+        )
+        with pytest.raises(FaultInjected):
+            store.write("", STATE_A)
+        # retries=2 means three attempts total, then propagate.
+        assert injector.fired("store.write") == 3
+        assert not store.exists("")
+
+    def test_lease_acquire_fault_retried(self, tmp_path):
+        injector = FaultInjector.from_spec("lease.acquire:1")
+        store = FileStateStore(
+            str(tmp_path / "STATE"), fault_injector=injector, backoff=0.0
+        )
+        assert store.acquire(owner="a") == 1
+        assert injector.fired("lease.acquire") == 1
+
+    def test_oserror_retried(self, tmp_path):
+        class Flaky(FileStateStore):
+            failures = 2
+
+            def _write_slot(self, key, state, fault_point):
+                if self.failures:
+                    self.failures -= 1
+                    raise OSError("connection blip")
+                super()._write_slot(key, state, fault_point)
+
+        store = Flaky(str(tmp_path / "STATE"), retries=2, backoff=0.0)
+        store.write("", STATE_A)
+        assert store.read("")[0] == STATE_A
+
+    def test_caller_crash_point_never_retried(self, tmp_path):
+        # journal.write models the *writer* crashing mid-write: it must
+        # fire once, tear the primary, and propagate — a retry would
+        # defeat every kill/resume test built on it.
+        injector = FaultInjector.from_spec("journal.write:1")
+        store = FileStateStore(
+            str(tmp_path / "STATE"), fault_injector=injector, backoff=0.0
+        )
+        store.write("", STATE_A)
+        store.write("", STATE_A)  # second write rotates a .bak out
+        with pytest.raises(FaultInjected):
+            store.write("", STATE_B, fault_point="journal.write")
+        assert injector.fired("journal.write") == 1
+        state, source = store.read("")
+        assert (state, source) == (STATE_A, "backup")
+
+    def test_stale_lease_never_retried(self, tmp_path):
+        calls = {"n": 0}
+
+        class Counting(FileStateStore):
+            def check_lease(self):
+                calls["n"] += 1
+                super().check_lease()
+
+        old = Counting(str(tmp_path / "STATE"), retries=5, backoff=0.0)
+        old.acquire(owner="old")
+        FileStateStore(str(tmp_path / "STATE")).acquire(owner="new")
+        calls["n"] = 0
+        with pytest.raises(StaleLeaseError):
+            old.write("", STATE_A)
+        assert calls["n"] == 1
+
+
+# ----------------------------------------------------------------------
+# Spec parsing and chaos plumbing
+
+
+class TestStoreFromSpec:
+    def test_file_scheme_and_bare_path(self, tmp_path):
+        for spec in (f"file:{tmp_path}/S", f"{tmp_path}/S"):
+            store = store_from_spec(spec)
+            assert isinstance(store, FileStateStore)
+            assert store.base_path == f"{tmp_path}/S"
+
+    def test_db_scheme(self, tmp_path):
+        db = make_people_db(rows=60)
+        store = store_from_spec(f"db:{tmp_path}/D", database=db)
+        assert isinstance(store, DatabaseStateStore)
+        assert store.dsn == f"{tmp_path}/D"
+        defaulted = store_from_spec("db:", database=db)
+        assert defaulted.dsn == "repro-dbstate.json"
+
+    def test_errors(self):
+        with pytest.raises(ReproError):
+            store_from_spec("db:")  # no database to attach to
+        with pytest.raises(ReproError):
+            store_from_spec("file:")
+        with pytest.raises(ReproError):
+            store_from_spec("s3:bucket/key")
+
+    def test_torn_slot_paths(self, tmp_path):
+        fstore = FileStateStore(str(tmp_path / "S"))
+        assert torn_slot_paths(fstore, "apply") == (
+            f"{tmp_path}/S.apply",
+            resilience_state.backup_path(f"{tmp_path}/S.apply"),
+        )
+        dstore = _db_store(tmp_path)
+        primary, backup = torn_slot_paths(dstore, "apply")
+        assert primary == dstore.dsn
+        assert backup == resilience_state.backup_path(dstore.dsn)
+
+
+# ----------------------------------------------------------------------
+# The apply journal through a store: kill mid-journal, resume on a
+# fresh process attached to the same dsn
+
+
+class TestApplyJournalViaStore:
+    def _design(self):
+        return (AGE_INDEX, HEIGHT_INDEX)
+
+    def test_journaled_apply_round_trip(self, tmp_path):
+        db = make_people_db(rows=120)
+        store = DatabaseStateStore(db, str(tmp_path / "dbstate.json"))
+        report = ApplyExecutor(db, store=store, journal_key="apply").apply(
+            self._design()
+        )
+        assert len(report.built) == 2
+        assert report.phase == "committed"
+
+    def test_kill_at_journal_write_resumes_via_fresh_store(self, tmp_path):
+        dsn = str(tmp_path / "dbstate.json")
+        db = make_people_db(rows=120)
+        injector = FaultInjector.from_spec("journal.write:1")
+        store = DatabaseStateStore(db, dsn, fault_injector=injector)
+        with pytest.raises(FaultInjected):
+            ApplyExecutor(
+                db, store=store, journal_key="apply", fault_injector=injector
+            ).apply(self._design())
+        # Same database, new process: a fresh store instance attached
+        # to the same dsn picks the journal up and finishes the apply.
+        resumed_store = DatabaseStateStore(db, dsn)
+        report = ApplyExecutor(
+            db, store=resumed_store, journal_key="apply"
+        ).apply(self._design())
+        assert report.phase == "committed"
+        clean_db = make_people_db(rows=120)
+        clean = ApplyExecutor(
+            clean_db,
+            store=DatabaseStateStore(clean_db, str(tmp_path / "clean.json")),
+            journal_key="apply",
+        ).apply(self._design())
+        assert db_fingerprint(db) == db_fingerprint(clean_db)
+        assert sorted(report.built + report.skipped) == sorted(
+            clean.built + clean.skipped
+        )
+
+    def test_stale_lease_blocks_the_journal_writer(self, tmp_path):
+        dsn = str(tmp_path / "dbstate.json")
+        db = make_people_db(rows=120)
+        store = DatabaseStateStore(db, dsn)
+        store.acquire(owner="old-daemon")
+        executor = ApplyExecutor(db, store=store, journal_key="apply")
+        DatabaseStateStore(make_people_db(rows=60), dsn).acquire(owner="new")
+        with pytest.raises(StaleLeaseError):
+            executor.apply(self._design())
+        # Nothing was journaled and nothing was built.
+        assert not DatabaseStateStore(make_people_db(rows=60), dsn).exists(
+            "apply"
+        )
+        assert not db.catalog.index_names
+
+
+# ----------------------------------------------------------------------
+# Host-loss convergence (tentpole acceptance): kill at any journal
+# write, lose every local file except the dsn, resume on fresh
+# databases + a fresh store — terminal fleet must match a clean run.
+
+
+class TestHostLossConvergence:
+    STREAM = drifting_stream(96)
+
+    def _drive(self, databases, dsn, injector=None):
+        store = DatabaseStateStore(
+            databases[0], dsn, fault_injector=injector
+        )
+        controller = make_controller(
+            databases,
+            store=store,
+            warmup=16,
+            retry_steps=False,
+            fault_injector=injector,
+        )
+        resume_from = controller.position if controller.resumed else 0
+        for position, sql in enumerate(self.STREAM, start=1):
+            if position <= resume_from:
+                continue
+            controller.observe(sql)
+        return controller
+
+    def _terminal(self, controller):
+        return (
+            controller.phase,
+            [
+                sorted(ix.name for ix in rt.design)
+                for rt in controller.replicas
+            ],
+            [db_fingerprint(rt.database) for rt in controller.replicas],
+        )
+
+    def test_clean_run_matches_file_backed_run(self, tmp_path):
+        (tmp_path / "a").mkdir()
+        via_db = self._drive(
+            fleet_databases(2), str(tmp_path / "a" / "dbstate.json")
+        )
+        file_controller = make_controller(
+            fleet_databases(2),
+            state_path=str(tmp_path / "STATE"),
+            warmup=16,
+            retry_steps=False,
+        )
+        for sql in self.STREAM:
+            file_controller.observe(sql)
+        assert self._terminal(via_db) == self._terminal(file_controller)
+
+    @pytest.mark.parametrize("point", ["rollout.journal", "journal.write"])
+    def test_host_loss_at_every_journal_write_converges(
+        self, tmp_path, point
+    ):
+        idle = FaultInjector()
+        (tmp_path / "clean").mkdir()
+        clean = self._drive(
+            fleet_databases(2), str(tmp_path / "clean" / "dbstate.json"), idle
+        )
+        expected = self._terminal(clean)
+        writes = idle.checks(point)
+        assert writes > 0
+        for k in range(1, writes + 1):
+            rundir = tmp_path / f"kill-{point}-{k}"
+            rundir.mkdir()
+            dsn = str(rundir / "dbstate.json")
+            try:
+                self._drive(
+                    fleet_databases(2),
+                    dsn,
+                    FaultInjector.from_spec(f"{point}:{k}"),
+                )
+            except FaultInjected:
+                pass
+            # Host loss, not process loss: every local file except the
+            # store's dsn pair disappears with the machine.
+            survivors = {
+                os.path.basename(dsn),
+                os.path.basename(resilience_state.backup_path(dsn)),
+            }
+            for name in os.listdir(rundir):
+                assert name in survivors, (
+                    f"unexpected local state file {name}: host-loss "
+                    "resume must not depend on it"
+                )
+            resumed = self._drive(fleet_databases(2), dsn)
+            assert self._terminal(resumed) == expected, (
+                f"host loss at {point} #{k} diverged after resume"
+            )
+
+    def test_stale_serve_daemon_dies_on_journal_write(self, tmp_path):
+        dsn = str(tmp_path / "dbstate.json")
+        databases = fleet_databases(2)
+        store = DatabaseStateStore(databases[0], dsn)
+        store.acquire(owner="old-daemon")
+        controller = make_controller(
+            databases, store=store, warmup=16, retry_steps=False
+        )
+        # Failover: a new daemon takes the lease mid-run.
+        DatabaseStateStore(make_people_db(rows=60), dsn).acquire(owner="new")
+        with pytest.raises(StaleLeaseError):
+            for sql in self.STREAM:
+                controller.observe(sql)
+
+
+# ----------------------------------------------------------------------
+# Router and tuner checkpoints through a store
+
+
+class TestComponentStoreHelpers:
+    def test_router_save_to_load_from(self, tmp_path):
+        costs = {"t1": (10.0, 20.0), "t2": (20.0, 10.0)}
+        router = Router(costs, 2)
+        router.route("SELECT a FROM t WHERE x < 1", weight=2.0)
+        store = FileStateStore(str(tmp_path / "STATE"))
+        router.save_to(store)
+        clone = Router.load_from(store)
+        assert clone.save() == router.save()
+        assert store.exists("router")
+
+    def test_tuner_save_restore_via_store(self, tmp_path):
+        from repro.core.parinda import Parinda
+
+        db = make_people_db(rows=120)
+        store = FileStateStore(str(tmp_path / "STATE"))
+        parinda = Parinda(db, cache_max_entries=64)
+        with parinda.online(
+            budget_pages=256, window_size=8, check_interval=4
+        ) as tuner:
+            for i in range(12):
+                tuner.observe(
+                    f"SELECT person_id FROM people WHERE age < {1 + i % 5}"
+                )
+            saved = tuner.save_state_to(
+                store, extra={"stream_position": 12}
+            )
+        assert saved["stream_position"] == 12
+        assert store.read("")[0]["stream_position"] == 12
+        resumed = parinda.online(budget_pages=256, state_store=store)
+        assert resumed.monitor.observed == tuner.monitor.observed
+        assert [ix.name for ix in resumed.design] == [
+            ix.name for ix in tuner.design
+        ]
+
+
+# ----------------------------------------------------------------------
+# Satellite: the cold-start ladder when *both* copies are torn
+
+
+class TestBothCopiesTorn:
+    def test_fleet_controller_degrades_to_cold_start(self, tmp_path):
+        state = str(tmp_path / "STATE")
+        controller = make_controller(
+            fleet_databases(2), state_path=state, warmup=16
+        )
+        for sql in drifting_stream(48):
+            controller.observe(sql)
+        resilience_state.dump_state(state, controller.save_state())
+        _tear(state)
+        _tear(resilience_state.backup_path(state))
+        cold = make_controller(
+            fleet_databases(2), state_path=state, warmup=16
+        )
+        assert not cold.resumed
+        assert cold.event_counts["degraded"] == 1
+        assert cold.position == 0
+
+    def _stream_file(self, tmp_path, n=24):
+        path = tmp_path / "stream.sql"
+        path.write_text(
+            ";\n".join(drifting_stream(n)) + ";\n", encoding="utf-8"
+        )
+        return str(path)
+
+    def test_cli_tune_store_starts_cold_with_exit_zero(
+        self, tmp_path, capsys
+    ):
+        from repro.cli import main
+
+        base = str(tmp_path / "STATE")
+        FileStateStore(base).write("", {"bad": "shape"})
+        _tear(base)
+        _tear(resilience_state.backup_path(base))
+        code = main(
+            [
+                "--db", "sdss:1000",
+                "tune",
+                "--stream", self._stream_file(tmp_path),
+                "--store", f"file:{base}",
+                "--window", "8", "--check-interval", "4",
+            ]
+        )
+        err = capsys.readouterr().err
+        assert code == 0
+        assert "state store unrecoverable" in err
+        # The cold run still checkpointed: the slot is readable again.
+        assert FileStateStore(base).exists("")
+
+    def test_cli_fleet_serve_state_starts_cold_with_exit_zero(
+        self, tmp_path, capsys
+    ):
+        from repro.cli import main
+
+        state = str(tmp_path / "FLEET")
+        controller = make_controller(
+            fleet_databases(2), state_path=state, warmup=16
+        )
+        for sql in drifting_stream(48):
+            controller.observe(sql)
+        resilience_state.dump_state(state, controller.save_state())
+        _tear(state)
+        _tear(resilience_state.backup_path(state))
+        code = main(
+            [
+                "--db", "sdss:1000",
+                "fleet", "--serve",
+                "--replicas", "2",
+                "--stream", self._stream_file(tmp_path),
+                "--state", state,
+                "--window", "8", "--check-interval", "4", "--warmup", "8",
+            ]
+        )
+        out = capsys.readouterr()
+        assert code == 0
+        assert "state unrecoverable, starting cold" in out.err
+        assert "Resuming" not in out.out
